@@ -1,0 +1,121 @@
+//! Criterion benches for the hot kernels behind the paper's complexity
+//! claims: heterogeneous-graph construction (O(|V|+|E|) per Topnode set,
+//! Section III-A), back-tracing (O(n_r · n_G), Section III-B),
+//! cone-limited fault simulation, and GCN training/inference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use m3d_fault_loc::{
+    generate_samples, DatasetConfig, DesignConfig, DesignContext, FeatureExtractor, HeteroGraph,
+    ModelTrainConfig, TestBench, TestBenchConfig, TierPredictor,
+};
+use m3d_netlist::BenchmarkProfile;
+use m3d_sim::tdf_list;
+
+fn bench_hetero_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hetero_graph_build");
+    group.sample_size(10);
+    for scale in [0.002f64, 0.004, 0.008] {
+        let tb = TestBench::build(&TestBenchConfig {
+            scale,
+            ..TestBenchConfig::quick(BenchmarkProfile::AesLike, DesignConfig::Syn1)
+        });
+        let fsim = m3d_sim::FaultSimulator::new(tb.netlist(), &tb.patterns);
+        let gates = tb.netlist().gate_count();
+        group.bench_with_input(BenchmarkId::from_parameter(gates), &tb, |b, tb| {
+            b.iter(|| {
+                let h = HeteroGraph::build(&tb.m3d, fsim.obs());
+                FeatureExtractor::compute(&tb.m3d, &h).node_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_backtrace(c: &mut Criterion) {
+    let tb = TestBench::build(&TestBenchConfig::quick(
+        BenchmarkProfile::AesLike,
+        DesignConfig::Syn1,
+    ));
+    let ctx = DesignContext::new(&tb);
+    let samples = generate_samples(&ctx, &DatasetConfig::single(8, 5));
+    let mut group = c.benchmark_group("backtrace");
+    group.sample_size(20);
+    group.bench_function("per_failure_log", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = &samples[i % samples.len()];
+            i += 1;
+            ctx.backtrace(&s.log, false, &Default::default()).len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fault_sim(c: &mut Criterion) {
+    let tb = TestBench::build(&TestBenchConfig::quick(
+        BenchmarkProfile::AesLike,
+        DesignConfig::Syn1,
+    ));
+    let fsim = m3d_sim::FaultSimulator::new(tb.netlist(), &tb.patterns);
+    let faults = tdf_list(tb.netlist());
+    let mut group = c.benchmark_group("fault_sim");
+    group.bench_function("cone_limited_single_fault", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let f = faults[(i * 37) % faults.len()];
+            i += 1;
+            fsim.simulate(std::slice::from_ref(&f)).len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_gnn(c: &mut Criterion) {
+    let tb = TestBench::build(&TestBenchConfig::quick(
+        BenchmarkProfile::AesLike,
+        DesignConfig::Syn1,
+    ));
+    let ctx = DesignContext::new(&tb);
+    let samples = generate_samples(&ctx, &DatasetConfig::single(40, 5));
+    let tset = m3d_fault_loc::tier_training_set(&tb, &samples);
+    let mut group = c.benchmark_group("gnn");
+    group.sample_size(10);
+    group.bench_function("train_tier_predictor_5_epochs", |b| {
+        b.iter(|| {
+            TierPredictor::train(
+                &tset,
+                &ModelTrainConfig {
+                    epochs: 5,
+                    restarts: 1,
+                    ..ModelTrainConfig::default()
+                },
+            )
+        })
+    });
+    let model = TierPredictor::train(
+        &tset,
+        &ModelTrainConfig {
+            epochs: 10,
+            restarts: 1,
+            ..ModelTrainConfig::default()
+        },
+    );
+    group.bench_function("tier_inference", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = &samples[i % samples.len()];
+            i += 1;
+            model.predict(&s.subgraph)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_hetero_graph,
+    bench_backtrace,
+    bench_fault_sim,
+    bench_gnn
+);
+criterion_main!(kernels);

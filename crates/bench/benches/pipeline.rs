@@ -1,0 +1,98 @@
+//! Criterion benches for the deployment pipeline (Fig. 9 / Table IX):
+//! per-chip ATPG diagnosis, GNN inference, the policy update, and the
+//! combined flow — showing T_GNN ≪ T_ATPG and T_update ≈ negligible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use m3d_diagnosis::{AtpgDiagnosis, DiagnosisConfig};
+use m3d_fault_loc::{
+    generate_samples, DatasetConfig, DesignConfig, DesignContext, Framework, FrameworkConfig,
+    ModelTrainConfig, TestBench, TestBenchConfig, TrainingSet,
+};
+use m3d_netlist::BenchmarkProfile;
+
+struct Fixture {
+    bench: TestBench,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        Fixture {
+            bench: TestBench::build(&TestBenchConfig::quick(
+                BenchmarkProfile::AesLike,
+                DesignConfig::Syn1,
+            )),
+        }
+    }
+}
+
+fn bench_deployment(c: &mut Criterion) {
+    let fx = Fixture::new();
+    let ctx = DesignContext::new(&fx.bench);
+    let train = generate_samples(&ctx, &DatasetConfig::single(80, 3));
+    let mut ts = TrainingSet::new();
+    ts.add(&fx.bench, &train);
+    let fw = Framework::train(
+        &ts,
+        &FrameworkConfig {
+            model: ModelTrainConfig {
+                epochs: 15,
+                restarts: 1,
+                ..ModelTrainConfig::default()
+            },
+            ..FrameworkConfig::default()
+        },
+    );
+    let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
+    let chips = generate_samples(&ctx, &DatasetConfig::single(10, 77));
+
+    let mut group = c.benchmark_group("deployment");
+    group.sample_size(10);
+    group.bench_function("t_atpg_diagnosis", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = &chips[i % chips.len()];
+            i += 1;
+            diag.diagnose(&s.log).resolution()
+        })
+    });
+    group.bench_function("t_gnn_inference", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = &chips[i % chips.len()];
+            i += 1;
+            let probs = fw.tier_predictor().predict(&s.subgraph);
+            let mivs = fw
+                .miv_pinpointer()
+                .map(|m| m.predict(&s.subgraph).len())
+                .unwrap_or(0);
+            (probs, mivs)
+        })
+    });
+    group.bench_function("full_process_case", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = &chips[i % chips.len()];
+            i += 1;
+            fw.process_case(&ctx, &diag, s).outcome.report.resolution()
+        })
+    });
+    group.finish();
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    let fx = Fixture::new();
+    let ctx = DesignContext::new(&fx.bench);
+    let mut group = c.benchmark_group("dataset");
+    group.sample_size(10);
+    group.bench_function("generate_8_samples", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            generate_samples(&ctx, &DatasetConfig::single(8, seed)).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(pipeline, bench_deployment, bench_dataset_generation);
+criterion_main!(pipeline);

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 5: PCA visualization of subgraph features across
+//! design configurations.
+fn main() {
+    let scale = m3d_bench::Scale::from_args();
+    m3d_bench::experiments::fig05(&scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 6: dedicated vs transferred model accuracy (plus the
+//! data-augmentation ablation).
+fn main() {
+    let scale = m3d_bench::Scale::from_args();
+    m3d_bench::experiments::fig06(&scale);
+}

@@ -1,0 +1,20 @@
+//! Regenerates Fig. 9: the deployment-flow runtime breakdown (ATPG
+//! diagnosis and GNN inference run side by side, then the report update).
+fn main() {
+    let scale = m3d_bench::Scale::from_args();
+    let profiles = m3d_bench::profiles_from_args();
+    let rows = m3d_bench::experiments::table09(&scale, &profiles);
+    println!("== Fig. 9: deployment flow (per test set) ==");
+    for r in &rows {
+        let parallel = r.t_atpg.max(r.t_gnn);
+        println!(
+            "{:<10} max(T_ATPG {:.2}s, T_GNN {:.3}s) + T_update {:.4}s = {:.2}s  (GNN {:.1}x faster than ATPG)",
+            r.design,
+            r.t_atpg,
+            r.t_gnn,
+            r.t_update,
+            parallel + r.t_update,
+            if r.t_gnn > 0.0 { r.t_atpg / r.t_gnn } else { f64::INFINITY },
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 10: PFA time saved (T_diff) vs per-candidate PFA cost.
+fn main() {
+    let scale = m3d_bench::Scale::from_args();
+    let profiles = m3d_bench::profiles_from_args();
+    let rows = m3d_bench::experiments::table09(&scale, &profiles);
+    m3d_bench::experiments::fig10(&rows);
+}

@@ -1,0 +1,18 @@
+//! Runs every table/figure harness in paper order (EXPERIMENTS.md is
+//! written from this binary's output).
+fn main() {
+    let scale = m3d_bench::Scale::from_args();
+    let profiles = m3d_bench::profiles_from_args();
+    m3d_bench::experiments::table03(&scale);
+    m3d_bench::experiments::table02(&scale);
+    m3d_bench::experiments::fig05(&scale);
+    m3d_bench::experiments::fig06(&scale);
+    m3d_bench::experiments::table_atpg_quality(&scale, false);
+    m3d_bench::experiments::table_localization(&scale, false, &profiles);
+    m3d_bench::experiments::table_atpg_quality(&scale, true);
+    m3d_bench::experiments::table_localization(&scale, true, &profiles);
+    let rows = m3d_bench::experiments::table09(&scale, &profiles);
+    m3d_bench::experiments::fig10(&rows);
+    m3d_bench::experiments::table10(&scale, &profiles);
+    m3d_bench::experiments::table11(&scale);
+}

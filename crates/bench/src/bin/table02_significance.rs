@@ -1,0 +1,5 @@
+//! Regenerates Table II: feature-significance scores.
+fn main() {
+    let scale = m3d_bench::Scale::from_args();
+    m3d_bench::experiments::table02(&scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table III: the M3D benchmark design matrix.
+fn main() {
+    let scale = m3d_bench::Scale::from_args();
+    m3d_bench::experiments::table03(&scale);
+}

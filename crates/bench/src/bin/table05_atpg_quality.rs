@@ -1,0 +1,6 @@
+//! Regenerates Table V: ATPG diagnosis-report quality without response
+//! compaction.
+fn main() {
+    let scale = m3d_bench::Scale::from_args();
+    m3d_bench::experiments::table_atpg_quality(&scale, false);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table VI: localization effectiveness without compaction
+//! (baseline \[11\] vs GNN standalone vs GNN+\[11\], plus tier localization).
+fn main() {
+    let scale = m3d_bench::Scale::from_args();
+    let profiles = m3d_bench::profiles_from_args();
+    m3d_bench::experiments::table_localization(&scale, false, &profiles);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table VII: ATPG diagnosis-report quality with response
+//! compaction.
+fn main() {
+    let scale = m3d_bench::Scale::from_args();
+    m3d_bench::experiments::table_atpg_quality(&scale, true);
+}

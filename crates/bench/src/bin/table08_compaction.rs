@@ -1,0 +1,7 @@
+//! Regenerates Table VIII: localization effectiveness with response
+//! compaction.
+fn main() {
+    let scale = m3d_bench::Scale::from_args();
+    let profiles = m3d_bench::profiles_from_args();
+    m3d_bench::experiments::table_localization(&scale, true, &profiles);
+}

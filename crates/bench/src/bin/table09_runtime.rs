@@ -1,0 +1,6 @@
+//! Regenerates Table IX: training vs deployment runtime analysis.
+fn main() {
+    let scale = m3d_bench::Scale::from_args();
+    let profiles = m3d_bench::profiles_from_args();
+    m3d_bench::experiments::table09(&scale, &profiles);
+}

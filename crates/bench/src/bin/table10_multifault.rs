@@ -1,0 +1,7 @@
+//! Regenerates Table X: multiple-delay-fault localization (2-5 same-tier
+//! TDFs; trained on Syn-1, tested on Syn-2).
+fn main() {
+    let scale = m3d_bench::Scale::from_args();
+    let profiles = m3d_bench::profiles_from_args();
+    m3d_bench::experiments::table10(&scale, &profiles);
+}

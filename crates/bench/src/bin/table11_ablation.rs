@@ -1,0 +1,6 @@
+//! Regenerates Table XI: Tier-predictor / MIV-pinpointer standalone
+//! ablation on AES Syn-1 with 10% MIV-fault test augmentation.
+fn main() {
+    let scale = m3d_bench::Scale::from_args();
+    m3d_bench::experiments::table11(&scale);
+}

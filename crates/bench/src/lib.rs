@@ -1,0 +1,24 @@
+//! # m3d-bench
+//!
+//! Experiment harness for the paper reproduction. Each binary in
+//! `src/bin` regenerates one table or figure of the evaluation section
+//! (see DESIGN.md §4 for the index); `run_all` chains every experiment.
+//! The Criterion benches in `benches/` time the hot kernels and the
+//! deployment pipeline (Fig. 9 / Table IX material).
+//!
+//! All binaries accept `--scale quick|medium|paper` (or `M3D_SCALE`) and,
+//! where applicable, `--profile aes|tate|netcard|leon3mp`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod pipeline;
+pub mod scale;
+
+pub use pipeline::{
+    build_bench, evaluate_config, fmt_quality, fmt_quality_vs, fmt_tier_loc,
+    profiles_from_args, run_profile, train_framework, ConfigEval, ExperimentConfig,
+    MethodResult, Trained,
+};
+pub use scale::Scale;

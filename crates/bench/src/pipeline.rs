@@ -1,0 +1,354 @@
+//! The shared experiment pipeline behind Tables V–VIII: build benches,
+//! train the transferred framework (Syn-1 + two random partitions) and the
+//! PADRE baseline, then evaluate every design configuration with four
+//! methods — raw ATPG, baseline \[11\], GNN standalone, and GNN + \[11\].
+
+use crate::scale::Scale;
+use m3d_diagnosis::{
+    candidate_levels, report_quality, training_rows, AtpgDiagnosis, DiagnosisConfig,
+    DiagnosisReport, PadreFilter, ReportQuality,
+};
+use m3d_fault_loc::{
+    generate_samples, single_tier_of, DatasetConfig, DesignConfig, DesignContext, Framework,
+    FrameworkConfig, ModelTrainConfig, TestBench, TestBenchConfig, TierLocalization,
+    TrainingSet,
+};
+use m3d_netlist::BenchmarkProfile;
+use std::time::{Duration, Instant};
+
+/// Experiment setup shared across the table binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Whether the tester compacts responses (Tables VII/VIII vs V/VI).
+    pub compacted: bool,
+    /// Fraction of MIV-defect samples in the training mix.
+    pub miv_fraction_train: f64,
+}
+
+impl ExperimentConfig {
+    /// Standard setup at `scale`.
+    pub fn new(scale: Scale, compacted: bool) -> Self {
+        ExperimentConfig {
+            scale,
+            compacted,
+            miv_fraction_train: 0.25,
+        }
+    }
+}
+
+/// Builds one test bench of `profile` at the experiment's scale.
+pub fn build_bench(
+    profile: BenchmarkProfile,
+    config: DesignConfig,
+    cfg: &ExperimentConfig,
+) -> TestBench {
+    TestBench::build(&TestBenchConfig {
+        profile,
+        scale: cfg.scale.design_scale,
+        config,
+        compaction_ratio: cfg.scale.compaction_ratio,
+        atpg: cfg.scale.atpg.clone(),
+    })
+}
+
+/// A trained framework plus baseline and training-phase timings.
+pub struct Trained {
+    /// The GNN framework (Tier-predictor, MIV-pinpointer, Classifier, T_P).
+    pub framework: Framework,
+    /// The PADRE-like baseline filter.
+    pub padre: PadreFilter,
+    /// Wall time of heterogeneous-graph + feature construction (training
+    /// designs).
+    pub t_features: Duration,
+    /// Wall time of GNN training.
+    pub t_training: Duration,
+}
+
+/// Trains the transferred framework on Syn-1 plus two randomly-partitioned
+/// netlists (the paper's augmentation recipe), and the PADRE baseline on
+/// diagnosed Syn-1 training samples.
+pub fn train_framework(profile: BenchmarkProfile, cfg: &ExperimentConfig) -> Trained {
+    let mut ts = TrainingSet::new();
+    let mut t_features = Duration::ZERO;
+    let mut padre_rows = Vec::new();
+
+    let train_configs = [
+        (DesignConfig::Syn1, cfg.scale.n_train),
+        (DesignConfig::RandomPart { seed: 101 }, cfg.scale.n_rand_train),
+        (DesignConfig::RandomPart { seed: 202 }, cfg.scale.n_rand_train),
+    ];
+    for (i, (dc, n)) in train_configs.iter().enumerate() {
+        let bench = build_bench(profile, *dc, cfg);
+        let t0 = Instant::now();
+        let ctx = DesignContext::new(&bench);
+        t_features += t0.elapsed();
+        let samples = generate_samples(
+            &ctx,
+            &DatasetConfig {
+                miv_fraction: cfg.miv_fraction_train,
+                compacted: cfg.compacted,
+                ..DatasetConfig::single(*n, 1000 + i as u64)
+            },
+        );
+        ts.add(&bench, &samples);
+
+        // PADRE training data comes from the Syn-1 configuration.
+        if i == 0 {
+            let diag = make_diag(&ctx, cfg.compacted);
+            let levels = candidate_levels(bench.netlist());
+            for s in samples.iter().take(cfg.scale.n_padre_train) {
+                let report = diag.diagnose(&s.log);
+                padre_rows.extend(training_rows(
+                    &report,
+                    &s.truth,
+                    bench.netlist(),
+                    &levels,
+                    s.log.len(),
+                ));
+            }
+        }
+    }
+
+    let t1 = Instant::now();
+    let framework = Framework::train(
+        &ts,
+        &FrameworkConfig {
+            model: ModelTrainConfig {
+                epochs: cfg.scale.epochs,
+                ..ModelTrainConfig::default()
+            },
+            precision_target: cfg.scale.precision_target,
+            ..FrameworkConfig::default()
+        },
+    );
+    let t_training = t1.elapsed();
+    let padre = PadreFilter::train(&padre_rows, 0.99, 7);
+    Trained {
+        framework,
+        padre,
+        t_features,
+        t_training,
+    }
+}
+
+fn make_diag<'a, 'b>(
+    ctx: &'b DesignContext<'a>,
+    compacted: bool,
+) -> AtpgDiagnosis<'a, 'b> {
+    AtpgDiagnosis::new(
+        &ctx.fsim,
+        compacted.then(|| ctx.chains()),
+        DiagnosisConfig::default(),
+    )
+}
+
+/// One method's aggregate results on one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodResult {
+    /// Accuracy / resolution / FHI aggregates.
+    pub quality: ReportQuality,
+    /// Tier-localization percentage (None when every ATPG report was
+    /// already single-tier).
+    pub tier_localization: Option<f64>,
+}
+
+/// Evaluation of one design configuration (one row block of Table VI/VIII).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigEval {
+    /// Configuration name.
+    pub config: &'static str,
+    /// Raw ATPG reports (Tables V/VII).
+    pub atpg: ReportQuality,
+    /// Baseline \[11\] first-level filter.
+    pub baseline: MethodResult,
+    /// GNN standalone (the proposed policy).
+    pub gnn: MethodResult,
+    /// GNN + \[11\] combined.
+    pub gnn_plus: MethodResult,
+    /// Deployment timings accumulated over the test set.
+    pub t_atpg: Duration,
+    /// Total GNN inference time.
+    pub t_gnn: Duration,
+    /// Total policy-update time.
+    pub t_update: Duration,
+    /// Mean backup-dictionary payload per pruned case (bytes).
+    pub backup_bytes: usize,
+}
+
+/// Evaluates one design configuration with all four methods.
+pub fn evaluate_config(
+    trained: &Trained,
+    profile: BenchmarkProfile,
+    config: DesignConfig,
+    cfg: &ExperimentConfig,
+    seed: u64,
+) -> ConfigEval {
+    let bench = build_bench(profile, config, cfg);
+    let ctx = DesignContext::new(&bench);
+    let diag = make_diag(&ctx, cfg.compacted);
+    let levels = candidate_levels(bench.netlist());
+    let samples = generate_samples(
+        &ctx,
+        &DatasetConfig {
+            compacted: cfg.compacted,
+            ..DatasetConfig::single(cfg.scale.n_test, seed)
+        },
+    );
+
+    let mut atpg_cases = Vec::new();
+    let mut base_cases = Vec::new();
+    let mut gnn_cases = Vec::new();
+    let mut plus_cases = Vec::new();
+    let mut base_tl = TierLocalization::new();
+    let mut gnn_tl = TierLocalization::new();
+    let mut t_atpg = Duration::ZERO;
+    let mut t_gnn = Duration::ZERO;
+    let mut t_update = Duration::ZERO;
+    let mut backup_bytes = 0usize;
+    let mut pruned_cases = 0usize;
+
+    for s in &samples {
+        let r = trained.framework.process_case(&ctx, &diag, s);
+        t_atpg += r.t_atpg;
+        t_gnn += r.t_gnn;
+        t_update += r.t_update;
+
+        let filtered = trained
+            .padre
+            .filter(&r.atpg_report, bench.netlist(), &levels, s.log.len());
+        // Combined flow: the baseline scores candidates in their original
+        // ATPG ranking (its features are rank-sensitive) and the removals
+        // are applied to the policy-updated list.
+        let keep = trained
+            .padre
+            .keep_mask(&r.atpg_report, bench.netlist(), &levels, s.log.len());
+        let kept_faults: std::collections::HashSet<_> = r
+            .atpg_report
+            .candidates()
+            .iter()
+            .zip(&keep)
+            .filter(|(_, &k)| k)
+            .map(|(c, _)| c.fault)
+            .collect();
+        let plus_list: Vec<_> = r
+            .outcome
+            .report
+            .candidates()
+            .iter()
+            .filter(|c| kept_faults.contains(&c.fault))
+            .copied()
+            .collect();
+        let plus = if plus_list.is_empty() {
+            DiagnosisReport::new(r.outcome.report.candidates().iter().take(1).copied().collect())
+        } else {
+            DiagnosisReport::new(plus_list)
+        };
+
+        let truth_tier = s.fault.tier(&bench).expect("single-fault samples");
+        let pre_localized = single_tier_of(&r.atpg_report, &bench.m3d).is_some();
+        base_tl.add(
+            pre_localized,
+            single_tier_of(&filtered, &bench.m3d),
+            truth_tier,
+        );
+        gnn_tl.add(pre_localized, Some(r.outcome.predicted_tier), truth_tier);
+
+        if !r.outcome.pruned.is_empty() {
+            pruned_cases += 1;
+            backup_bytes += r.outcome.pruned.len()
+                * std::mem::size_of::<m3d_diagnosis::Candidate>();
+        }
+
+        atpg_cases.push((r.atpg_report, s.truth.clone()));
+        base_cases.push((filtered, s.truth.clone()));
+        gnn_cases.push((r.outcome.report, s.truth.clone()));
+        plus_cases.push((plus, s.truth.clone()));
+    }
+
+    ConfigEval {
+        config: config.name(),
+        atpg: report_quality(&atpg_cases, false),
+        baseline: MethodResult {
+            quality: report_quality(&base_cases, false),
+            tier_localization: base_tl.percentage(),
+        },
+        gnn: MethodResult {
+            quality: report_quality(&gnn_cases, false),
+            tier_localization: gnn_tl.percentage(),
+        },
+        gnn_plus: MethodResult {
+            quality: report_quality(&plus_cases, false),
+            tier_localization: gnn_tl.percentage(),
+        },
+        t_atpg,
+        t_gnn,
+        t_update,
+        backup_bytes: backup_bytes / pruned_cases.max(1),
+    }
+}
+
+/// Runs the full Table VI/VIII pipeline for one benchmark profile:
+/// train once (transferred), evaluate Syn-1 / TPI / Syn-2 / Par.
+pub fn run_profile(profile: BenchmarkProfile, cfg: &ExperimentConfig) -> Vec<ConfigEval> {
+    let trained = train_framework(profile, cfg);
+    DesignConfig::EVAL
+        .iter()
+        .enumerate()
+        .map(|(i, dc)| evaluate_config(&trained, profile, *dc, cfg, 9_000 + i as u64))
+        .collect()
+}
+
+/// Formats a `ReportQuality` triple like the paper's cells.
+pub fn fmt_quality(q: &ReportQuality) -> String {
+    format!(
+        "acc {:5.1}%  resol {:5.1} ({:4.1})  FHI {:5.1} ({:4.1})",
+        100.0 * q.accuracy,
+        q.mean_resolution,
+        q.std_resolution,
+        q.mean_fhi,
+        q.std_fhi
+    )
+}
+
+/// Formats an optional tier-localization percentage.
+pub fn fmt_tier_loc(v: Option<f64>) -> String {
+    match v {
+        Some(p) => format!("{p:5.1}%"),
+        None => "  n/a ".to_string(),
+    }
+}
+
+/// Formats a `ReportQuality` with signed deltas against an ATPG baseline,
+/// matching the parenthesized cells of Tables VI/VIII.
+pub fn fmt_quality_vs(q: &ReportQuality, base: &ReportQuality) -> String {
+    let dacc = 100.0 * (q.accuracy - base.accuracy);
+    let dres = m3d_fault_loc::improvement_pct(base.mean_resolution, q.mean_resolution);
+    let dfhi = m3d_fault_loc::improvement_pct(base.mean_fhi, q.mean_fhi);
+    format!(
+        "acc {:5.1}% ({:+.1}%)  resol {:5.1} ({:+.1}%)  FHI {:5.1} ({:+.1}%)",
+        100.0 * q.accuracy,
+        dacc,
+        q.mean_resolution,
+        dres,
+        q.mean_fhi,
+        dfhi
+    )
+}
+
+/// Parses the optional `--profile <name>` CLI filter.
+pub fn profiles_from_args() -> Vec<BenchmarkProfile> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--profile" {
+            if let Some(name) = args.next() {
+                if let Some(p) = BenchmarkProfile::ALL.iter().find(|p| p.name() == name) {
+                    return vec![*p];
+                }
+                eprintln!("unknown profile `{name}`; running all");
+            }
+        }
+    }
+    BenchmarkProfile::ALL.to_vec()
+}

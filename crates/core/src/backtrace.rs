@@ -1,0 +1,378 @@
+//! The back-tracing algorithm of Fig. 3.
+//!
+//! For every erroneous tester response, collect the Topnodes that could
+//! have captured it (one in bypass mode; the chain-group ambiguity set
+//! under compaction), take the union of the transition-active nodes in
+//! their fan-in cones, and intersect across responses. The surviving nodes
+//! form a homogeneous subgraph whose node features (Table II) feed the GNN
+//! models.
+//!
+//! Multi-fault logs make a strict intersection empty (each response is
+//! explained by only one of the faults), so the implementation counts
+//! response support per node and keeps nodes supported by at least
+//! `keep_frac` of the maximum support — `keep_frac = 1.0` is exactly the
+//! paper's intersection for single faults.
+
+use crate::features::{
+    local_degree_feature, FeatureExtractor, F_FANIN_SUB, F_FANOUT_SUB, N_FEATURES,
+};
+use crate::hetero::{HeteroGraph, HNodeId, HNodeKind};
+use m3d_gnn::{Graph, Matrix, NormAdj};
+use m3d_part::MivId;
+use m3d_sim::{FailureLog, ObsPoints, PatternSim};
+use m3d_netlist::ScanChains;
+use std::collections::HashMap;
+
+/// Back-tracing configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BacktraceConfig {
+    /// Keep nodes supported by at least this fraction of the maximum
+    /// response support (1.0 = strict intersection).
+    pub keep_frac: f64,
+    /// Hard cap on subgraph size (highest-support nodes win).
+    pub max_nodes: usize,
+}
+
+impl Default for BacktraceConfig {
+    fn default() -> Self {
+        BacktraceConfig {
+            keep_frac: 1.0,
+            max_nodes: 600,
+        }
+    }
+}
+
+/// A back-traced homogeneous subgraph ready for the GNN models.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The heterogeneous-graph nodes included, ascending.
+    pub nodes: Vec<HNodeId>,
+    /// The induced circuit-level edge structure (kept for dummy-buffer
+    /// oversampling, which edits the topology).
+    pub graph: Graph,
+    /// Normalized adjacency over the induced circuit-level edges.
+    pub adj: NormAdj,
+    /// Node features (`n × 13`, Table II).
+    pub x: Matrix,
+    /// Rows that are MIV nodes.
+    pub miv_rows: Vec<(usize, MivId)>,
+}
+
+impl Subgraph {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` for the empty subgraph (empty failure log).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Row index of a node, if present.
+    pub fn row_of(&self, node: HNodeId) -> Option<usize> {
+        self.nodes.binary_search(&node).ok()
+    }
+}
+
+/// Runs back-tracing on a failure log. Pass `chains` iff the log was
+/// captured through the response compactor.
+pub fn backtrace(
+    hetero: &HeteroGraph,
+    features: &FeatureExtractor,
+    sim: &PatternSim,
+    obs: &ObsPoints,
+    chains: Option<&ScanChains>,
+    log: &FailureLog,
+    cfg: &BacktraceConfig,
+) -> Subgraph {
+    let mut support: HashMap<HNodeId, u32> = HashMap::new();
+    let entries = log.entries();
+    for entry in entries {
+        let mut seen: HashMap<HNodeId, ()> = HashMap::new();
+        for obs_id in FailureLog::candidate_observers(entry, obs, chains) {
+            for edge in &hetero.topnode(obs_id).cone {
+                // Only transition-active nodes can launch a delay fault.
+                let active = hetero
+                    .net_of(edge.node)
+                    .is_some_and(|net| sim.net_transition(net, entry.pattern as usize));
+                if active {
+                    seen.insert(edge.node, ());
+                }
+            }
+        }
+        for (node, ()) in seen {
+            *support.entry(node).or_insert(0) += 1;
+        }
+    }
+    let max_support = support.values().copied().max().unwrap_or(0);
+    if max_support == 0 {
+        return empty_subgraph();
+    }
+    let floor = ((f64::from(max_support)) * cfg.keep_frac).ceil().max(1.0) as u32;
+    let mut picked: Vec<(HNodeId, u32)> = support
+        .into_iter()
+        .filter(|&(_, c)| c >= floor)
+        .collect();
+    // Cap deterministically: strongest support first, then node order.
+    picked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    picked.truncate(cfg.max_nodes);
+    let mut nodes: Vec<HNodeId> = picked.into_iter().map(|(n, _)| n).collect();
+    nodes.sort_unstable();
+    build_subgraph(hetero, features, nodes)
+}
+
+fn empty_subgraph() -> Subgraph {
+    let graph = Graph::new(0);
+    Subgraph {
+        nodes: vec![],
+        adj: graph.normalize(true),
+        graph,
+        x: Matrix::zeros(0, N_FEATURES),
+        miv_rows: vec![],
+    }
+}
+
+/// Builds the induced subgraph over `nodes` (sorted, deduplicated by the
+/// caller) with Table II features.
+pub fn build_subgraph(
+    hetero: &HeteroGraph,
+    features: &FeatureExtractor,
+    nodes: Vec<HNodeId>,
+) -> Subgraph {
+    debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "sorted unique nodes");
+    let index: HashMap<HNodeId, usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, i))
+        .collect();
+    let mut g = Graph::new(nodes.len());
+    let mut fanin = vec![0usize; nodes.len()];
+    let mut fanout = vec![0usize; nodes.len()];
+    for (i, &n) in nodes.iter().enumerate() {
+        for &succ in hetero.successors(n) {
+            if let Some(&j) = index.get(&HNodeId(succ)) {
+                g.add_edge(i as u32, j as u32);
+                fanout[i] += 1;
+                fanin[j] += 1;
+            }
+        }
+    }
+    let mut x = Matrix::zeros(nodes.len(), N_FEATURES);
+    let mut miv_rows = Vec::new();
+    for (i, &n) in nodes.iter().enumerate() {
+        x.row_mut(i).copy_from_slice(features.node_row(n));
+        x.set(i, F_FANIN_SUB, local_degree_feature(fanin[i]));
+        x.set(i, F_FANOUT_SUB, local_degree_feature(fanout[i]));
+        if let HNodeKind::Miv(m) = hetero.kind(n) {
+            miv_rows.push((i, m));
+        }
+    }
+    Subgraph {
+        adj: g.normalize(true),
+        graph: g,
+        nodes,
+        x,
+        miv_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netlist::{generate, GeneratorConfig};
+    use m3d_part::{M3dNetlist, MinCutPartitioner, Partitioner};
+    use m3d_sim::{
+        generate_patterns, tdf_list, AtpgConfig, FaultSimulator, PatternSet, Tdf,
+    };
+
+    struct Fixture {
+        m3d: M3dNetlist,
+        patterns: PatternSet,
+    }
+
+    fn fixture() -> Fixture {
+        let nl = generate(&GeneratorConfig {
+            n_comb_gates: 250,
+            n_flops: 32,
+            n_inputs: 12,
+            n_outputs: 8,
+            target_depth: 7,
+            ..GeneratorConfig::default()
+        });
+        let atpg = generate_patterns(
+            &nl,
+            &AtpgConfig {
+                fault_sample: Some(500),
+                max_rounds: 5,
+                ..AtpgConfig::default()
+            },
+        );
+        let part = MinCutPartitioner::default().partition(&nl, 2);
+        Fixture {
+            m3d: M3dNetlist::build(nl, part),
+            patterns: atpg.patterns,
+        }
+    }
+
+    fn detected(fsim: &FaultSimulator<'_>, n: usize) -> Vec<Tdf> {
+        tdf_list(fsim.netlist())
+            .into_iter()
+            .step_by(13)
+            .filter(|f| fsim.detects(std::slice::from_ref(f)))
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn subgraph_contains_fault_node() {
+        let fx = fixture();
+        let fsim = FaultSimulator::new(fx.m3d.netlist(), &fx.patterns);
+        let hetero = HeteroGraph::build(&fx.m3d, fsim.obs());
+        let feats = FeatureExtractor::compute(&fx.m3d, &hetero);
+        for f in detected(&fsim, 8) {
+            let log = FailureLog::uncompacted(&fsim.simulate(&[f]));
+            let sub = backtrace(
+                &hetero,
+                &feats,
+                fsim.sim(),
+                fsim.obs(),
+                None,
+                &log,
+                &BacktraceConfig::default(),
+            );
+            assert!(!sub.is_empty());
+            let node = hetero.pin_of(f.site);
+            assert!(
+                sub.row_of(node).is_some(),
+                "fault node must survive intersection for {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn subgraph_smaller_than_graph() {
+        let fx = fixture();
+        let fsim = FaultSimulator::new(fx.m3d.netlist(), &fx.patterns);
+        let hetero = HeteroGraph::build(&fx.m3d, fsim.obs());
+        let feats = FeatureExtractor::compute(&fx.m3d, &hetero);
+        let f = detected(&fsim, 1)[0];
+        let log = FailureLog::uncompacted(&fsim.simulate(&[f]));
+        let sub = backtrace(
+            &hetero,
+            &feats,
+            fsim.sim(),
+            fsim.obs(),
+            None,
+            &log,
+            &BacktraceConfig::default(),
+        );
+        assert!(sub.len() < hetero.node_count() / 2, "{}", sub.len());
+    }
+
+    #[test]
+    fn empty_log_gives_empty_subgraph() {
+        let fx = fixture();
+        let fsim = FaultSimulator::new(fx.m3d.netlist(), &fx.patterns);
+        let hetero = HeteroGraph::build(&fx.m3d, fsim.obs());
+        let feats = FeatureExtractor::compute(&fx.m3d, &hetero);
+        let sub = backtrace(
+            &hetero,
+            &feats,
+            fsim.sim(),
+            fsim.obs(),
+            None,
+            &FailureLog::default(),
+            &BacktraceConfig::default(),
+        );
+        assert!(sub.is_empty());
+    }
+
+    #[test]
+    fn max_nodes_cap_respected() {
+        let fx = fixture();
+        let fsim = FaultSimulator::new(fx.m3d.netlist(), &fx.patterns);
+        let hetero = HeteroGraph::build(&fx.m3d, fsim.obs());
+        let feats = FeatureExtractor::compute(&fx.m3d, &hetero);
+        let f = detected(&fsim, 1)[0];
+        let log = FailureLog::uncompacted(&fsim.simulate(&[f]));
+        let sub = backtrace(
+            &hetero,
+            &feats,
+            fsim.sim(),
+            fsim.obs(),
+            None,
+            &log,
+            &BacktraceConfig {
+                max_nodes: 10,
+                ..BacktraceConfig::default()
+            },
+        );
+        assert!(sub.len() <= 10);
+    }
+
+    #[test]
+    fn compacted_backtrace_yields_larger_subgraph() {
+        let fx = fixture();
+        let chains = m3d_netlist::ScanChains::stitch(fx.m3d.netlist(), 8, 4);
+        let fsim = FaultSimulator::new(fx.m3d.netlist(), &fx.patterns);
+        let hetero = HeteroGraph::build(&fx.m3d, fsim.obs());
+        let feats = FeatureExtractor::compute(&fx.m3d, &hetero);
+        let cfg = BacktraceConfig {
+            max_nodes: 100_000,
+            ..BacktraceConfig::default()
+        };
+        let mut larger = 0usize;
+        let mut total = 0usize;
+        for f in detected(&fsim, 6) {
+            let det = fsim.simulate(&[f]);
+            let log_u = FailureLog::uncompacted(&det);
+            let log_c = FailureLog::compacted(&det, fsim.obs(), &chains);
+            if log_c.is_empty() {
+                continue;
+            }
+            let su = backtrace(&hetero, &feats, fsim.sim(), fsim.obs(), None, &log_u, &cfg);
+            let sc = backtrace(
+                &hetero,
+                &feats,
+                fsim.sim(),
+                fsim.obs(),
+                Some(&chains),
+                &log_c,
+                &cfg,
+            );
+            total += 1;
+            if sc.len() >= su.len() {
+                larger += 1;
+            }
+        }
+        assert!(
+            larger * 10 >= total * 7,
+            "compaction ambiguity should usually widen the search space ({larger}/{total})"
+        );
+    }
+
+    #[test]
+    fn subgraph_features_have_local_degrees() {
+        let fx = fixture();
+        let fsim = FaultSimulator::new(fx.m3d.netlist(), &fx.patterns);
+        let hetero = HeteroGraph::build(&fx.m3d, fsim.obs());
+        let feats = FeatureExtractor::compute(&fx.m3d, &hetero);
+        let f = detected(&fsim, 1)[0];
+        let log = FailureLog::uncompacted(&fsim.simulate(&[f]));
+        let sub = backtrace(
+            &hetero,
+            &feats,
+            fsim.sim(),
+            fsim.obs(),
+            None,
+            &log,
+            &BacktraceConfig::default(),
+        );
+        // At least one node must have nonzero local degree (the subgraph is
+        // connected around the fault's cone).
+        let any_local = (0..sub.len())
+            .any(|i| sub.x.get(i, F_FANIN_SUB) > 0.0 || sub.x.get(i, F_FANOUT_SUB) > 0.0);
+        assert!(any_local);
+    }
+}

@@ -1,0 +1,214 @@
+//! Design preparation: the data-generation flow of Fig. 4.
+//!
+//! A [`TestBench`] is a fully-prepared circuit under diagnosis: a
+//! benchmark netlist (synthesized at a corner), a design configuration
+//! (the paper's Syn-1 / TPI / Syn-2 / Par / random-partition variants),
+//! M3D partitioning with MIVs, scan stitching with an EDT-style compactor
+//! ratio, and a compacted TDF pattern set from ATPG.
+
+use m3d_netlist::{
+    generate, insert_observation_points, BenchmarkProfile, GeneratorConfig, Netlist, ScanChains,
+    SynthesisCorner, TestPointConfig,
+};
+use m3d_part::{
+    LevelDrivenPartitioner, M3dNetlist, MinCutPartitioner, Partitioner, RandomPartitioner, Tier,
+};
+use m3d_sim::{generate_patterns, AtpgConfig, PatternSet};
+
+/// The paper's design configurations (Section IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignConfig {
+    /// Baseline synthesis + min-cut partitioning (training configuration).
+    Syn1,
+    /// Syn-1 netlist with observation test points inserted (1% of gates),
+    /// patterns regenerated.
+    Tpi,
+    /// Re-synthesis at a different clock frequency (different seed, depth,
+    /// buffering), min-cut partitioning.
+    Syn2,
+    /// Syn-1 netlist partitioned with the alternative (level-driven) flow.
+    Par,
+    /// Syn-1 netlist randomly partitioned — the data-augmentation
+    /// configuration of Section IV.
+    RandomPart {
+        /// Partition shuffle seed.
+        seed: u64,
+    },
+}
+
+impl DesignConfig {
+    /// Report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DesignConfig::Syn1 => "Syn-1",
+            DesignConfig::Tpi => "TPI",
+            DesignConfig::Syn2 => "Syn-2",
+            DesignConfig::Par => "Par",
+            DesignConfig::RandomPart { .. } => "Rand",
+        }
+    }
+
+    /// The four evaluation configurations of Tables V–VIII.
+    pub const EVAL: [DesignConfig; 4] = [
+        DesignConfig::Syn1,
+        DesignConfig::Tpi,
+        DesignConfig::Syn2,
+        DesignConfig::Par,
+    ];
+}
+
+/// Test-bench construction parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestBenchConfig {
+    /// Which benchmark profile (Table III row).
+    pub profile: BenchmarkProfile,
+    /// Size as a fraction of the paper-scale design (1.0 = Table III).
+    pub scale: f64,
+    /// Design configuration.
+    pub config: DesignConfig,
+    /// Chains per compacted output channel (the paper uses 20).
+    pub compaction_ratio: usize,
+    /// ATPG settings.
+    pub atpg: AtpgConfig,
+}
+
+impl TestBenchConfig {
+    /// A laptop-scale configuration of `profile` at `config`.
+    pub fn quick(profile: BenchmarkProfile, config: DesignConfig) -> Self {
+        TestBenchConfig {
+            profile,
+            scale: 0.004,
+            config,
+            compaction_ratio: 4,
+            atpg: AtpgConfig {
+                fault_sample: Some(1_000),
+                max_rounds: 8,
+                ..AtpgConfig::default()
+            },
+        }
+    }
+}
+
+/// A prepared circuit under diagnosis.
+#[derive(Debug, Clone)]
+pub struct TestBench {
+    /// `"<profile>/<config>"` label for reports.
+    pub name: String,
+    /// The partitioned design with MIVs.
+    pub m3d: M3dNetlist,
+    /// Scan-chain stitching (and channel grouping).
+    pub chains: ScanChains,
+    /// The compacted TDF pattern set.
+    pub patterns: PatternSet,
+    /// ATPG fault coverage.
+    pub coverage: f64,
+}
+
+impl TestBench {
+    /// Builds a test bench per the Fig. 4 flow. Deterministic in `cfg`.
+    pub fn build(cfg: &TestBenchConfig) -> Self {
+        let corner = match cfg.config {
+            DesignConfig::Syn2 => SynthesisCorner::Syn2,
+            _ => SynthesisCorner::Syn1,
+        };
+        let gen_cfg: GeneratorConfig = cfg.profile.config(cfg.scale, corner);
+        let mut nl: Netlist = generate(&gen_cfg);
+        if cfg.config == DesignConfig::Tpi {
+            insert_observation_points(&mut nl, &TestPointConfig::default());
+        }
+
+        let part = match cfg.config {
+            DesignConfig::Par => LevelDrivenPartitioner.partition(&nl, 2),
+            DesignConfig::RandomPart { seed } => RandomPartitioner::new(seed).partition(&nl, 2),
+            _ => MinCutPartitioner::default().partition(&nl, 2),
+        };
+
+        // Scan matrix scaled from Table III: chain count shrinks with the
+        // square root of scale so chains stay non-trivially long.
+        let (paper_chains, _, _) = cfg.profile.paper_scan_matrix();
+        let n_flops = nl.flops().len();
+        let n_chains = ((paper_chains as f64 * cfg.scale.sqrt()) as usize)
+            .clamp(cfg.compaction_ratio.min(n_flops.max(1)), n_flops.max(1));
+        let chains = ScanChains::stitch(&nl, n_chains.max(1), cfg.compaction_ratio);
+
+        let atpg = generate_patterns(&nl, &cfg.atpg);
+        TestBench {
+            name: format!("{}/{}", cfg.profile.name(), cfg.config.name()),
+            m3d: M3dNetlist::build(nl, part),
+            chains,
+            patterns: atpg.patterns,
+            coverage: atpg.coverage,
+        }
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        self.m3d.netlist()
+    }
+
+    /// The tier of a gate (convenience).
+    pub fn tier_of(&self, g: m3d_netlist::GateId) -> Tier {
+        self.m3d.partition().tier_of(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_builds_and_covers() {
+        let tb = TestBench::build(&TestBenchConfig::quick(
+            BenchmarkProfile::AesLike,
+            DesignConfig::Syn1,
+        ));
+        assert!(tb.coverage > 0.5, "coverage {}", tb.coverage);
+        assert!(!tb.patterns.is_empty());
+        assert!(tb.m3d.miv_count() > 0);
+        assert_eq!(tb.name, "aes/Syn-1");
+    }
+
+    #[test]
+    fn configs_produce_distinct_designs() {
+        let mk = |c| TestBench::build(&TestBenchConfig::quick(BenchmarkProfile::AesLike, c));
+        let syn1 = mk(DesignConfig::Syn1);
+        let tpi = mk(DesignConfig::Tpi);
+        let syn2 = mk(DesignConfig::Syn2);
+        let par = mk(DesignConfig::Par);
+        // TPI adds observation points on the same logic.
+        assert!(!tpi.netlist().obs_points().is_empty());
+        assert_eq!(syn1.netlist().obs_points().len(), 0);
+        // Syn-2 is a different netlist.
+        assert_ne!(syn1.netlist().gate_count(), syn2.netlist().gate_count());
+        // Par shares the netlist but not the partition.
+        assert_eq!(syn1.netlist().gate_count(), par.netlist().gate_count());
+        assert_ne!(
+            syn1.m3d.partition().as_slice(),
+            par.m3d.partition().as_slice()
+        );
+    }
+
+    #[test]
+    fn random_partitions_vary_with_seed() {
+        let mk = |s| {
+            TestBench::build(&TestBenchConfig::quick(
+                BenchmarkProfile::AesLike,
+                DesignConfig::RandomPart { seed: s },
+            ))
+        };
+        let a = mk(1);
+        let b = mk(2);
+        assert_ne!(a.m3d.partition().as_slice(), b.m3d.partition().as_slice());
+        // Same netlist and patterns either way.
+        assert_eq!(a.patterns, b.patterns);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let cfg = TestBenchConfig::quick(BenchmarkProfile::TateLike, DesignConfig::Syn1);
+        let a = TestBench::build(&cfg);
+        let b = TestBench::build(&cfg);
+        assert_eq!(a.patterns, b.patterns);
+        assert_eq!(a.m3d.partition().as_slice(), b.m3d.partition().as_slice());
+    }
+}

@@ -1,0 +1,301 @@
+//! The end-to-end diagnosis framework (Fig. 1): train once, then — per
+//! failure log — run ATPG diagnosis and GNN inference side by side and
+//! fuse them with the pruning/reordering policy.
+
+use crate::backtrace::Subgraph;
+use crate::classifier::{ClassifierConfig, PruneClassifier};
+use crate::dataset::{DesignContext, Sample};
+use crate::design::TestBench;
+use crate::models::{
+    miv_training_set, tier_training_set, MivPinpointer, ModelTrainConfig, TierPredictor,
+};
+use crate::policy::{apply_policy, PolicyConfig, PolicyOutcome};
+use m3d_diagnosis::{AtpgDiagnosis, DiagnosisReport};
+use m3d_gnn::{GraphSample, PrCurve};
+use m3d_part::Tier;
+use std::time::{Duration, Instant};
+
+/// Framework training configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameworkConfig {
+    /// Model hyper-parameters.
+    pub model: ModelTrainConfig,
+    /// Classifier hyper-parameters.
+    pub classifier: ClassifierConfig,
+    /// Precision target for the `T_P` rule (paper: 0.99).
+    pub precision_target: f64,
+    /// MIV fault-probability threshold.
+    pub miv_threshold: f32,
+    /// Train and use the prune/reorder Classifier.
+    pub use_classifier: bool,
+    /// Use the Tier-predictor in the policy (Table XI ablation).
+    pub use_tier: bool,
+    /// Use the MIV-pinpointer in the policy (Table XI ablation).
+    pub use_miv: bool,
+}
+
+impl Default for FrameworkConfig {
+    fn default() -> Self {
+        FrameworkConfig {
+            model: ModelTrainConfig::default(),
+            classifier: ClassifierConfig::default(),
+            precision_target: 0.99,
+            miv_threshold: 0.8,
+            use_classifier: true,
+            use_tier: true,
+            use_miv: true,
+        }
+    }
+}
+
+/// Pooled training data, possibly drawn from several design
+/// configurations (the transferability recipe: Syn-1 plus randomly
+/// partitioned netlists).
+#[derive(Debug, Default)]
+pub struct TrainingSet {
+    /// Graph-level tier samples.
+    pub tier_samples: Vec<GraphSample>,
+    /// Node-level MIV samples.
+    pub miv_samples: Vec<GraphSample>,
+    /// `(subgraph, true tier)` pairs for Classifier training.
+    pub labelled_subgraphs: Vec<(Subgraph, usize)>,
+}
+
+impl TrainingSet {
+    /// An empty training set.
+    pub fn new() -> Self {
+        TrainingSet::default()
+    }
+
+    /// Adds every usable sample of a bench.
+    pub fn add(&mut self, bench: &TestBench, samples: &[Sample]) {
+        self.tier_samples.extend(tier_training_set(bench, samples));
+        self.miv_samples.extend(miv_training_set(samples));
+        for s in samples {
+            if let Some(tier) = s.fault.tier(bench) {
+                if !s.subgraph.is_empty() {
+                    self.labelled_subgraphs
+                        .push((s.subgraph.clone(), tier.index()));
+                }
+            }
+        }
+    }
+}
+
+/// Per-case output of the framework.
+#[derive(Debug, Clone)]
+pub struct FrameworkResult {
+    /// The raw ATPG diagnosis report.
+    pub atpg_report: DiagnosisReport,
+    /// The policy outcome (final report, prunes, action).
+    pub outcome: PolicyOutcome,
+    /// Wall time of the ATPG diagnosis stage.
+    pub t_atpg: Duration,
+    /// Wall time of GNN inference (back-trace inputs assumed ready).
+    pub t_gnn: Duration,
+    /// Wall time of the pruning/reordering update.
+    pub t_update: Duration,
+}
+
+/// The trained framework.
+#[derive(Debug)]
+pub struct Framework {
+    tier: TierPredictor,
+    miv: Option<MivPinpointer>,
+    classifier: Option<PruneClassifier>,
+    policy: PolicyConfig,
+    use_tier: bool,
+    use_miv: bool,
+}
+
+impl Framework {
+    /// Trains Tier-predictor, MIV-pinpointer, derives `T_P` from the
+    /// training PR curve, and (optionally) trains the Classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ts.tier_samples` is empty.
+    pub fn train(ts: &TrainingSet, cfg: &FrameworkConfig) -> Self {
+        let tier = TierPredictor::train(&ts.tier_samples, &cfg.model);
+        let curve = PrCurve::from_samples(&tier.confidence_scores(&ts.tier_samples));
+        let t_p = curve
+            .min_threshold_for_precision(cfg.precision_target)
+            .unwrap_or(1.0);
+        let miv = (!ts.miv_samples.is_empty() && cfg.use_miv)
+            .then(|| MivPinpointer::train(&ts.miv_samples, &cfg.model));
+        let classifier = cfg
+            .use_classifier
+            .then(|| {
+                PruneClassifier::train(&tier, &ts.labelled_subgraphs, t_p, &cfg.classifier)
+            })
+            .flatten();
+        Framework {
+            tier,
+            miv,
+            classifier,
+            policy: PolicyConfig {
+                t_p,
+                miv_threshold: cfg.miv_threshold,
+                tier_enabled: cfg.use_tier,
+            },
+            use_tier: cfg.use_tier,
+            use_miv: cfg.use_miv,
+        }
+    }
+
+    /// The derived confidence threshold `T_P`.
+    pub fn t_p(&self) -> f32 {
+        self.policy.t_p
+    }
+
+    /// The trained Tier-predictor.
+    pub fn tier_predictor(&self) -> &TierPredictor {
+        &self.tier
+    }
+
+    /// The trained MIV-pinpointer, if any.
+    pub fn miv_pinpointer(&self) -> Option<&MivPinpointer> {
+        self.miv.as_ref()
+    }
+
+    /// Predicts the faulty tier of a subgraph: `(tier, confidence)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subgraph is empty.
+    pub fn predict_tier(&self, sub: &Subgraph) -> (Tier, f32) {
+        let p = self.tier.predict(sub);
+        let t = usize::from(p[1] > p[0]);
+        (Tier(t as u8), p[t])
+    }
+
+    /// Runs the full per-chip flow: ATPG diagnosis, GNN inference, and the
+    /// policy update.
+    pub fn process_case(
+        &self,
+        ctx: &DesignContext<'_>,
+        diag: &AtpgDiagnosis<'_, '_>,
+        sample: &Sample,
+    ) -> FrameworkResult {
+        let t0 = Instant::now();
+        let atpg_report = diag.diagnose(&sample.log);
+        let t_atpg = t0.elapsed();
+
+        let t1 = Instant::now();
+        let tier_probs = if self.use_tier && !sample.subgraph.is_empty() {
+            self.tier.predict(&sample.subgraph)
+        } else {
+            [0.5, 0.5] // never clears T_P; policy degrades to reorder
+        };
+        let miv_probs = if self.use_miv {
+            self.miv
+                .as_ref()
+                .map(|m| m.predict(&sample.subgraph))
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        let t_gnn = t1.elapsed();
+
+        let t2 = Instant::now();
+        let outcome = apply_policy(
+            &atpg_report,
+            &ctx.bench.m3d,
+            &tier_probs,
+            &miv_probs,
+            self.classifier.as_ref(),
+            &sample.subgraph,
+            &self.policy,
+        );
+        let t_update = t2.elapsed();
+
+        FrameworkResult {
+            atpg_report,
+            outcome,
+            t_atpg,
+            t_gnn,
+            t_update,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate_samples, DatasetConfig};
+    use crate::design::{DesignConfig, TestBenchConfig};
+    use m3d_diagnosis::DiagnosisConfig;
+    use m3d_netlist::BenchmarkProfile;
+
+    fn quick() -> TestBench {
+        TestBench::build(&TestBenchConfig {
+            scale: 0.002,
+            ..TestBenchConfig::quick(BenchmarkProfile::AesLike, DesignConfig::Syn1)
+        })
+    }
+
+    #[test]
+    fn framework_end_to_end_single_fault() {
+        let tb = quick();
+        let ctx = DesignContext::new(&tb);
+        let train = generate_samples(
+            &ctx,
+            &DatasetConfig {
+                miv_fraction: 0.2,
+                ..DatasetConfig::single(50, 3)
+            },
+        );
+        let test = generate_samples(&ctx, &DatasetConfig::single(12, 77));
+        let mut ts = TrainingSet::new();
+        ts.add(&tb, &train);
+        let fw = Framework::train(&ts, &FrameworkConfig::default());
+        assert!(fw.t_p() > 0.0 && fw.t_p() <= 1.0);
+
+        let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
+        let mut atpg_hits = 0;
+        let mut fw_hits = 0;
+        for s in &test {
+            let r = fw.process_case(&ctx, &diag, s);
+            atpg_hits += usize::from(r.atpg_report.hits_any(&s.truth));
+            fw_hits += usize::from(r.outcome.report.hits_any(&s.truth));
+            // Union of report + backup preserves everything.
+            assert_eq!(
+                r.outcome.report.resolution() + r.outcome.pruned.len(),
+                r.atpg_report.resolution()
+            );
+        }
+        // Accuracy loss bounded (paper: < 1%; we allow a small-sample
+        // slack of 2 cases out of 12).
+        assert!(
+            atpg_hits - fw_hits <= 2,
+            "framework lost too much accuracy ({fw_hits}/{atpg_hits})"
+        );
+    }
+
+    #[test]
+    fn ablated_framework_never_prunes_without_tier() {
+        let tb = quick();
+        let ctx = DesignContext::new(&tb);
+        let train = generate_samples(&ctx, &DatasetConfig::single(30, 5));
+        let test = generate_samples(&ctx, &DatasetConfig::single(6, 91));
+        let mut ts = TrainingSet::new();
+        ts.add(&tb, &train);
+        let fw = Framework::train(
+            &ts,
+            &FrameworkConfig {
+                use_tier: false,
+                use_classifier: false,
+                ..FrameworkConfig::default()
+            },
+        );
+        let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
+        for s in &test {
+            let r = fw.process_case(&ctx, &diag, s);
+            assert!(r.outcome.pruned.is_empty(), "tier-less mode cannot prune");
+            assert_eq!(
+                r.outcome.report.resolution(),
+                r.atpg_report.resolution()
+            );
+        }
+    }
+}

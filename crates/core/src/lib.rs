@@ -1,0 +1,95 @@
+//! # m3d-fault-loc
+//!
+//! Transferable GNN-based delay-fault localization for monolithic 3D ICs —
+//! a from-scratch reproduction of the DATE 2022 / TCAD 2023 framework by
+//! Hung et al.
+//!
+//! The crate implements the paper's contribution end to end:
+//!
+//! - the **heterogeneous graph** of the circuit under diagnosis (pins +
+//!   MIVs at the circuit level; Topnodes/Topedges at the top level),
+//! - **back-tracing** of tester failure logs into subgraphs (Fig. 3),
+//! - the **Tier-predictor** and **MIV-pinpointer** GCNs (Section III-C),
+//! - **dummy-buffer oversampling** and the transfer-learned **Classifier**
+//!   (Section V-C),
+//! - the **candidate pruning & reordering policy** with its PR-curve
+//!   threshold `T_P` and backup dictionary (Section V),
+//! - dataset generation across **design configurations**
+//!   (Syn-1 / TPI / Syn-2 / Par / random partitions, Section IV), and
+//! - the end-to-end [`Framework`] (Fig. 1).
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use m3d_fault_loc::{
+//!     generate_samples, DatasetConfig, DesignConfig, DesignContext, Framework,
+//!     FrameworkConfig, TestBench, TestBenchConfig, TrainingSet,
+//! };
+//! use m3d_diagnosis::{AtpgDiagnosis, DiagnosisConfig};
+//! use m3d_netlist::BenchmarkProfile;
+//!
+//! // Prepare a (scaled) AES-like M3D design and its diagnosis context.
+//! let bench = TestBench::build(&TestBenchConfig::quick(
+//!     BenchmarkProfile::AesLike,
+//!     DesignConfig::Syn1,
+//! ));
+//! let ctx = DesignContext::new(&bench);
+//!
+//! // Generate labelled failure-log samples, train, and diagnose.
+//! let train = generate_samples(&ctx, &DatasetConfig::single(200, 1));
+//! let mut ts = TrainingSet::new();
+//! ts.add(&bench, &train);
+//! let framework = Framework::train(&ts, &FrameworkConfig::default());
+//!
+//! let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
+//! let test = generate_samples(&ctx, &DatasetConfig::single(10, 2));
+//! for sample in &test {
+//!     let result = framework.process_case(&ctx, &diag, sample);
+//!     println!(
+//!         "tier={} conf={:.2} resolution {} -> {}",
+//!         result.outcome.predicted_tier,
+//!         result.outcome.confidence,
+//!         result.atpg_report.resolution(),
+//!         result.outcome.report.resolution(),
+//!     );
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod backtrace;
+mod classifier;
+mod dataset;
+mod design;
+mod features;
+mod framework;
+mod hetero;
+mod metrics;
+mod models;
+mod oversample;
+mod policy;
+
+pub use backtrace::{backtrace, build_subgraph, BacktraceConfig, Subgraph};
+pub use classifier::{ClassifierConfig, PruneClassifier, CLASS_PRUNE, CLASS_REORDER};
+pub use dataset::{
+    generate_samples, DatasetConfig, DesignContext, InjectedFault, Sample,
+};
+pub use design::{DesignConfig, TestBench, TestBenchConfig};
+pub use features::{
+    feature_names, local_degree_feature, FeatureExtractor, F_DTOP_MEAN, F_DTOP_STD,
+    F_FANIN_CIRCUIT, F_FANIN_SUB, F_FANOUT_CIRCUIT, F_FANOUT_SUB, F_LOC, F_LVL, F_MIV,
+    F_NMIV_MEAN, F_NMIV_STD, F_N_TOP, F_OUT, N_FEATURES,
+};
+pub use framework::{Framework, FrameworkConfig, FrameworkResult, TrainingSet};
+pub use hetero::{HeteroGraph, HNodeId, HNodeKind, TopEdge, TopNode};
+pub use metrics::{
+    improvement_pct, pfa_time_saved, single_tier_of, TierLocalization,
+};
+pub use models::{
+    miv_training_set, tier_training_set, MivPinpointer, ModelTrainConfig, TierPredictor,
+};
+pub use oversample::{balance_with_buffers, with_dummy_buffers};
+pub use policy::{
+    apply_policy, BackupDictionary, PolicyAction, PolicyConfig, PolicyOutcome,
+};

@@ -1,0 +1,172 @@
+//! Evaluation helpers for the paper's experiment tables: tier-level
+//! localization percentages, improvement deltas, and the PFA-time model of
+//! Fig. 10.
+
+use m3d_diagnosis::DiagnosisReport;
+use m3d_part::{M3dNetlist, Tier};
+
+/// If every candidate of `report` sits in one tier, returns that tier.
+/// MIV-equivalent candidates (sites on tier-crossing nets) are counted in
+/// their gate's tier, matching how an engineer reads the report.
+pub fn single_tier_of(report: &DiagnosisReport, m3d: &M3dNetlist) -> Option<Tier> {
+    let mut tier: Option<Tier> = None;
+    for c in report.candidates() {
+        let t = m3d.tier_of_site(c.fault.site);
+        match tier {
+            None => tier = Some(t),
+            Some(prev) if prev != t => return None,
+            _ => {}
+        }
+    }
+    tier
+}
+
+/// Accumulates the paper's tier-localization percentage.
+///
+/// Per Section VI-A: reports already localized by ATPG (all candidates in
+/// one tier) are excluded; among the rest, a case counts as localized when
+/// the method names the ground-truth faulty tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierLocalization {
+    /// Cases considered (ATPG report spanned both tiers).
+    pub counted: usize,
+    /// Cases where the method localized the faulty tier.
+    pub localized: usize,
+}
+
+impl TierLocalization {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        TierLocalization::default()
+    }
+
+    /// Adds one case. `atpg_single_tier` excludes the case;
+    /// `named_tier` is the tier the method points at (`None` = failed to
+    /// localize); `truth` the ground-truth faulty tier.
+    pub fn add(&mut self, atpg_single_tier: bool, named_tier: Option<Tier>, truth: Tier) {
+        if atpg_single_tier {
+            return;
+        }
+        self.counted += 1;
+        if named_tier == Some(truth) {
+            self.localized += 1;
+        }
+    }
+
+    /// The localization percentage (0–100), or `None` when no case counted.
+    pub fn percentage(&self) -> Option<f64> {
+        (self.counted > 0).then(|| 100.0 * self.localized as f64 / self.counted as f64)
+    }
+}
+
+/// Relative improvement of `new` over `base` in percent, where smaller is
+/// better (resolution, FHI): `(base - new) / base × 100`.
+pub fn improvement_pct(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        return 0.0;
+    }
+    100.0 * (base - new) / base
+}
+
+/// The Fig. 10 PFA-time model: total time to reach the ground truth is the
+/// diagnosis runtime plus `FHI × x` seconds of physical failure analysis.
+///
+/// Returns `T_diff = T_total(ATPG) − T_total(proposed)` in seconds for a
+/// per-candidate PFA cost of `x` seconds.
+#[allow(clippy::too_many_arguments)]
+pub fn pfa_time_saved(
+    t_atpg_secs: f64,
+    t_gnn_secs: f64,
+    t_update_secs: f64,
+    fhi_atpg: f64,
+    fhi_updated: f64,
+    x: f64,
+) -> f64 {
+    let total_atpg = t_atpg_secs + fhi_atpg * x;
+    let total_framework = t_atpg_secs.max(t_gnn_secs) + t_update_secs + fhi_updated * x;
+    total_atpg - total_framework
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_diagnosis::Candidate;
+    use m3d_netlist::{generate, GeneratorConfig, PinRef};
+    use m3d_part::{MinCutPartitioner, Partitioner};
+    use m3d_sim::{Polarity, Tdf};
+
+    fn m3d() -> M3dNetlist {
+        let nl = generate(&GeneratorConfig {
+            n_comb_gates: 100,
+            n_flops: 10,
+            n_inputs: 8,
+            n_outputs: 4,
+            target_depth: 5,
+            ..GeneratorConfig::default()
+        });
+        let part = MinCutPartitioner::default().partition(&nl, 2);
+        M3dNetlist::build(nl, part)
+    }
+
+    fn cand(site: PinRef) -> Candidate {
+        Candidate {
+            fault: Tdf::new(site, Polarity::SlowToRise),
+            tfsf: 1,
+            tfsp: 0,
+            tpsf: 0,
+        }
+    }
+
+    #[test]
+    fn single_tier_detection() {
+        let m = m3d();
+        let mut top = Vec::new();
+        let mut any_bottom = None;
+        for pin in m.netlist().fault_sites() {
+            if m.tier_of_site(pin) == Tier::TOP && top.len() < 2 {
+                top.push(cand(pin));
+            } else if m.tier_of_site(pin) == Tier::BOTTOM && any_bottom.is_none() {
+                any_bottom = Some(cand(pin));
+            }
+        }
+        let pure = DiagnosisReport::new(top.clone());
+        assert_eq!(single_tier_of(&pure, &m), Some(Tier::TOP));
+        let mut mixed = top;
+        mixed.push(any_bottom.unwrap());
+        assert_eq!(single_tier_of(&DiagnosisReport::new(mixed), &m), None);
+        assert_eq!(single_tier_of(&DiagnosisReport::default(), &m), None);
+    }
+
+    #[test]
+    fn tier_localization_excludes_pre_localized() {
+        let mut tl = TierLocalization::new();
+        tl.add(true, Some(Tier::TOP), Tier::TOP); // excluded
+        tl.add(false, Some(Tier::TOP), Tier::TOP); // hit
+        tl.add(false, Some(Tier::BOTTOM), Tier::TOP); // miss
+        tl.add(false, None, Tier::TOP); // miss
+        assert_eq!(tl.counted, 3);
+        assert_eq!(tl.localized, 1);
+        assert!((tl.percentage().unwrap() - 33.333).abs() < 0.01);
+        assert_eq!(TierLocalization::new().percentage(), None);
+    }
+
+    #[test]
+    fn improvement_sign_convention() {
+        assert!((improvement_pct(10.0, 5.0) - 50.0).abs() < 1e-9);
+        assert!(improvement_pct(10.0, 12.0) < 0.0);
+        assert_eq!(improvement_pct(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn pfa_time_grows_with_x() {
+        // FHI improves from 10 to 6; GNN runs in the ATPG shadow.
+        let at_x1 = pfa_time_saved(100.0, 20.0, 1.0, 10.0, 6.0, 1.0);
+        let at_x10 = pfa_time_saved(100.0, 20.0, 1.0, 10.0, 6.0, 10.0);
+        assert!(at_x10 > at_x1);
+        // Slope is the FHI delta.
+        assert!(((at_x10 - at_x1) / 9.0 - 4.0).abs() < 1e-9);
+        // At x = 0 only the update overhead remains.
+        let at_x0 = pfa_time_saved(100.0, 20.0, 1.0, 10.0, 6.0, 0.0);
+        assert!((at_x0 + 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,379 @@
+//! The paper's two diagnosis networks: *Tier-predictor* (graph-level) and
+//! *MIV-pinpointer* (node-level), Section III-C.
+
+use crate::backtrace::Subgraph;
+use crate::dataset::Sample;
+use crate::design::TestBench;
+use crate::features::N_FEATURES;
+use m3d_gnn::{GcnConfig, GcnModel, GraphSample, ScoredSample, Task, TrainConfig};
+use m3d_part::MivId;
+
+/// Training hyper-parameters shared by both models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelTrainConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Weight-init / shuffle seed.
+    pub seed: u64,
+    /// GCN hidden widths.
+    pub hidden: Vec<usize>,
+    /// Independent restarts; the run with the best training accuracy wins
+    /// (single-sample Adam on small graph datasets is seed-sensitive).
+    pub restarts: usize,
+}
+
+impl Default for ModelTrainConfig {
+    fn default() -> Self {
+        ModelTrainConfig {
+            epochs: 30,
+            seed: 0xD1A6,
+            hidden: vec![64, 32],
+            restarts: 3,
+        }
+    }
+}
+
+fn best_of_restarts(
+    samples: &[GraphSample],
+    cfg: &ModelTrainConfig,
+    task: Task,
+    n_classes: usize,
+    class_weights: Option<Vec<f32>>,
+) -> GcnModel {
+    let mut best: Option<(f64, GcnModel)> = None;
+    for r in 0..cfg.restarts.max(1) {
+        let seed = cfg.seed.wrapping_add(0x9E37 * r as u64);
+        let mut model = GcnModel::new(&GcnConfig {
+            input_dim: N_FEATURES,
+            hidden: cfg.hidden.clone(),
+            head_hidden: None,
+            n_classes,
+            task,
+            seed,
+        });
+        model.train(
+            samples,
+            &TrainConfig {
+                epochs: cfg.epochs,
+                seed: seed ^ 0xA5A5,
+                class_weights: class_weights.clone(),
+                ..TrainConfig::default()
+            },
+        );
+        let acc = match &class_weights {
+            Some(w) => weighted_accuracy(&model, samples, w),
+            None => model.accuracy(samples),
+        };
+        if best.as_ref().is_none_or(|(b, _)| acc > *b) {
+            best = Some((acc, model));
+        }
+    }
+    best.expect("restarts >= 1").1
+}
+
+/// Class-weight-adjusted accuracy, so restart selection cannot favour a
+/// majority-class collapse.
+fn weighted_accuracy(model: &GcnModel, samples: &[GraphSample], weights: &[f32]) -> f64 {
+    let mut correct = 0f64;
+    let mut total = 0f64;
+    for s in samples {
+        let logits = model.logits(&s.adj, &s.x);
+        for &(r, c) in &s.targets {
+            let w = f64::from(weights.get(c).copied().unwrap_or(1.0));
+            total += w;
+            if m3d_gnn::argmax(logits.row(r)) == c {
+                correct += w;
+            }
+        }
+    }
+    correct / total.max(1e-12)
+}
+
+/// Converts samples to Tier-predictor [`GraphSample`]s (skipping MIV
+/// defects and empty subgraphs).
+pub fn tier_training_set(bench: &TestBench, samples: &[Sample]) -> Vec<GraphSample> {
+    samples.iter().filter_map(|s| s.tier_sample(bench)).collect()
+}
+
+/// Converts samples to MIV-pinpointer [`GraphSample`]s (skipping
+/// subgraphs without MIV nodes).
+pub fn miv_training_set(samples: &[Sample]) -> Vec<GraphSample> {
+    samples.iter().filter_map(Sample::miv_sample).collect()
+}
+
+/// The graph-level faulty-tier classifier.
+#[derive(Debug)]
+pub struct TierPredictor {
+    model: GcnModel,
+}
+
+impl TierPredictor {
+    /// Trains on graph-level samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn train(samples: &[GraphSample], cfg: &ModelTrainConfig) -> Self {
+        Self::train_multi(samples, 2, cfg)
+    }
+
+    /// Trains an `n_tiers`-way tier classifier (the paper's stated
+    /// extension: "the dimension of the graph representation vector
+    /// \[extends\] to the number of tiers in the CUDs").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty, `n_tiers < 2`, or a label is out of
+    /// range.
+    pub fn train_multi(samples: &[GraphSample], n_tiers: usize, cfg: &ModelTrainConfig) -> Self {
+        assert!(!samples.is_empty(), "need training samples");
+        assert!(n_tiers >= 2, "need at least two tiers");
+        // Balanced class weights: tier labels skew toward the bottom tier
+        // (I/O ports are pinned there), and unweighted training can
+        // collapse to the majority class on weak-signal datasets.
+        let mut counts = vec![0f32; n_tiers];
+        for s in samples {
+            assert!(s.targets[0].1 < n_tiers, "tier label out of range");
+            counts[s.targets[0].1] += 1.0;
+        }
+        let total: f32 = counts.iter().sum();
+        let k = n_tiers as f32;
+        let weights: Vec<f32> = counts
+            .iter()
+            .map(|&c| if c > 0.0 { total / (k * c) } else { 1.0 })
+            .collect();
+        let model = best_of_restarts(samples, cfg, Task::Graph, n_tiers, Some(weights));
+        TierPredictor { model }
+    }
+
+    /// Number of tiers the model classifies.
+    pub fn n_tiers(&self) -> usize {
+        self.model.n_classes()
+    }
+
+    /// Per-tier probabilities for a subgraph (length [`Self::n_tiers`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subgraph is empty.
+    pub fn predict_probs(&self, sub: &Subgraph) -> Vec<f32> {
+        assert!(!sub.is_empty(), "cannot predict on an empty subgraph");
+        self.model.predict_graph(&sub.adj, &sub.x)
+    }
+
+    /// Serializes the trained model to the `m3d-gnn-model v1` text format.
+    pub fn save_text(&self) -> String {
+        self.model.save_text()
+    }
+
+    /// Loads a model saved by [`TierPredictor::save_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`m3d_gnn::LoadModelError`] for malformed input or a
+    /// node-level model.
+    pub fn load_text(text: &str) -> Result<Self, m3d_gnn::LoadModelError> {
+        let model = GcnModel::load_text(text)?;
+        if model.task() != Task::Graph {
+            return Err(m3d_gnn::LoadModelError::custom(
+                "tier predictors are graph-level models",
+            ));
+        }
+        Ok(TierPredictor { model })
+    }
+
+    /// The graph representation `[p_bottom, p_top]` for a subgraph (class
+    /// index = tier index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subgraph is empty.
+    pub fn predict(&self, sub: &Subgraph) -> [f32; 2] {
+        assert!(!sub.is_empty(), "cannot predict on an empty subgraph");
+        let p = self.model.predict_graph(&sub.adj, &sub.x);
+        [p[0], p[1]]
+    }
+
+    /// Accuracy over graph-level samples.
+    pub fn accuracy(&self, samples: &[GraphSample]) -> f64 {
+        self.model.accuracy(samples)
+    }
+
+    /// Confidence scores for PR-curve threshold derivation: the maximum
+    /// class probability paired with prediction correctness.
+    pub fn confidence_scores(&self, samples: &[GraphSample]) -> Vec<ScoredSample> {
+        samples
+            .iter()
+            .map(|s| {
+                let p = self.model.predict_graph(&s.adj, &s.x);
+                let pred = usize::from(p[1] > p[0]);
+                ScoredSample {
+                    score: p[pred],
+                    correct: pred == s.targets[0].1,
+                }
+            })
+            .collect()
+    }
+
+    /// The underlying model (transfer-learning source for the Classifier).
+    pub fn model(&self) -> &GcnModel {
+        &self.model
+    }
+}
+
+/// The node-level defective-via classifier.
+#[derive(Debug)]
+pub struct MivPinpointer {
+    model: GcnModel,
+}
+
+impl MivPinpointer {
+    /// Trains on node-level samples; class weights are derived from the
+    /// label histogram (faulty vias are rare).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn train(samples: &[GraphSample], cfg: &ModelTrainConfig) -> Self {
+        assert!(!samples.is_empty(), "need training samples");
+        let mut pos = 0f32;
+        let mut neg = 0f32;
+        for s in samples {
+            for &(_, c) in &s.targets {
+                if c == 1 {
+                    pos += 1.0;
+                } else {
+                    neg += 1.0;
+                }
+            }
+        }
+        let w_pos = if pos > 0.0 { (neg / pos).clamp(1.0, 10.0) } else { 1.0 };
+        let model = best_of_restarts(samples, cfg, Task::Node, 2, Some(vec![1.0, w_pos]));
+        MivPinpointer { model }
+    }
+
+    /// Serializes the trained model to the `m3d-gnn-model v1` text format.
+    pub fn save_text(&self) -> String {
+        self.model.save_text()
+    }
+
+    /// Loads a model saved by [`MivPinpointer::save_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`m3d_gnn::LoadModelError`] for malformed input.
+    pub fn load_text(text: &str) -> Result<Self, m3d_gnn::LoadModelError> {
+        let model = GcnModel::load_text(text)?;
+        if model.task() != Task::Node {
+            return Err(m3d_gnn::LoadModelError::custom(
+                "MIV pinpointers are node-level models",
+            ));
+        }
+        Ok(MivPinpointer { model })
+    }
+
+    /// Per-via fault probabilities for the subgraph's MIV nodes.
+    pub fn predict(&self, sub: &Subgraph) -> Vec<(MivId, f32)> {
+        if sub.is_empty() || sub.miv_rows.is_empty() {
+            return Vec::new();
+        }
+        let probs = self.model.predict_nodes(&sub.adj, &sub.x);
+        sub.miv_rows
+            .iter()
+            .map(|&(row, miv)| (miv, probs.get(row, 1)))
+            .collect()
+    }
+
+    /// Accuracy over node-level samples.
+    pub fn accuracy(&self, samples: &[GraphSample]) -> f64 {
+        self.model.accuracy(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate_samples, DatasetConfig, DesignContext};
+    use crate::design::{DesignConfig, TestBenchConfig};
+    use m3d_netlist::BenchmarkProfile;
+
+    fn quick_bench() -> TestBench {
+        TestBench::build(&TestBenchConfig {
+            scale: 0.002,
+            ..TestBenchConfig::quick(BenchmarkProfile::AesLike, DesignConfig::Syn1)
+        })
+    }
+
+    #[test]
+    fn tier_predictor_learns_tier() {
+        let tb = quick_bench();
+        let ctx = DesignContext::new(&tb);
+        let train = generate_samples(&ctx, &DatasetConfig::single(60, 5));
+        let test = generate_samples(&ctx, &DatasetConfig::single(20, 99));
+        let tset = tier_training_set(&tb, &train);
+        let predictor = TierPredictor::train(&tset, &ModelTrainConfig::default());
+        let train_acc = predictor.accuracy(&tset);
+        // ~78–85% at this micro scale; the paper reports "up to 90%" at
+        // full scale, which the 0.004-scale probe reproduces.
+        assert!(train_acc > 0.7, "train accuracy {train_acc}");
+        let test_set = tier_training_set(&tb, &test);
+        let test_acc = predictor.accuracy(&test_set);
+        assert!(test_acc > 0.7, "test accuracy {test_acc}");
+        // Probabilities are a distribution.
+        let p = predictor.predict(&test[0].subgraph);
+        assert!((p[0] + p[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confidence_scores_align_with_accuracy() {
+        let tb = quick_bench();
+        let ctx = DesignContext::new(&tb);
+        let train = generate_samples(&ctx, &DatasetConfig::single(40, 7));
+        let tset = tier_training_set(&tb, &train);
+        let predictor = TierPredictor::train(&tset, &ModelTrainConfig::default());
+        let scores = predictor.confidence_scores(&tset);
+        let frac_correct =
+            scores.iter().filter(|s| s.correct).count() as f64 / scores.len() as f64;
+        assert!((frac_correct - predictor.accuracy(&tset)).abs() < 1e-9);
+        assert!(scores.iter().all(|s| s.score >= 0.5 - 1e-6));
+    }
+
+    #[test]
+    fn miv_pinpointer_flags_faulty_vias() {
+        let tb = quick_bench();
+        let ctx = DesignContext::new(&tb);
+        let cfg = DatasetConfig {
+            miv_fraction: 0.5,
+            ..DatasetConfig::single(60, 11)
+        };
+        let train = generate_samples(&ctx, &cfg);
+        let mset = miv_training_set(&train);
+        assert!(!mset.is_empty());
+        let pin = MivPinpointer::train(&mset, &ModelTrainConfig::default());
+        // Class-weighted training trades raw node accuracy for minority
+        // recall, so assert ranking quality instead: faulty vias must score
+        // above healthy ones on average.
+        let mut faulty_p = Vec::new();
+        let mut healthy_p = Vec::new();
+        for s in &train {
+            let faulty = s.fault.faulty_mivs();
+            for (miv, p) in pin.predict(&s.subgraph) {
+                assert!((0.0..=1.0).contains(&p));
+                if faulty.contains(&miv) {
+                    faulty_p.push(f64::from(p));
+                } else {
+                    healthy_p.push(f64::from(p));
+                }
+            }
+        }
+        assert!(!faulty_p.is_empty() && !healthy_p.is_empty());
+        let mf = faulty_p.iter().sum::<f64>() / faulty_p.len() as f64;
+        let mh = healthy_p.iter().sum::<f64>() / healthy_p.len() as f64;
+        assert!(mf > mh, "faulty vias must rank above healthy ({mf:.3} vs {mh:.3})");
+        // Predictions cover exactly the MIV rows.
+        for s in train.iter().take(5) {
+            let preds = pin.predict(&s.subgraph);
+            assert_eq!(preds.len(), s.subgraph.miv_rows.len());
+        }
+    }
+}

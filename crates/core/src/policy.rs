@@ -1,0 +1,375 @@
+//! The candidate pruning & reordering policy (Section V, Figs. 7–8).
+//!
+//! Given an ATPG diagnosis report and the GNN predictions:
+//!
+//! 1. candidates equivalent to MIVs the MIV-pinpointer flags move to the
+//!    top (and become unprunable);
+//! 2. if the Tier-predictor's confidence is below `T_P`, the remaining
+//!    candidates are *reordered* — predicted-faulty-tier candidates first;
+//! 3. otherwise the Classifier decides: *prune* removes fault-free-tier
+//!    candidates into the backup dictionary, *reorder* as above.
+//!
+//! A [`BackupDictionary`] records every pruned candidate so an engineer
+//! can recover the full ATPG list when PFA comes up empty — guaranteeing
+//! the framework never does worse than ATPG accuracy in practice.
+
+use crate::backtrace::Subgraph;
+use crate::classifier::PruneClassifier;
+use m3d_diagnosis::{Candidate, DiagnosisReport};
+use m3d_part::{M3dNetlist, MivId, Tier};
+use std::collections::HashMap;
+
+/// Policy tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyConfig {
+    /// Confidence threshold `T_P` from the training PR curve.
+    pub t_p: f32,
+    /// MIV-pinpointer probability above which a via counts as faulty.
+    pub miv_threshold: f32,
+    /// Whether tier-based reordering/pruning is active (disabled in the
+    /// MIV-pinpointer-standalone ablation of Table XI).
+    pub tier_enabled: bool,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            t_p: 0.9,
+            miv_threshold: 0.5,
+            tier_enabled: true,
+        }
+    }
+}
+
+/// What the policy did to a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyAction {
+    /// Low confidence: candidates reordered toward the predicted tier.
+    Reordered,
+    /// High confidence and Classifier approval: fault-free-tier candidates
+    /// pruned.
+    Pruned,
+}
+
+/// The policy's result for one failure log.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    /// The updated report.
+    pub report: DiagnosisReport,
+    /// Candidates removed by pruning (backup-dictionary payload).
+    pub pruned: Vec<Candidate>,
+    /// Which branch of Fig. 7 executed.
+    pub action: PolicyAction,
+    /// The predicted faulty tier.
+    pub predicted_tier: Tier,
+    /// The Tier-predictor's confidence `max(p_top, p_bottom)`.
+    pub confidence: f32,
+    /// Vias the MIV-pinpointer flagged as faulty.
+    pub faulty_mivs: Vec<MivId>,
+}
+
+/// Applies the pruning/reordering policy to one report.
+///
+/// `tier_probs` is the Tier-predictor output, one probability per tier
+/// (two-tier designs pass `&[p_bottom, p_top]`); `miv_probs` the
+/// MIV-pinpointer output; `classifier` the optional prune/reorder
+/// Classifier (standalone Tier-predictor mode — Table XI — passes `None`
+/// and prunes whenever confidence clears `T_P`).
+///
+/// # Panics
+///
+/// Panics if `tier_probs` is empty.
+pub fn apply_policy(
+    report: &DiagnosisReport,
+    m3d: &M3dNetlist,
+    tier_probs: &[f32],
+    miv_probs: &[(MivId, f32)],
+    classifier: Option<&PruneClassifier>,
+    subgraph: &Subgraph,
+    cfg: &PolicyConfig,
+) -> PolicyOutcome {
+    let faulty_mivs: Vec<MivId> = miv_probs
+        .iter()
+        .filter(|&&(_, p)| p >= cfg.miv_threshold)
+        .map(|&(m, _)| m)
+        .collect();
+
+    let is_miv_equiv = |c: &Candidate| -> bool {
+        m3d.site_mivs(c.fault.site)
+            .iter()
+            .any(|m| faulty_mivs.contains(m))
+    };
+
+    assert!(!tier_probs.is_empty(), "need at least one tier probability");
+    let predicted = tier_probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let confidence = tier_probs[predicted];
+    let predicted_tier = Tier(predicted as u8);
+
+    // MIV-equivalent candidates lead the report and are pruning-exempt.
+    let mut miv_block: Vec<Candidate> = Vec::new();
+    let mut rest: Vec<Candidate> = Vec::new();
+    for c in report.candidates() {
+        if is_miv_equiv(c) {
+            miv_block.push(*c);
+        } else {
+            rest.push(*c);
+        }
+    }
+
+    let prune = cfg.tier_enabled
+        && confidence >= cfg.t_p
+        && classifier.is_none_or(|clf| clf.should_prune(subgraph).0);
+
+    let mut pruned = Vec::new();
+    let ordered_rest: Vec<Candidate> = if !cfg.tier_enabled {
+        rest
+    } else if prune {
+        let (keep, cut): (Vec<Candidate>, Vec<Candidate>) = rest
+            .into_iter()
+            .partition(|c| m3d.tier_of_site(c.fault.site) == predicted_tier);
+        pruned = cut;
+        keep
+    } else {
+        // Stable reorder: predicted tier first.
+        let (front, back): (Vec<Candidate>, Vec<Candidate>) = rest
+            .into_iter()
+            .partition(|c| m3d.tier_of_site(c.fault.site) == predicted_tier);
+        front.into_iter().chain(back).collect()
+    };
+
+    let mut final_list = miv_block;
+    final_list.extend(ordered_rest);
+    PolicyOutcome {
+        report: DiagnosisReport::new(final_list),
+        pruned,
+        action: if prune {
+            PolicyAction::Pruned
+        } else {
+            PolicyAction::Reordered
+        },
+        predicted_tier,
+        confidence,
+        faulty_mivs,
+    }
+}
+
+/// The backup dictionary: per-chip pruned candidates, recoverable after an
+/// unsuccessful PFA.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BackupDictionary {
+    entries: HashMap<u64, Vec<Candidate>>,
+}
+
+impl BackupDictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        BackupDictionary::default()
+    }
+
+    /// Records the pruned candidates of a failing chip.
+    pub fn record(&mut self, chip_id: u64, pruned: Vec<Candidate>) {
+        if !pruned.is_empty() {
+            self.entries.insert(chip_id, pruned);
+        }
+    }
+
+    /// Looks up the pruned candidates of a chip.
+    pub fn lookup(&self, chip_id: u64) -> Option<&[Candidate]> {
+        self.entries.get(&chip_id).map(Vec::as_slice)
+    }
+
+    /// Number of chips with recorded prunes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing was ever pruned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate memory footprint in bytes (the paper's 246 kB
+    /// discussion).
+    pub fn approx_size_bytes(&self) -> usize {
+        self.entries
+            .values()
+            .map(|v| v.len() * std::mem::size_of::<Candidate>() + 16)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_gnn::{Graph, Matrix};
+    use m3d_netlist::{generate, GeneratorConfig, PinRef};
+    use m3d_part::{MinCutPartitioner, Partitioner};
+    use m3d_sim::{Polarity, Tdf};
+
+    fn m3d() -> M3dNetlist {
+        let nl = generate(&GeneratorConfig {
+            n_comb_gates: 120,
+            n_flops: 12,
+            n_inputs: 8,
+            n_outputs: 6,
+            target_depth: 6,
+            ..GeneratorConfig::default()
+        });
+        let part = MinCutPartitioner::default().partition(&nl, 2);
+        M3dNetlist::build(nl, part)
+    }
+
+    fn empty_subgraph() -> Subgraph {
+        let g = Graph::new(0);
+        Subgraph {
+            nodes: vec![],
+            adj: g.normalize(true),
+            graph: g,
+            x: Matrix::zeros(0, crate::features::N_FEATURES),
+            miv_rows: vec![],
+        }
+    }
+
+    fn cand(site: PinRef) -> Candidate {
+        Candidate {
+            fault: Tdf::new(site, Polarity::SlowToRise),
+            tfsf: 3,
+            tfsp: 0,
+            tpsf: 0,
+        }
+    }
+
+    fn mixed_report(m: &M3dNetlist) -> (DiagnosisReport, Vec<Candidate>, Vec<Candidate>) {
+        let mut top = Vec::new();
+        let mut bottom = Vec::new();
+        for pin in m.netlist().fault_sites() {
+            let t = m.tier_of_site(pin);
+            if t == Tier::TOP && top.len() < 3 {
+                top.push(cand(pin));
+            } else if t == Tier::BOTTOM && bottom.len() < 3 {
+                bottom.push(cand(pin));
+            }
+            if top.len() == 3 && bottom.len() == 3 {
+                break;
+            }
+        }
+        let mut all = bottom.clone();
+        all.extend(top.clone());
+        (DiagnosisReport::new(all), top, bottom)
+    }
+
+    #[test]
+    fn low_confidence_reorders_without_loss() {
+        let m = m3d();
+        let (report, top, _bottom) = mixed_report(&m);
+        let out = apply_policy(
+            &report,
+            &m,
+            &[0.45, 0.55], // low confidence, top predicted
+            &[],
+            None,
+            &empty_subgraph(),
+            &PolicyConfig::default(),
+        );
+        assert_eq!(out.action, PolicyAction::Reordered);
+        assert_eq!(out.report.resolution(), report.resolution());
+        assert!(out.pruned.is_empty());
+        // Top-tier candidates lead.
+        for (i, c) in out.report.candidates().iter().take(top.len()).enumerate() {
+            assert_eq!(
+                m.tier_of_site(c.fault.site),
+                Tier::TOP,
+                "position {i} should be top-tier"
+            );
+        }
+        assert_eq!(out.predicted_tier, Tier::TOP);
+    }
+
+    #[test]
+    fn high_confidence_prunes_other_tier() {
+        let m = m3d();
+        let (report, top, bottom) = mixed_report(&m);
+        let out = apply_policy(
+            &report,
+            &m,
+            &[0.02, 0.98],
+            &[],
+            None, // standalone Tier-predictor mode prunes directly
+            &empty_subgraph(),
+            &PolicyConfig::default(),
+        );
+        assert_eq!(out.action, PolicyAction::Pruned);
+        assert_eq!(out.report.resolution(), top.len());
+        assert_eq!(out.pruned.len(), bottom.len());
+        for c in out.report.candidates() {
+            assert_eq!(m.tier_of_site(c.fault.site), Tier::TOP);
+        }
+    }
+
+    #[test]
+    fn faulty_miv_candidates_lead_and_survive_pruning() {
+        let m = m3d();
+        // Pick an MIV and its driver-pin candidate (equivalent site).
+        let miv_id = MivId(0);
+        let miv = m.miv(miv_id);
+        let drv = m.netlist().net(miv.net).driver.unwrap();
+        let miv_site = PinRef::output(drv);
+        let miv_tier = m.tier_of_site(miv_site);
+        // Predict the *other* tier faulty with high confidence: without MIV
+        // protection this candidate would be pruned.
+        let other = Tier(1 - miv_tier.0);
+        let probs: &[f32] = if other == Tier::TOP {
+            &[0.01, 0.99]
+        } else {
+            &[0.99, 0.01]
+        };
+        let (mut report, ..) = mixed_report(&m);
+        report.candidates_mut().push(cand(miv_site));
+        let out = apply_policy(
+            &report,
+            &m,
+            probs,
+            &[(miv_id, 0.95)],
+            None,
+            &empty_subgraph(),
+            &PolicyConfig::default(),
+        );
+        assert_eq!(out.faulty_mivs, vec![miv_id]);
+        assert_eq!(out.report.candidates()[0].fault.site, miv_site);
+        assert!(out
+            .pruned
+            .iter()
+            .all(|c| c.fault.site != miv_site));
+    }
+
+    #[test]
+    fn backup_dictionary_round_trips() {
+        let m = m3d();
+        let (report, ..) = mixed_report(&m);
+        let out = apply_policy(
+            &report,
+            &m,
+            &[0.97, 0.03],
+            &[],
+            None,
+            &empty_subgraph(),
+            &PolicyConfig::default(),
+        );
+        let mut dict = BackupDictionary::new();
+        dict.record(42, out.pruned.clone());
+        assert_eq!(dict.lookup(42).unwrap(), out.pruned.as_slice());
+        assert_eq!(dict.lookup(7), None);
+        assert!(dict.approx_size_bytes() > 0);
+        assert_eq!(dict.len(), 1);
+        // Union of final report + backup = original candidates.
+        assert_eq!(
+            out.report.resolution() + out.pruned.len(),
+            report.resolution()
+        );
+    }
+}

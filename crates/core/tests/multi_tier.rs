@@ -1,0 +1,209 @@
+//! Multi-tier (>2) support: the paper states the Tier-predictor "can
+//! perform diagnosis on M3D designs with more than two tiers by extending
+//! the dimension of the graph representation vector". This test exercises
+//! the whole stack on a 3-tier stack: MIV chains per boundary,
+//! heterogeneous-graph routing, 3-way tier classification, and the
+//! generalized pruning policy.
+
+use m3d_fault_loc::{
+    apply_policy, backtrace, BacktraceConfig, FeatureExtractor, HeteroGraph, ModelTrainConfig,
+    PolicyConfig, Subgraph, TierPredictor,
+};
+use m3d_gnn::GraphSample;
+use m3d_netlist::{generate, GeneratorConfig, PinRef};
+use m3d_part::{M3dNetlist, Partitioner, RandomPartitioner, Tier};
+use m3d_sim::{
+    generate_patterns, tdf_list, AtpgConfig, FailureLog, FaultSimulator, PatternSet, Tdf,
+};
+
+struct Stack3 {
+    m3d: M3dNetlist,
+    patterns: PatternSet,
+}
+
+fn three_tier_stack() -> Stack3 {
+    let nl = generate(&GeneratorConfig {
+        n_comb_gates: 500,
+        n_flops: 48,
+        n_inputs: 16,
+        n_outputs: 10,
+        target_depth: 9,
+        ..GeneratorConfig::default()
+    });
+    let atpg = generate_patterns(
+        &nl,
+        &AtpgConfig {
+            fault_sample: Some(800),
+            max_rounds: 6,
+            ..AtpgConfig::default()
+        },
+    );
+    let part = RandomPartitioner::new(5).partition(&nl, 3);
+    Stack3 {
+        m3d: M3dNetlist::build(nl, part),
+        patterns: atpg.patterns,
+    }
+}
+
+fn collect_samples(
+    stack: &Stack3,
+    fsim: &FaultSimulator<'_>,
+    hetero: &HeteroGraph,
+    features: &FeatureExtractor,
+    n: usize,
+    stride: usize,
+) -> Vec<(Subgraph, Tdf)> {
+    let mut out = Vec::new();
+    for f in tdf_list(stack.m3d.netlist()).into_iter().step_by(stride) {
+        if out.len() >= n {
+            break;
+        }
+        let log = FailureLog::uncompacted(&fsim.simulate(std::slice::from_ref(&f)));
+        if log.is_empty() {
+            continue;
+        }
+        let sub = backtrace(
+            hetero,
+            features,
+            fsim.sim(),
+            fsim.obs(),
+            None,
+            &log,
+            &BacktraceConfig::default(),
+        );
+        if !sub.is_empty() {
+            out.push((sub, f));
+        }
+    }
+    out
+}
+
+#[test]
+fn three_tier_stack_diagnoses_end_to_end() {
+    let stack = three_tier_stack();
+    assert_eq!(stack.m3d.partition().tier_count(), 3);
+    // Some nets must span multiple boundaries -> multi-via chains.
+    let multi_via_nets = stack
+        .m3d
+        .netlist()
+        .iter_nets()
+        .filter(|(nid, _)| stack.m3d.mivs_of_net(*nid).len() >= 2)
+        .count();
+    assert!(multi_via_nets > 0, "3-tier stacks need multi-boundary nets");
+
+    let fsim = FaultSimulator::new(stack.m3d.netlist(), &stack.patterns);
+    let hetero = HeteroGraph::build(&stack.m3d, fsim.obs());
+    let features = FeatureExtractor::compute(&stack.m3d, &hetero);
+
+    let labelled = collect_samples(&stack, &fsim, &hetero, &features, 90, 7);
+    assert!(labelled.len() >= 60, "need training material");
+    let samples: Vec<GraphSample> = labelled
+        .iter()
+        .map(|(sub, f)| {
+            GraphSample::graph_level(
+                sub.adj.clone(),
+                sub.x.clone(),
+                stack.m3d.tier_of_site(f.site).index(),
+            )
+        })
+        .collect();
+    // All three tiers represented in the labels.
+    for t in 0..3 {
+        assert!(
+            samples.iter().any(|s| s.targets[0].1 == t),
+            "tier {t} unrepresented"
+        );
+    }
+
+    let predictor = TierPredictor::train_multi(
+        &samples,
+        3,
+        &ModelTrainConfig {
+            epochs: 25,
+            ..ModelTrainConfig::default()
+        },
+    );
+    assert_eq!(predictor.n_tiers(), 3);
+    let acc = predictor.accuracy(&samples);
+    assert!(acc > 0.45, "3-way training accuracy {acc} (chance = 0.33)");
+
+    // Probabilities are a 3-way distribution and the policy prunes the two
+    // predicted-fault-free tiers.
+    let (sub, fault) = &labelled[0];
+    let probs = predictor.predict_probs(sub);
+    assert_eq!(probs.len(), 3);
+    assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+
+    // Build a small report with one candidate per tier.
+    let mut cands = Vec::new();
+    let mut seen = [false; 3];
+    for pin in stack.m3d.netlist().fault_sites() {
+        let t = stack.m3d.tier_of_site(pin).index();
+        if !seen[t] {
+            seen[t] = true;
+            cands.push(m3d_diagnosis::Candidate {
+                fault: Tdf::new(pin, m3d_sim::Polarity::SlowToRise),
+                tfsf: 1,
+                tfsp: 0,
+                tpsf: 0,
+            });
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "need a candidate in every tier");
+    let report = m3d_diagnosis::DiagnosisReport::new(cands);
+    let out = apply_policy(
+        &report,
+        &stack.m3d,
+        &[0.05, 0.90, 0.05],
+        &[],
+        None,
+        sub,
+        &PolicyConfig {
+            t_p: 0.8,
+            ..PolicyConfig::default()
+        },
+    );
+    assert_eq!(out.predicted_tier, Tier(1));
+    assert_eq!(out.report.resolution(), 1, "two tiers pruned");
+    assert_eq!(out.pruned.len(), 2);
+    let kept: PinRef = out.report.candidates()[0].fault.site;
+    assert_eq!(stack.m3d.tier_of_site(kept), Tier(1));
+    let _ = fault;
+}
+
+#[test]
+fn tier_predictor_round_trips_through_serialization() {
+    let stack = three_tier_stack();
+    let fsim = FaultSimulator::new(stack.m3d.netlist(), &stack.patterns);
+    let hetero = HeteroGraph::build(&stack.m3d, fsim.obs());
+    let features = FeatureExtractor::compute(&stack.m3d, &hetero);
+    let labelled = collect_samples(&stack, &fsim, &hetero, &features, 30, 11);
+    let samples: Vec<GraphSample> = labelled
+        .iter()
+        .map(|(sub, f)| {
+            GraphSample::graph_level(
+                sub.adj.clone(),
+                sub.x.clone(),
+                stack.m3d.tier_of_site(f.site).index(),
+            )
+        })
+        .collect();
+    let predictor = TierPredictor::train_multi(
+        &samples,
+        3,
+        &ModelTrainConfig {
+            epochs: 10,
+            restarts: 1,
+            ..ModelTrainConfig::default()
+        },
+    );
+    let text = predictor.save_text();
+    let loaded = TierPredictor::load_text(&text).expect("round trip");
+    assert_eq!(loaded.n_tiers(), 3);
+    for (sub, _) in labelled.iter().take(5) {
+        assert_eq!(predictor.predict_probs(sub), loaded.predict_probs(sub));
+    }
+    // A node-level payload is rejected.
+    let bad = text.replacen("task graph", "task node", 1);
+    assert!(TierPredictor::load_text(&bad).is_err());
+}

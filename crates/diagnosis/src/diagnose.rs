@@ -1,0 +1,390 @@
+//! ATPG-tool-style effect-cause diagnosis.
+//!
+//! Reproduces the role of the commercial diagnosis step in Fig. 1:
+//!
+//! 1. **Structural extraction** — for every failing tester observation,
+//!    collect the nets in the transition-active fan-in cones of the
+//!    (possibly compaction-ambiguous) observation points; intersect across
+//!    observations (with a coverage-based fallback for multi-fault logs).
+//! 2. **Match scoring** — expand suspect nets to pin-level TDF candidates,
+//!    fault-simulate each against the full pattern set, compact the
+//!    simulated failures the same way the tester did, and score by
+//!    TFSF/TFSP/TPSF agreement.
+//! 3. **Ranking** — exact log matches first (the defect's equivalence
+//!    class), then strong partial matches, capped at a report limit.
+
+use crate::report::{Candidate, DiagnosisReport};
+use m3d_netlist::{topo, NetId, PinRef, ScanChains};
+use m3d_sim::{FailEntry, FailureLog, FaultSimulator, Polarity, Tdf};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Diagnosis tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiagnosisConfig {
+    /// Hard cap on report length.
+    pub max_candidates: usize,
+    /// Keep partial matches explaining at least this fraction of the
+    /// failing observations.
+    pub partial_floor: f64,
+    /// Multi-fault fallback: when the cone intersection is empty, keep nets
+    /// appearing in at least this fraction of per-observation suspect sets.
+    pub coverage_floor: f64,
+}
+
+impl Default for DiagnosisConfig {
+    fn default() -> Self {
+        DiagnosisConfig {
+            max_candidates: 50,
+            partial_floor: 0.3,
+            coverage_floor: 0.3,
+        }
+    }
+}
+
+/// The emulated commercial diagnosis tool.
+#[derive(Debug)]
+pub struct AtpgDiagnosis<'a, 'b> {
+    fsim: &'b FaultSimulator<'a>,
+    chains: Option<&'b ScanChains>,
+    cfg: DiagnosisConfig,
+}
+
+impl<'a, 'b> AtpgDiagnosis<'a, 'b> {
+    /// Creates a diagnosis engine. Pass `chains` when (and only when) the
+    /// failure logs were captured through the response compactor.
+    pub fn new(
+        fsim: &'b FaultSimulator<'a>,
+        chains: Option<&'b ScanChains>,
+        cfg: DiagnosisConfig,
+    ) -> Self {
+        AtpgDiagnosis { fsim, chains, cfg }
+    }
+
+    /// The simulator this engine diagnoses against.
+    pub fn fault_simulator(&self) -> &'b FaultSimulator<'a> {
+        self.fsim
+    }
+
+    /// Whether this engine operates on compacted failure logs.
+    pub fn compacted(&self) -> bool {
+        self.chains.is_some()
+    }
+
+    /// Produces a ranked diagnosis report for `log`.
+    ///
+    /// Multiple-defect logs are handled the way commercial tools do it:
+    /// diagnose, subtract the failures the best candidate explains, and
+    /// re-diagnose the residual log, so every defect's sensitized path
+    /// appears in the report (bounded recursion; single-fault logs never
+    /// recurse because their head candidate explains everything).
+    pub fn diagnose(&self, log: &FailureLog) -> DiagnosisReport {
+        self.diagnose_residual(log, 0)
+    }
+
+    fn diagnose_residual(&self, log: &FailureLog, depth: usize) -> DiagnosisReport {
+        if log.is_empty() {
+            return DiagnosisReport::default();
+        }
+        let nets = self.structural_candidates(log);
+        let faults = self.expand_to_faults(&nets);
+        let mut report = self.score_and_rank(log, faults);
+
+        // Residual pass: if the head candidate leaves a meaningful share of
+        // the failures unexplained, another defect is present.
+        if depth < 4 {
+            if let Some(head) = report.candidates().first().copied() {
+                let sim: BTreeSet<FailEntry> = self
+                    .simulate_log(&[head.fault])
+                    .entries()
+                    .iter()
+                    .copied()
+                    .collect();
+                let residual: Vec<FailEntry> = log
+                    .entries()
+                    .iter()
+                    .copied()
+                    .filter(|e| !sim.contains(e))
+                    .collect();
+                let sizable = residual.len() >= 2
+                    && residual.len() < log.len()
+                    && (residual.len() as f64) >= 0.15 * log.len() as f64;
+                if sizable {
+                    let sub = self.diagnose_residual(&FailureLog::new(residual), depth + 1);
+                    let mut seen: BTreeSet<Tdf> =
+                        report.candidates().iter().map(|c| c.fault).collect();
+                    for c in sub.candidates() {
+                        if seen.insert(c.fault) {
+                            report.candidates_mut().push(*c);
+                        }
+                    }
+                    report
+                        .candidates_mut()
+                        .truncate(self.cfg.max_candidates * (depth + 2));
+                }
+            }
+        }
+        report
+    }
+
+    /// Phase 1: suspect nets via transition-active cone intersection.
+    pub fn structural_candidates(&self, log: &FailureLog) -> Vec<NetId> {
+        let nl = self.fsim.netlist();
+        let sim = self.fsim.sim();
+        let mut counts: BTreeMap<NetId, u32> = BTreeMap::new();
+        let entries = log.entries();
+        for entry in entries {
+            let mut suspects: BTreeSet<NetId> = BTreeSet::new();
+            for obs_id in FailureLog::candidate_observers(entry, self.fsim.obs(), self.chains) {
+                let watched = self.fsim.obs().point(obs_id).net;
+                for (g, _) in topo::net_fanin_cone(nl, watched) {
+                    if let Some(out) = nl.gate(g).output {
+                        if sim.net_transition(out, entry.pattern as usize) {
+                            suspects.insert(out);
+                        }
+                    }
+                }
+            }
+            for n in suspects {
+                *counts.entry(n).or_insert(0) += 1;
+            }
+        }
+        let total = entries.len() as u32;
+        let exact: Vec<NetId> = counts
+            .iter()
+            .filter(|&(_, &c)| c == total)
+            .map(|(&n, _)| n)
+            .collect();
+        if !exact.is_empty() {
+            return exact;
+        }
+        // Multi-fault fallback: nets explaining a meaningful share of the
+        // failures.
+        let floor = ((total as f64) * self.cfg.coverage_floor).ceil() as u32;
+        counts
+            .into_iter()
+            .filter(|&(_, c)| c >= floor.max(1))
+            .map(|(n, _)| n)
+            .collect()
+    }
+
+    /// Phase 2a: expand nets to pin-level TDF candidates.
+    fn expand_to_faults(&self, nets: &[NetId]) -> Vec<Tdf> {
+        let nl = self.fsim.netlist();
+        let mut out = Vec::new();
+        for &net in nets {
+            let record = nl.net(net);
+            let mut pins: Vec<PinRef> = Vec::with_capacity(record.loads.len() + 1);
+            if let Some(drv) = record.driver {
+                pins.push(PinRef::output(drv));
+            }
+            for &(g, k) in &record.loads {
+                pins.push(PinRef::input(g, k));
+            }
+            for pin in pins {
+                for pol in Polarity::BOTH {
+                    out.push(Tdf::new(pin, pol));
+                }
+            }
+        }
+        out
+    }
+
+    /// Phase 2b/3: score candidates against the tester log and rank.
+    fn score_and_rank(&self, log: &FailureLog, faults: Vec<Tdf>) -> DiagnosisReport {
+        let obs_set: BTreeSet<FailEntry> = log.entries().iter().copied().collect();
+        let n_obs = obs_set.len() as f64;
+        let mut scored: Vec<Candidate> = Vec::new();
+        for fault in faults {
+            let sim_log = self.simulate_log(&[fault]);
+            let sim_set: BTreeSet<FailEntry> = sim_log.entries().iter().copied().collect();
+            if sim_set.is_empty() {
+                continue;
+            }
+            let tfsf = obs_set.intersection(&sim_set).count() as u32;
+            let tfsp = obs_set.difference(&sim_set).count() as u32;
+            let tpsf = sim_set.difference(&obs_set).count() as u32;
+            if tfsf == 0 {
+                continue;
+            }
+            let cand = Candidate {
+                fault,
+                tfsf,
+                tfsp,
+                tpsf,
+            };
+            if cand.is_exact() || f64::from(tfsf) >= self.cfg.partial_floor * n_obs {
+                scored.push(cand);
+            }
+        }
+        // Transition faults are small-delay defects: a candidate predicting
+        // *more* failures than observed (TPSF) is entirely plausible — the
+        // extra paths simply had slack — so commercial tools rank by the
+        // explained-failure count and report the whole tied sensitized-path
+        // class, not a fine-grained match order. Tie-break by site order
+        // (the deterministic listing order of a path-tracing tool).
+        scored.sort_by(|a, b| {
+            b.tfsf
+                .cmp(&a.tfsf)
+                .then_with(|| a.tfsp.cmp(&b.tfsp))
+                .then_with(|| a.fault.cmp(&b.fault))
+        });
+        scored.truncate(self.cfg.max_candidates);
+        DiagnosisReport::new(scored)
+    }
+
+    /// Simulates a fault list into a failure log in the same observation
+    /// mode (compacted or bypass) as the tester.
+    pub fn simulate_log(&self, faults: &[Tdf]) -> FailureLog {
+        let detections = self.fsim.simulate(faults);
+        match self.chains {
+            Some(chains) => FailureLog::compacted(&detections, self.fsim.obs(), chains),
+            None => FailureLog::uncompacted(&detections),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netlist::{generate, GeneratorConfig, Netlist};
+    use m3d_sim::{generate_patterns, tdf_list, AtpgConfig, PatternSet};
+
+    struct Fixture {
+        nl: Netlist,
+        pats: PatternSet,
+    }
+
+    fn fixture() -> Fixture {
+        let nl = generate(&GeneratorConfig {
+            n_comb_gates: 300,
+            n_flops: 40,
+            n_inputs: 16,
+            n_outputs: 8,
+            target_depth: 8,
+            ..GeneratorConfig::default()
+        });
+        let atpg = generate_patterns(
+            &nl,
+            &AtpgConfig {
+                fault_sample: Some(600),
+                max_rounds: 6,
+                ..AtpgConfig::default()
+            },
+        );
+        Fixture {
+            nl,
+            pats: atpg.patterns,
+        }
+    }
+
+    fn detectable_faults(fsim: &FaultSimulator<'_>, n: usize, stride: usize) -> Vec<Tdf> {
+        tdf_list(fsim.netlist())
+            .into_iter()
+            .step_by(stride)
+            .filter(|f| fsim.detects(std::slice::from_ref(f)))
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn diagnosis_finds_injected_fault_uncompacted() {
+        let fx = fixture();
+        let fsim = FaultSimulator::new(&fx.nl, &fx.pats);
+        let diag = AtpgDiagnosis::new(&fsim, None, DiagnosisConfig::default());
+        let mut hits = 0;
+        let faults = detectable_faults(&fsim, 12, 17);
+        assert!(!faults.is_empty());
+        let n = faults.len();
+        for f in faults {
+            let log = diag.simulate_log(&[f]);
+            let report = diag.diagnose(&log);
+            assert!(report.resolution() >= 1);
+            if report.hits_any(&[f.site]) {
+                hits += 1;
+                // The injected fault reproduces its own (unmasked) log
+                // exactly, so an exact match must appear in the report and
+                // the head must explain every failure.
+                assert!(report.candidates().iter().any(Candidate::is_exact));
+                assert_eq!(
+                    report.candidates()[0].tfsf as usize,
+                    log.len(),
+                    "head explains all fails"
+                );
+            }
+        }
+        assert_eq!(hits, n, "every injected fault must be diagnosed");
+    }
+
+    #[test]
+    fn compacted_diagnosis_has_worse_or_equal_resolution() {
+        let fx = fixture();
+        let chains = ScanChains::stitch(&fx.nl, 8, 4);
+        let fsim = FaultSimulator::new(&fx.nl, &fx.pats);
+        let diag_u = AtpgDiagnosis::new(&fsim, None, DiagnosisConfig::default());
+        let diag_c = AtpgDiagnosis::new(&fsim, Some(&chains), DiagnosisConfig::default());
+        let mut worse = 0usize;
+        let mut total = 0usize;
+        for f in detectable_faults(&fsim, 10, 23) {
+            let ru = diag_u.diagnose(&diag_u.simulate_log(&[f]));
+            let rc = diag_c.diagnose(&diag_c.simulate_log(&[f]));
+            if rc.resolution() >= ru.resolution() {
+                worse += 1;
+            }
+            total += 1;
+        }
+        assert!(
+            worse * 10 >= total * 7,
+            "compaction should usually not improve resolution ({worse}/{total})"
+        );
+    }
+
+    #[test]
+    fn empty_log_gives_empty_report() {
+        let fx = fixture();
+        let fsim = FaultSimulator::new(&fx.nl, &fx.pats);
+        let diag = AtpgDiagnosis::new(&fsim, None, DiagnosisConfig::default());
+        assert_eq!(diag.diagnose(&FailureLog::default()).resolution(), 0);
+    }
+
+    #[test]
+    fn structural_candidates_contain_fault_net() {
+        let fx = fixture();
+        let fsim = FaultSimulator::new(&fx.nl, &fx.pats);
+        let diag = AtpgDiagnosis::new(&fsim, None, DiagnosisConfig::default());
+        for f in detectable_faults(&fsim, 8, 31) {
+            let log = diag.simulate_log(&[f]);
+            let nets = diag.structural_candidates(&log);
+            let site_net = fx.nl.pin_net(f.site).unwrap();
+            assert!(
+                nets.contains(&site_net),
+                "suspects must include the defect net for {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_fault_log_produces_candidates() {
+        let fx = fixture();
+        let fsim = FaultSimulator::new(&fx.nl, &fx.pats);
+        let diag = AtpgDiagnosis::new(&fsim, None, DiagnosisConfig::default());
+        let faults = detectable_faults(&fsim, 3, 41);
+        let log = diag.simulate_log(&faults);
+        let report = diag.diagnose(&log);
+        assert!(report.resolution() > 0, "multi-fault fallback must fire");
+    }
+
+    #[test]
+    fn report_is_capped() {
+        let fx = fixture();
+        let fsim = FaultSimulator::new(&fx.nl, &fx.pats);
+        let cfg = DiagnosisConfig {
+            max_candidates: 3,
+            ..DiagnosisConfig::default()
+        };
+        let diag = AtpgDiagnosis::new(&fsim, None, cfg);
+        for f in detectable_faults(&fsim, 5, 29) {
+            let report = diag.diagnose(&diag.simulate_log(&[f]));
+            assert!(report.resolution() <= 3);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # m3d-diagnosis
+//!
+//! ATPG-tool-style delay-fault diagnosis: effect-cause structural
+//! candidate extraction, per-candidate fault-simulation match scoring
+//! (TFSF/TFSP/TPSF), ranked [`DiagnosisReport`]s with the paper's quality
+//! metrics (resolution / accuracy / first-hit index), and the PADRE-like
+//! baseline first-level candidate filter the paper compares against.
+//!
+//! ```
+//! use m3d_netlist::{generate, GeneratorConfig};
+//! use m3d_sim::{generate_patterns, tdf_list, AtpgConfig, FaultSimulator};
+//! use m3d_diagnosis::{AtpgDiagnosis, DiagnosisConfig};
+//!
+//! let nl = generate(&GeneratorConfig::default());
+//! let atpg = generate_patterns(&nl, &AtpgConfig {
+//!     fault_sample: Some(300), max_rounds: 4, ..AtpgConfig::default()
+//! });
+//! let fsim = FaultSimulator::new(&nl, &atpg.patterns);
+//! let diag = AtpgDiagnosis::new(&fsim, None, DiagnosisConfig::default());
+//!
+//! // "Tester" log for an injected fault, then diagnose it back.
+//! let fault = tdf_list(&nl).into_iter()
+//!     .find(|f| fsim.detects(std::slice::from_ref(f))).expect("detectable");
+//! let report = diag.diagnose(&diag.simulate_log(&[fault]));
+//! assert!(report.hits_any(&[fault.site]));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod diagnose;
+mod padre;
+mod report;
+
+pub use diagnose::{AtpgDiagnosis, DiagnosisConfig};
+pub use padre::{
+    candidate_features, candidate_levels, training_rows, PadreFilter, PadreTrainRow,
+    PADRE_FEATURES,
+};
+pub use report::{mean_std, report_quality, Candidate, DiagnosisReport, ReportQuality};

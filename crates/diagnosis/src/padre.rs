@@ -1,0 +1,314 @@
+//! The PADRE-like baseline candidate filter (Xue et al. [11]).
+//!
+//! PADRE's first-level classifier learns, from labelled diagnosis data,
+//! which candidates in a report are unlikely to be the defect and removes
+//! them — improving resolution at a bounded accuracy cost. The paper
+//! compares against exactly this first level (its second level trades too
+//! much accuracy). We implement it as logistic regression over
+//! physically-aware per-candidate features, with the keep-threshold tuned
+//! on the training set to retain a target fraction of true candidates.
+
+use crate::report::{Candidate, DiagnosisReport};
+use m3d_netlist::{topo, Netlist, PinRef};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Number of features per candidate.
+pub const PADRE_FEATURES: usize = 7;
+
+/// Extracts the per-candidate feature vector used by the filter.
+///
+/// Features: rank position, explained-fail fraction, missed-fail fraction,
+/// mispredicted-fail fraction, exact-match flag, site-net fanout (log),
+/// and site gate level (normalized).
+pub fn candidate_features(
+    report: &DiagnosisReport,
+    idx: usize,
+    nl: &Netlist,
+    levels: &[u32],
+    n_fails: usize,
+) -> [f64; PADRE_FEATURES] {
+    let c = &report.candidates()[idx];
+    let n = report.resolution().max(1) as f64;
+    let nf = n_fails.max(1) as f64;
+    let fanout = nl
+        .pin_net(c.fault.site)
+        .map_or(0.0, |net| nl.net(net).fanout() as f64);
+    let depth = levels.iter().copied().max().unwrap_or(1).max(1) as f64;
+    let lvl = levels[c.fault.site.gate.index()] as f64;
+    [
+        idx as f64 / n,
+        f64::from(c.tfsf) / nf,
+        f64::from(c.tfsp) / nf,
+        f64::from(c.tpsf) / nf,
+        f64::from(u8::from(c.is_exact())),
+        (1.0 + fanout).ln(),
+        lvl / depth,
+    ]
+}
+
+/// One labelled training row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PadreTrainRow {
+    /// Candidate feature vector.
+    pub features: [f64; PADRE_FEATURES],
+    /// Whether this candidate was the ground-truth defect.
+    pub is_true: bool,
+}
+
+/// Builds training rows from a diagnosed case.
+pub fn training_rows(
+    report: &DiagnosisReport,
+    truth: &[PinRef],
+    nl: &Netlist,
+    levels: &[u32],
+    n_fails: usize,
+) -> Vec<PadreTrainRow> {
+    (0..report.resolution())
+        .map(|i| PadreTrainRow {
+            features: candidate_features(report, i, nl, levels, n_fails),
+            is_true: truth.contains(&report.candidates()[i].fault.site),
+        })
+        .collect()
+}
+
+/// The trained first-level filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PadreFilter {
+    weights: [f64; PADRE_FEATURES],
+    bias: f64,
+    threshold: f64,
+}
+
+impl PadreFilter {
+    /// Trains logistic regression by SGD and tunes the keep-threshold so at
+    /// least `keep_recall` of true candidates in the training data survive
+    /// (the accuracy-first tuning the paper adopts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty.
+    pub fn train(rows: &[PadreTrainRow], keep_recall: f64, seed: u64) -> Self {
+        assert!(!rows.is_empty(), "need training data");
+        let mut w = [0f64; PADRE_FEATURES];
+        let mut b = 0f64;
+        let n_pos = rows.iter().filter(|r| r.is_true).count().max(1) as f64;
+        let n_neg = (rows.len() as f64 - n_pos).max(1.0);
+        let pos_weight = n_neg / n_pos; // class balance
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        let lr = 0.05;
+        for _ in 0..60 {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let r = &rows[i];
+                let z: f64 = b + r
+                    .features
+                    .iter()
+                    .zip(&w)
+                    .map(|(x, wi)| x * wi)
+                    .sum::<f64>();
+                let p = 1.0 / (1.0 + (-z).exp());
+                let y = f64::from(u8::from(r.is_true));
+                let cw = if r.is_true { pos_weight } else { 1.0 };
+                let g = cw * (p - y);
+                for (wi, x) in w.iter_mut().zip(&r.features) {
+                    *wi -= lr * g * x;
+                }
+                b -= lr * g;
+            }
+        }
+        // Threshold: largest value retaining `keep_recall` of positives.
+        let mut pos_scores: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.is_true)
+            .map(|r| Self::score_raw(&w, b, &r.features))
+            .collect();
+        pos_scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let drop_allow = ((1.0 - keep_recall) * pos_scores.len() as f64).floor() as usize;
+        let threshold = pos_scores
+            .get(drop_allow)
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY);
+        PadreFilter {
+            weights: w,
+            bias: b,
+            threshold,
+        }
+    }
+
+    fn score_raw(w: &[f64; PADRE_FEATURES], b: f64, x: &[f64; PADRE_FEATURES]) -> f64 {
+        b + x.iter().zip(w).map(|(xi, wi)| xi * wi).sum::<f64>()
+    }
+
+    /// The keep-probability (sigmoid score) of a feature vector.
+    pub fn probability(&self, x: &[f64; PADRE_FEATURES]) -> f64 {
+        1.0 / (1.0 + (-Self::score_raw(&self.weights, self.bias, x)).exp())
+    }
+
+    /// Per-candidate keep decisions for a report, in report order. Used by
+    /// the combined GNN + baseline flow, which scores candidates in their
+    /// original ATPG ranking but removes them from the policy-updated list.
+    pub fn keep_mask(
+        &self,
+        report: &DiagnosisReport,
+        nl: &Netlist,
+        levels: &[u32],
+        n_fails: usize,
+    ) -> Vec<bool> {
+        (0..report.resolution())
+            .map(|i| {
+                let x = candidate_features(report, i, nl, levels, n_fails);
+                Self::score_raw(&self.weights, self.bias, &x) >= self.threshold
+            })
+            .collect()
+    }
+
+    /// Filters a report, keeping candidates scoring at or above the tuned
+    /// threshold (order preserved). Never empties a report: if everything
+    /// would be removed, the top-ranked candidate is retained.
+    pub fn filter(
+        &self,
+        report: &DiagnosisReport,
+        nl: &Netlist,
+        levels: &[u32],
+        n_fails: usize,
+    ) -> DiagnosisReport {
+        let kept: Vec<Candidate> = (0..report.resolution())
+            .filter(|&i| {
+                let x = candidate_features(report, i, nl, levels, n_fails);
+                Self::score_raw(&self.weights, self.bias, &x) >= self.threshold
+            })
+            .map(|i| report.candidates()[i])
+            .collect();
+        if kept.is_empty() {
+            DiagnosisReport::new(report.candidates().iter().take(1).copied().collect())
+        } else {
+            DiagnosisReport::new(kept)
+        }
+    }
+}
+
+/// Convenience: precomputed levels for feature extraction.
+pub fn candidate_levels(nl: &Netlist) -> Vec<u32> {
+    topo::levels(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netlist::{generate, GateId, GeneratorConfig};
+    use m3d_sim::{Polarity, Tdf};
+
+    fn synthetic_rows(n: usize, seed: u64) -> Vec<PadreTrainRow> {
+        // True candidates: exact matches with high explained fraction.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        use rand::Rng;
+        for _ in 0..n {
+            let is_true = rng.gen_bool(0.2);
+            let noise: f64 = rng.gen_range(-0.05..0.05);
+            let f = if is_true {
+                [0.1, 1.0 + noise, 0.0, 0.0, 1.0, 1.0, 0.5]
+            } else {
+                [
+                    rng.gen_range(0.2..1.0),
+                    rng.gen_range(0.2..0.7),
+                    rng.gen_range(0.2..0.8),
+                    rng.gen_range(0.0..0.5),
+                    0.0,
+                    rng.gen_range(0.0..2.0),
+                    rng.gen_range(0.0..1.0),
+                ]
+            };
+            rows.push(PadreTrainRow {
+                features: f,
+                is_true,
+            });
+        }
+        rows
+    }
+
+    #[test]
+    fn filter_learns_separable_rule() {
+        let rows = synthetic_rows(400, 3);
+        let filter = PadreFilter::train(&rows, 0.99, 7);
+        let mut kept_true = 0;
+        let mut kept_false = 0;
+        let (mut n_true, mut n_false) = (0, 0);
+        for r in &rows {
+            let keep = PadreFilter::score_raw(&filter.weights, filter.bias, &r.features)
+                >= filter.threshold;
+            if r.is_true {
+                n_true += 1;
+                kept_true += usize::from(keep);
+            } else {
+                n_false += 1;
+                kept_false += usize::from(keep);
+            }
+        }
+        assert!(kept_true as f64 / n_true as f64 >= 0.98, "recall too low");
+        assert!(
+            (kept_false as f64) < 0.5 * n_false as f64,
+            "filter must remove many false candidates ({kept_false}/{n_false})"
+        );
+    }
+
+    #[test]
+    fn filter_never_empties_report() {
+        let rows = synthetic_rows(100, 4);
+        let filter = PadreFilter::train(&rows, 0.99, 7);
+        let nl = generate(&GeneratorConfig::default());
+        let levels = candidate_levels(&nl);
+        // A report full of terrible candidates.
+        let report = DiagnosisReport::new(vec![Candidate {
+            fault: Tdf::new(m3d_netlist::PinRef::output(GateId(2)), Polarity::SlowToRise),
+            tfsf: 1,
+            tfsp: 9,
+            tpsf: 9,
+        }]);
+        let filtered = filter.filter(&report, &nl, &levels, 10);
+        assert_eq!(filtered.resolution(), 1);
+    }
+
+    #[test]
+    fn training_rows_label_ground_truth() {
+        let nl = generate(&GeneratorConfig::default());
+        let levels = candidate_levels(&nl);
+        let site = m3d_netlist::PinRef::output(GateId(5));
+        let report = DiagnosisReport::new(vec![
+            Candidate {
+                fault: Tdf::new(site, Polarity::SlowToRise),
+                tfsf: 4,
+                tfsp: 0,
+                tpsf: 0,
+            },
+            Candidate {
+                fault: Tdf::new(m3d_netlist::PinRef::output(GateId(6)), Polarity::SlowToFall),
+                tfsf: 2,
+                tfsp: 2,
+                tpsf: 0,
+            },
+        ]);
+        let rows = training_rows(&report, &[site], &nl, &levels, 4);
+        assert!(rows[0].is_true);
+        assert!(!rows[1].is_true);
+        assert!((rows[0].features[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feature_vector_shapes() {
+        let nl = generate(&GeneratorConfig::default());
+        let levels = candidate_levels(&nl);
+        let report = DiagnosisReport::new(vec![Candidate {
+            fault: Tdf::new(m3d_netlist::PinRef::output(GateId(3)), Polarity::SlowToRise),
+            tfsf: 1,
+            tfsp: 0,
+            tpsf: 0,
+        }]);
+        let f = candidate_features(&report, 0, &nl, &levels, 1);
+        assert_eq!(f.len(), PADRE_FEATURES);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

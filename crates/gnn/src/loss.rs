@@ -1,0 +1,126 @@
+//! Softmax cross-entropy with optional per-class weights.
+
+use crate::matrix::Matrix;
+
+/// Numerically-stable softmax of one row.
+pub fn softmax_row(row: &[f32]) -> Vec<f32> {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Softmax cross-entropy over selected rows of a logit matrix.
+///
+/// `targets` lists `(row, class)` pairs; rows not listed contribute no loss
+/// and zero gradient (the node-classification mask — for graph
+/// classification pass a single `(0, label)` on the pooled logits).
+/// `class_weights`, if given, scales each target's loss and gradient by its
+/// class weight (the standard imbalance correction).
+///
+/// Returns `(mean weighted loss, ∂L/∂logits)`.
+///
+/// # Panics
+///
+/// Panics if a target row/class is out of range or `targets` is empty.
+pub fn cross_entropy(
+    logits: &Matrix,
+    targets: &[(usize, usize)],
+    class_weights: Option<&[f32]>,
+) -> (f64, Matrix) {
+    assert!(!targets.is_empty(), "need at least one target");
+    let mut dl = Matrix::zeros(logits.rows(), logits.cols());
+    let mut loss = 0.0f64;
+    let mut weight_sum = 0.0f64;
+    for &(r, c) in targets {
+        assert!(r < logits.rows() && c < logits.cols(), "target out of range");
+        let p = softmax_row(logits.row(r));
+        let w = class_weights.map_or(1.0, |cw| cw[c]);
+        loss += f64::from(w) * -f64::from(p[c].max(1e-12).ln());
+        weight_sum += f64::from(w);
+        let drow = dl.row_mut(r);
+        for (j, (&pj, d)) in p.iter().zip(drow.iter_mut()).enumerate() {
+            *d += w * (pj - if j == c { 1.0 } else { 0.0 });
+        }
+    }
+    let denom = weight_sum.max(1e-12);
+    dl.scale((1.0 / denom) as f32);
+    (loss / denom, dl)
+}
+
+/// Argmax of a probability / logit row.
+pub fn argmax(row: &[f32]) -> usize {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax_row(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stability with large logits.
+        let q = softmax_row(&[1000.0, 1000.0]);
+        assert!((q[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_fd() {
+        let logits = Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]);
+        let targets = vec![(0, 2), (1, 0)];
+        let (_, grad) = cross_entropy(&logits, &targets, None);
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut lp = logits.clone();
+                lp.set(r, c, logits.get(r, c) + eps);
+                let (l1, _) = cross_entropy(&lp, &targets, None);
+                let mut lm = logits.clone();
+                lm.set(r, c, logits.get(r, c) - eps);
+                let (l2, _) = cross_entropy(&lm, &targets, None);
+                let fd = ((l1 - l2) / (2.0 * eps as f64)) as f32;
+                assert!(
+                    (fd - grad.get(r, c)).abs() < 1e-3,
+                    "[{r},{c}] fd {fd} vs {}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masked_rows_have_zero_gradient() {
+        let logits = Matrix::from_vec(3, 2, vec![0.0; 6]);
+        let (_, grad) = cross_entropy(&logits, &[(1, 0)], None);
+        assert_eq!(grad.row(0), &[0.0, 0.0]);
+        assert_eq!(grad.row(2), &[0.0, 0.0]);
+        assert!(grad.row(1)[0] != 0.0);
+    }
+
+    #[test]
+    fn class_weights_rescale() {
+        let logits = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        let (l1, g1) = cross_entropy(&logits, &[(0, 1)], None);
+        let (l2, g2) = cross_entropy(&logits, &[(0, 1)], Some(&[1.0, 2.0]));
+        // Normalized by total weight, so single-target loss is identical…
+        assert!((l1 - l2).abs() < 1e-9);
+        assert!((g1.get(0, 1) - g2.get(0, 1)).abs() < 1e-6);
+        // …but mixed batches tilt toward the heavy class.
+        let logits2 = Matrix::from_vec(2, 2, vec![0.0, 0.0, 0.0, 0.0]);
+        let (_, g) = cross_entropy(&logits2, &[(0, 0), (1, 1)], Some(&[1.0, 3.0]));
+        assert!(g.row(1)[1].abs() > g.row(0)[0].abs());
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        assert_eq!(argmax(&[0.1, 0.7, 0.2]), 1);
+        assert_eq!(argmax(&[1.0]), 0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Dense row-major `f32` matrices with the handful of operations GCN
+//! training needs. Deliberately minimal: subgraphs after back-tracing are
+//! small (tens to hundreds of nodes), so naive loops outperform any
+//! heavyweight dependency here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq, Default)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Xavier/Glorot-uniform initialization, deterministic in `seed`.
+    pub fn xavier(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `self @ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ @ other` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let arow = self.row(r);
+            let brow = other.row(r);
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = out.row_mut(i);
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ otherᵀ` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..other.rows {
+                let brow = other.row(j);
+                let dot: f32 = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
+                out.set(i, j, dot);
+            }
+        }
+        out
+    }
+
+    /// Adds `other` element-wise in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Adds a row vector to every row in place (bias broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != self.cols()`.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias width mismatch");
+        for r in 0..self.rows {
+            for (a, &b) in self.row_mut(r).iter_mut().zip(bias) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// In-place ReLU; returns the pre-activation copy for backprop.
+    pub fn relu_inplace(&mut self) -> Matrix {
+        let pre = self.clone();
+        for a in &mut self.data {
+            if *a < 0.0 {
+                *a = 0.0;
+            }
+        }
+        pre
+    }
+
+    /// Column-wise mean as a `1 × cols` matrix.
+    pub fn mean_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        if self.rows == 0 {
+            return out;
+        }
+        for r in 0..self.rows {
+            for (o, &v) in out.row_mut(0).iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out.scale(1.0 / self.rows as f32);
+        out
+    }
+
+    /// Column-wise maximum as a `1 × cols` matrix plus the winning row per
+    /// column (for max-pool backprop). Zero rows yield zeros and row 0.
+    pub fn max_rows(&self) -> (Matrix, Vec<usize>) {
+        let mut out = Matrix::zeros(1, self.cols);
+        let mut arg = vec![0usize; self.cols];
+        if self.rows == 0 {
+            return (out, arg);
+        }
+        out.row_mut(0).copy_from_slice(self.row(0));
+        for r in 1..self.rows {
+            for (c, &v) in self.row(r).iter().enumerate() {
+                if v > out.get(0, c) {
+                    out.set(0, c, v);
+                    arg[c] = r;
+                }
+            }
+        }
+        (out, arg)
+    }
+
+    /// Sum of all columns over all rows as a `1 × cols` matrix (bias
+    /// gradient).
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.row_mut(0).iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix[{}x{}]", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(r: usize, c: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(r, c, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_basic() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[1., 0., 0., 1., 1., 1.]);
+        // aᵀ b where aᵀ is 2x3.
+        let c = a.matmul_tn(&b);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        // aᵀ = [[1,3,5],[2,4,6]]; aᵀb = [[1+0+5, 0+3+5],[2+0+6, 0+4+6]]
+        assert_eq!(c.as_slice(), &[6., 8., 8., 10.]);
+    }
+
+    #[test]
+    fn matmul_nt_matches() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(2, 3, &[1., 1., 1., 0., 1., 0.]);
+        let c = a.matmul_nt(&b);
+        assert_eq!(c.as_slice(), &[6., 2., 15., 5.]);
+    }
+
+    #[test]
+    fn broadcast_and_scale() {
+        let mut a = m(2, 2, &[1., 2., 3., 4.]);
+        a.add_row_broadcast(&[10., 20.]);
+        assert_eq!(a.as_slice(), &[11., 22., 13., 24.]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice(), &[5.5, 11., 6.5, 12.]);
+    }
+
+    #[test]
+    fn relu_and_pre() {
+        let mut a = m(1, 4, &[-1., 2., -3., 4.]);
+        let pre = a.relu_inplace();
+        assert_eq!(a.as_slice(), &[0., 2., 0., 4.]);
+        assert_eq!(pre.as_slice(), &[-1., 2., -3., 4.]);
+    }
+
+    #[test]
+    fn mean_and_sum_rows() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        assert_eq!(a.mean_rows().as_slice(), &[2., 3.]);
+        assert_eq!(a.sum_rows().as_slice(), &[4., 6.]);
+        assert_eq!(Matrix::zeros(0, 3).mean_rows().as_slice(), &[0., 0., 0.]);
+    }
+
+    #[test]
+    fn xavier_deterministic_and_bounded() {
+        let a = Matrix::xavier(8, 4, 3);
+        let b = Matrix::xavier(8, 4, 3);
+        assert_eq!(a, b);
+        let bound = (6.0f32 / 12.0).sqrt();
+        assert!(a.as_slice().iter().all(|v| v.abs() <= bound));
+        assert!(a.norm() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_checked() {
+        m(2, 2, &[0.; 4]).matmul(&m(3, 1, &[0.; 3]));
+    }
+}

@@ -1,0 +1,216 @@
+//! Principal component analysis via power iteration with deflation —
+//! used to reproduce the paper's Fig. 5 feature-distribution visualization.
+
+use crate::matrix::Matrix;
+
+/// A fitted PCA: feature means and the top-k principal axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// `k × d` component rows.
+    components: Vec<Vec<f64>>,
+    explained: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits a `k`-component PCA to the rows of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has no rows or `k` exceeds the feature width.
+    #[allow(clippy::needless_range_loop)] // triangular loops read best indexed
+    pub fn fit(data: &Matrix, k: usize) -> Self {
+        let (n, d) = (data.rows(), data.cols());
+        assert!(n > 0, "PCA needs at least one sample");
+        assert!(k <= d, "cannot extract more components than features");
+        let mut mean = vec![0f64; d];
+        for r in 0..n {
+            for (m, &v) in mean.iter_mut().zip(data.row(r)) {
+                *m += f64::from(v);
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        // Covariance (d × d), f64 for stability.
+        let mut cov = vec![vec![0f64; d]; d];
+        for r in 0..n {
+            let row = data.row(r);
+            for i in 0..d {
+                let xi = f64::from(row[i]) - mean[i];
+                for j in i..d {
+                    let xj = f64::from(row[j]) - mean[j];
+                    cov[i][j] += xi * xj;
+                }
+            }
+        }
+        let denom = (n.max(2) - 1) as f64;
+        for i in 0..d {
+            for j in i..d {
+                cov[i][j] /= denom;
+                cov[j][i] = cov[i][j];
+            }
+        }
+
+        let mut components = Vec::with_capacity(k);
+        let mut explained = Vec::with_capacity(k);
+        let mut work = cov;
+        for c in 0..k {
+            let (vec_, val) = power_iteration(&work, 500, 1e-10, c as u64 + 1);
+            // Deflate: work -= λ v vᵀ.
+            for i in 0..d {
+                for j in 0..d {
+                    work[i][j] -= val * vec_[i] * vec_[j];
+                }
+            }
+            components.push(vec_);
+            explained.push(val.max(0.0));
+        }
+        Pca {
+            mean,
+            components,
+            explained,
+        }
+    }
+
+    /// Projects each row of `data` onto the fitted components
+    /// (`n × k` output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature width differs from the fitted width.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        let d = self.mean.len();
+        assert_eq!(data.cols(), d, "feature width mismatch");
+        let k = self.components.len();
+        let mut out = Matrix::zeros(data.rows(), k);
+        for r in 0..data.rows() {
+            let row = data.row(r);
+            for (c, comp) in self.components.iter().enumerate() {
+                let mut acc = 0f64;
+                for i in 0..d {
+                    acc += (f64::from(row[i]) - self.mean[i]) * comp[i];
+                }
+                out.set(r, c, acc as f32);
+            }
+        }
+        out
+    }
+
+    /// Eigenvalues (variance explained) per component, descending.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained
+    }
+
+    /// The fitted component axes (`k` rows of length `d`).
+    pub fn components(&self) -> &[Vec<f64>] {
+        &self.components
+    }
+}
+
+fn power_iteration(m: &[Vec<f64>], iters: usize, tol: f64, seed: u64) -> (Vec<f64>, f64) {
+    let d = m.len();
+    // Deterministic pseudo-random start.
+    let mut v: Vec<f64> = (0..d)
+        .map(|i| {
+            let x = (i as u64 + 1).wrapping_mul(seed).wrapping_mul(6364136223846793005);
+            ((x >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+        .collect();
+    normalize(&mut v);
+    let mut lambda = 0f64;
+    for _ in 0..iters {
+        let mut w = vec![0f64; d];
+        for i in 0..d {
+            for j in 0..d {
+                w[i] += m[i][j] * v[j];
+            }
+        }
+        let new_lambda = dot(&w, &v);
+        let n = normalize(&mut w);
+        if n < 1e-30 {
+            return (v, 0.0);
+        }
+        let delta = (new_lambda - lambda).abs();
+        v = w;
+        lambda = new_lambda;
+        if delta < tol {
+            break;
+        }
+    }
+    (v, lambda)
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let n = dot(v, v).sqrt();
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn recovers_dominant_axis() {
+        // Points along the (1,1)/√2 direction with small orthogonal noise.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut data = Matrix::zeros(200, 2);
+        for r in 0..200 {
+            let t: f32 = rng.gen_range(-2.0..2.0);
+            let n: f32 = rng.gen_range(-0.05..0.05);
+            data.set(r, 0, t + n);
+            data.set(r, 1, t - n);
+        }
+        let pca = Pca::fit(&data, 2);
+        let c0 = &pca.components()[0];
+        let ratio = (c0[0] / c0[1]).abs();
+        assert!((ratio - 1.0).abs() < 0.05, "axis {c0:?}");
+        assert!(pca.explained_variance()[0] > 10.0 * pca.explained_variance()[1]);
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let data = Matrix::from_vec(4, 2, vec![1., 10., 2., 20., 3., 30., 4., 40.]);
+        let pca = Pca::fit(&data, 1);
+        let proj = pca.transform(&data);
+        let mean: f32 = (0..4).map(|r| proj.get(r, 0)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-4);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut data = Matrix::zeros(100, 4);
+        for r in 0..100 {
+            for c in 0..4 {
+                data.set(r, c, rng.gen::<f32>());
+            }
+        }
+        let pca = Pca::fit(&data, 3);
+        let comps = pca.components();
+        for i in 0..3 {
+            assert!((dot(&comps[i], &comps[i]) - 1.0).abs() < 1e-6);
+            for j in (i + 1)..3 {
+                assert!(dot(&comps[i], &comps[j]).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_feature_is_harmless() {
+        let data = Matrix::from_vec(3, 2, vec![1., 5., 2., 5., 3., 5.]);
+        let pca = Pca::fit(&data, 2);
+        assert!(pca.explained_variance()[1].abs() < 1e-9);
+    }
+}

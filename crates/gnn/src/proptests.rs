@@ -1,0 +1,101 @@
+//! Property-based tests for the numeric core (proptest).
+
+#![cfg(test)]
+
+use crate::graph::Graph;
+use crate::loss::{cross_entropy, softmax_row};
+use crate::matrix::Matrix;
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+fn close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-3 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A B) C == A (B C) within float tolerance.
+    #[test]
+    fn matmul_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!(close(*x, *y), "{x} vs {y}");
+        }
+    }
+
+    /// `matmul_tn(a, b)` equals the explicit transpose product, and
+    /// `matmul_nt(a, b)` equals `a @ bᵀ`.
+    #[test]
+    fn transpose_product_forms_agree(a in matrix(4, 3), b in matrix(4, 2), c in matrix(5, 3)) {
+        let mut at = Matrix::zeros(3, 4);
+        for r in 0..4 {
+            for col in 0..3 {
+                at.set(col, r, a.get(r, col));
+            }
+        }
+        let want = at.matmul(&b);
+        let got = a.matmul_tn(&b);
+        for (x, y) in want.as_slice().iter().zip(got.as_slice()) {
+            prop_assert!(close(*x, *y));
+        }
+        // a @ cᵀ via matmul_nt (a is 4×3, c is 5×3 → 4×5).
+        let mut ct = Matrix::zeros(3, 5);
+        for r in 0..5 {
+            for col in 0..3 {
+                ct.set(col, r, c.get(r, col));
+            }
+        }
+        let want = a.matmul(&ct);
+        let got = a.matmul_nt(&c);
+        for (x, y) in want.as_slice().iter().zip(got.as_slice()) {
+            prop_assert!(close(*x, *y));
+        }
+    }
+
+    /// Softmax outputs a probability distribution invariant to shifts.
+    #[test]
+    fn softmax_is_shift_invariant_distribution(row in proptest::collection::vec(-5.0f32..5.0, 2..6), shift in -10.0f32..10.0) {
+        let p = softmax_row(&row);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        prop_assert!(p.iter().all(|&v| v >= 0.0));
+        let shifted: Vec<f32> = row.iter().map(|v| v + shift).collect();
+        let q = softmax_row(&shifted);
+        for (a, b) in p.iter().zip(&q) {
+            prop_assert!(close(*a, *b));
+        }
+    }
+
+    /// Cross-entropy is non-negative and its gradient rows sum to ~0.
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero(m in matrix(3, 4), class in 0usize..4) {
+        let (loss, grad) = cross_entropy(&m, &[(1, class)], None);
+        prop_assert!(loss >= 0.0);
+        let s: f32 = grad.row(1).iter().sum();
+        prop_assert!(s.abs() < 1e-5, "gradient row sums to {s}");
+        prop_assert!(grad.row(0).iter().all(|&v| v == 0.0));
+    }
+
+    /// Normalized adjacency rows of a regular-ish graph have bounded sums
+    /// and spmm preserves the constant vector's scale on regular graphs.
+    #[test]
+    fn norm_adj_spectral_bound(n in 3usize..10) {
+        // Cycle graph: 2-regular, so every row of D^-1/2 (A+I) D^-1/2 sums
+        // to exactly 1 and the constant vector is an eigenvector.
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(i as u32, ((i + 1) % n) as u32);
+        }
+        let adj = g.normalize(true);
+        let ones = Matrix::from_vec(n, 1, vec![1.0; n]);
+        let y = adj.spmm(&ones);
+        for r in 0..n {
+            prop_assert!(close(y.get(r, 0), 1.0), "row {r}: {}", y.get(r, 0));
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Plain-text model serialization.
+//!
+//! The transferability workflow reuses pretrained models across design
+//! configurations and sessions, so models need a durable format. The
+//! format is a line-oriented text layout (exact `f32` round-trip via
+//! hex-encoded bits) with no external dependencies.
+
+use crate::layers::{GcnLayer, Linear};
+use crate::matrix::Matrix;
+use crate::model::{GcnModel, Task};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors from [`GcnModel::load_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadModelError {
+    line: usize,
+    message: String,
+}
+
+impl LoadModelError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        LoadModelError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// A caller-defined semantic error (e.g. "wrong task for this model
+    /// wrapper"), reported without a line number.
+    pub fn custom(message: impl Into<String>) -> Self {
+        LoadModelError::new(0, message)
+    }
+}
+
+impl fmt::Display for LoadModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for LoadModelError {}
+
+fn write_floats(out: &mut String, values: &[f32]) {
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let _ = write!(out, "{:08x}", v.to_bits());
+    }
+    out.push('\n');
+}
+
+fn parse_floats(line: &str, line_no: usize, expect: usize) -> Result<Vec<f32>, LoadModelError> {
+    let vals: Result<Vec<f32>, _> = line
+        .split_whitespace()
+        .map(|t| u32::from_str_radix(t, 16).map(f32::from_bits))
+        .collect();
+    let vals = vals.map_err(|_| LoadModelError::new(line_no, "bad float encoding"))?;
+    if vals.len() != expect {
+        return Err(LoadModelError::new(
+            line_no,
+            format!("expected {expect} values, got {}", vals.len()),
+        ));
+    }
+    Ok(vals)
+}
+
+struct Cursor<'a> {
+    lines: &'a [&'a str],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn next(&mut self) -> Result<(usize, &'a str), LoadModelError> {
+        let line = self
+            .lines
+            .get(self.at)
+            .ok_or_else(|| LoadModelError::new(self.at, "unexpected end of input"))?;
+        self.at += 1;
+        Ok((self.at, line))
+    }
+}
+
+fn read_stack(
+    kind: &str,
+    cursor: &mut Cursor<'_>,
+) -> Result<Vec<(Matrix, Vec<f32>)>, LoadModelError> {
+    let (n, count_line) = cursor.next()?;
+    let count: usize = count_line
+        .strip_prefix(kind)
+        .map(str::trim)
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| LoadModelError::new(n, format!("bad `{kind}` count line")))?;
+    let mut out = Vec::with_capacity(count.min(64));
+    for _ in 0..count {
+        let (n, dims) = cursor.next()?;
+        let mut it = dims
+            .strip_prefix("layer ")
+            .ok_or_else(|| LoadModelError::new(n, "expected `layer`"))?
+            .split_whitespace();
+        let din: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| LoadModelError::new(n, "bad in_dim"))?;
+        let dout: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| LoadModelError::new(n, "bad out_dim"))?;
+        let (n, wline) = cursor.next()?;
+        let w = parse_floats(wline, n, din * dout)?;
+        let (n, bline) = cursor.next()?;
+        let b = parse_floats(bline, n, dout)?;
+        out.push((Matrix::from_vec(din, dout, w), b));
+    }
+    Ok(out)
+}
+
+impl GcnModel {
+    /// Serializes the model (architecture + parameters, not optimizer
+    /// state) to the `m3d-gnn-model v1` text format.
+    pub fn save_text(&self) -> String {
+        let mut s = String::from("m3d-gnn-model v1\n");
+        let _ = writeln!(
+            s,
+            "task {}",
+            match self.task() {
+                Task::Graph => "graph",
+                Task::Node => "node",
+            }
+        );
+        let _ = writeln!(s, "frozen {}", self.frozen_layer_count());
+        let (gcn, head) = self.layers_for_serialization();
+        let _ = writeln!(s, "gcn {}", gcn.len());
+        for layer in gcn {
+            let _ = writeln!(s, "layer {} {}", layer.in_dim(), layer.out_dim());
+            write_floats(&mut s, layer.w.as_slice());
+            write_floats(&mut s, &layer.b);
+        }
+        let _ = writeln!(s, "head {}", head.len());
+        for layer in head {
+            let _ = writeln!(s, "layer {} {}", layer.in_dim(), layer.out_dim());
+            write_floats(&mut s, layer.w.as_slice());
+            write_floats(&mut s, &layer.b);
+        }
+        s
+    }
+
+    /// Reconstructs a model saved by [`GcnModel::save_text`]. Optimizer
+    /// state starts fresh.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LoadModelError`] describing the first malformed line.
+    pub fn load_text(text: &str) -> Result<GcnModel, LoadModelError> {
+        let lines: Vec<&str> = text.lines().collect();
+        let mut cursor = Cursor { lines: &lines, at: 0 };
+        let (n, header) = cursor.next()?;
+        if header.trim() != "m3d-gnn-model v1" {
+            return Err(LoadModelError::new(n, "bad header"));
+        }
+        let (n, task_line) = cursor.next()?;
+        let task = match task_line.trim() {
+            "task graph" => Task::Graph,
+            "task node" => Task::Node,
+            _ => return Err(LoadModelError::new(n, "bad task line")),
+        };
+        let (n, frozen_line) = cursor.next()?;
+        let frozen: usize = frozen_line
+            .strip_prefix("frozen ")
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| LoadModelError::new(n, "bad frozen line"))?;
+
+        let gcn_raw = read_stack("gcn", &mut cursor)?;
+        let head_raw = read_stack("head", &mut cursor)?;
+        if gcn_raw.is_empty() || head_raw.is_empty() {
+            return Err(LoadModelError::new(0, "model needs gcn and head layers"));
+        }
+        let gcn: Vec<GcnLayer> = gcn_raw
+            .into_iter()
+            .map(|(w, b)| GcnLayer { w, b })
+            .collect();
+        let head: Vec<Linear> = head_raw.into_iter().map(|(w, b)| Linear { w, b }).collect();
+        if frozen > gcn.len() {
+            return Err(LoadModelError::new(0, "frozen count exceeds gcn layers"));
+        }
+        Ok(GcnModel::from_parts(task, gcn, head, frozen))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::model::{GcnConfig, GraphSample, TrainConfig};
+
+    fn sample() -> GraphSample {
+        let mut g = Graph::new(4);
+        for i in 0..3 {
+            g.add_edge(i, i + 1);
+        }
+        let adj = g.normalize(true);
+        let x = Matrix::xavier(4, 3, 2);
+        GraphSample::graph_level(adj, x, 1)
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions_exactly() {
+        let s = sample();
+        let mut model = GcnModel::new(&GcnConfig::two_layer(3, Task::Graph));
+        model.train(
+            std::slice::from_ref(&s),
+            &TrainConfig {
+                epochs: 3,
+                ..TrainConfig::default()
+            },
+        );
+        let text = model.save_text();
+        let loaded = GcnModel::load_text(&text).expect("round trip");
+        assert_eq!(
+            model.predict_graph(&s.adj, &s.x),
+            loaded.predict_graph(&s.adj, &s.x),
+            "bit-exact round trip"
+        );
+        assert_eq!(loaded.task(), Task::Graph);
+    }
+
+    #[test]
+    fn round_trip_preserves_frozen_and_node_task() {
+        let base = GcnModel::new(&GcnConfig::two_layer(3, Task::Graph));
+        let t = base.transfer(2, Some(8), 5);
+        let loaded = GcnModel::load_text(&t.save_text()).unwrap();
+        assert_eq!(loaded.frozen_layer_count(), t.frozen_layer_count());
+        let node = GcnModel::new(&GcnConfig::two_layer(3, Task::Node));
+        let loaded = GcnModel::load_text(&node.save_text()).unwrap();
+        assert_eq!(loaded.task(), Task::Node);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(GcnModel::load_text("nope").is_err());
+        assert!(GcnModel::load_text("m3d-gnn-model v1\ntask graph\n").is_err());
+        let model = GcnModel::new(&GcnConfig::two_layer(3, Task::Graph));
+        let text = model.save_text();
+        // Corrupt one float.
+        let bad = text.replacen("layer 3 32", "layer 3 31", 1);
+        assert!(GcnModel::load_text(&bad).is_err());
+    }
+}

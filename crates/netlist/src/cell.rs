@@ -1,0 +1,285 @@
+//! Standard-cell kinds and their logic/physical properties.
+//!
+//! The cell set models a reduced Nangate-45-like library: the basic
+//! combinational functions at arities 1–4, a 2:1 mux, sequential elements,
+//! and DfT cells (scan flop, observation test point). Physical attributes
+//! (area, intrinsic delay) are representative relative values used by the
+//! partitioners for area balancing; they are not calibrated to a real PDK.
+
+use std::fmt;
+
+/// The logic function (and role) of a gate.
+///
+/// Arity is stored on the gate instance, not the kind, so `And` covers
+/// AND2–AND4 and so on; [`CellKind::arity_range`] gives the legal range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CellKind {
+    /// Primary input port (no input pins, drives one net).
+    Input,
+    /// Primary output port (one input pin, drives nothing).
+    Output,
+    /// Buffer.
+    Buf,
+    /// Inverter.
+    Inv,
+    /// AND gate (2–4 inputs).
+    And,
+    /// OR gate (2–4 inputs).
+    Or,
+    /// NAND gate (2–4 inputs).
+    Nand,
+    /// NOR gate (2–4 inputs).
+    Nor,
+    /// XOR gate (2–3 inputs).
+    Xor,
+    /// XNOR gate (2–3 inputs).
+    Xnor,
+    /// 2:1 multiplexer; pin order is `(sel, a, b)`, output `sel ? b : a`.
+    Mux2,
+    /// D flip-flop: one input (D), output Q. Sequential boundary.
+    Dff,
+    /// Scan D flip-flop: functionally identical to [`CellKind::Dff`] but
+    /// stitched into a scan chain by DfT insertion.
+    ScanDff,
+    /// Observation test point: observes one net, drives nothing. Acts as an
+    /// extra observation point during scan testing.
+    ObsPoint,
+}
+
+impl CellKind {
+    /// All kinds, in a stable order (useful for iteration in tests and
+    /// generators).
+    pub const ALL: [CellKind; 14] = [
+        CellKind::Input,
+        CellKind::Output,
+        CellKind::Buf,
+        CellKind::Inv,
+        CellKind::And,
+        CellKind::Or,
+        CellKind::Nand,
+        CellKind::Nor,
+        CellKind::Xor,
+        CellKind::Xnor,
+        CellKind::Mux2,
+        CellKind::Dff,
+        CellKind::ScanDff,
+        CellKind::ObsPoint,
+    ];
+
+    /// Inclusive range of legal input-pin counts for this kind.
+    pub fn arity_range(self) -> (u8, u8) {
+        match self {
+            CellKind::Input => (0, 0),
+            CellKind::Output | CellKind::ObsPoint => (1, 1),
+            CellKind::Buf | CellKind::Inv => (1, 1),
+            CellKind::And | CellKind::Or | CellKind::Nand | CellKind::Nor => (2, 4),
+            CellKind::Xor | CellKind::Xnor => (2, 3),
+            CellKind::Mux2 => (3, 3),
+            CellKind::Dff | CellKind::ScanDff => (1, 1),
+        }
+    }
+
+    /// Returns `true` if gates of this kind drive an output net.
+    pub fn has_output(self) -> bool {
+        !matches!(self, CellKind::Output | CellKind::ObsPoint)
+    }
+
+    /// Returns `true` for sequential elements (flip-flops).
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellKind::Dff | CellKind::ScanDff)
+    }
+
+    /// Returns `true` for purely combinational logic cells (excludes ports,
+    /// flops, and DfT observation points).
+    pub fn is_combinational(self) -> bool {
+        matches!(
+            self,
+            CellKind::Buf
+                | CellKind::Inv
+                | CellKind::And
+                | CellKind::Or
+                | CellKind::Nand
+                | CellKind::Nor
+                | CellKind::Xor
+                | CellKind::Xnor
+                | CellKind::Mux2
+        )
+    }
+
+    /// Relative cell area (arbitrary units, scaled from Nangate-45 ratios).
+    /// Multi-input variants grow with `arity`.
+    pub fn area(self, arity: u8) -> f64 {
+        let base: f64 = match self {
+            CellKind::Input | CellKind::Output | CellKind::ObsPoint => 0.0,
+            CellKind::Buf => 1.0,
+            CellKind::Inv => 0.8,
+            CellKind::And | CellKind::Or => 1.3,
+            CellKind::Nand | CellKind::Nor => 1.0,
+            CellKind::Xor | CellKind::Xnor => 2.0,
+            CellKind::Mux2 => 2.3,
+            CellKind::Dff => 4.5,
+            CellKind::ScanDff => 6.0,
+        };
+        let extra = arity.saturating_sub(2) as f64;
+        base + 0.35 * extra * base.max(0.5)
+    }
+
+    /// Bit-parallel evaluation of the cell function over 64-pattern words.
+    ///
+    /// `inputs` holds one `u64` word per input pin; bit *i* of each word is
+    /// pattern *i*'s logic value. Sequential cells evaluate as identity on
+    /// their D input (the caller handles clocking semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is outside [`CellKind::arity_range`] or if
+    /// the kind has no output ([`CellKind::Output`], [`CellKind::ObsPoint`]).
+    pub fn eval_words(self, inputs: &[u64]) -> u64 {
+        let (lo, hi) = self.arity_range();
+        assert!(
+            inputs.len() >= lo as usize && inputs.len() <= hi as usize,
+            "cell {self} expects {lo}..={hi} inputs, got {}",
+            inputs.len()
+        );
+        match self {
+            CellKind::Input => 0,
+            CellKind::Output | CellKind::ObsPoint => {
+                panic!("cell {self} has no output function")
+            }
+            CellKind::Buf | CellKind::Dff | CellKind::ScanDff => inputs[0],
+            CellKind::Inv => !inputs[0],
+            CellKind::And => inputs.iter().fold(!0u64, |a, &b| a & b),
+            CellKind::Or => inputs.iter().fold(0u64, |a, &b| a | b),
+            CellKind::Nand => !inputs.iter().fold(!0u64, |a, &b| a & b),
+            CellKind::Nor => !inputs.iter().fold(0u64, |a, &b| a | b),
+            CellKind::Xor => inputs.iter().fold(0u64, |a, &b| a ^ b),
+            CellKind::Xnor => !inputs.iter().fold(0u64, |a, &b| a ^ b),
+            CellKind::Mux2 => {
+                let (s, a, b) = (inputs[0], inputs[1], inputs[2]);
+                (!s & a) | (s & b)
+            }
+        }
+    }
+
+    /// Scalar evaluation of the cell function on single boolean values.
+    ///
+    /// Convenience wrapper over [`CellKind::eval_words`] for tests and
+    /// examples.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CellKind::eval_words`].
+    pub fn eval_bool(self, inputs: &[bool]) -> bool {
+        let words: Vec<u64> = inputs.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        self.eval_words(&words) & 1 == 1
+    }
+
+    /// Short lowercase mnemonic used by the text netlist format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CellKind::Input => "input",
+            CellKind::Output => "output",
+            CellKind::Buf => "buf",
+            CellKind::Inv => "inv",
+            CellKind::And => "and",
+            CellKind::Or => "or",
+            CellKind::Nand => "nand",
+            CellKind::Nor => "nor",
+            CellKind::Xor => "xor",
+            CellKind::Xnor => "xnor",
+            CellKind::Mux2 => "mux2",
+            CellKind::Dff => "dff",
+            CellKind::ScanDff => "sdff",
+            CellKind::ObsPoint => "obs",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`CellKind::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<CellKind> {
+        CellKind::ALL.iter().copied().find(|k| k.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic_gates() {
+        assert!(CellKind::And.eval_bool(&[true, true]));
+        assert!(!CellKind::And.eval_bool(&[true, false]));
+        assert!(CellKind::Or.eval_bool(&[false, true]));
+        assert!(CellKind::Nand.eval_bool(&[true, false]));
+        assert!(!CellKind::Nand.eval_bool(&[true, true]));
+        assert!(!CellKind::Nor.eval_bool(&[false, true]));
+        assert!(CellKind::Nor.eval_bool(&[false, false]));
+        assert!(CellKind::Xor.eval_bool(&[true, false]));
+        assert!(!CellKind::Xor.eval_bool(&[true, true]));
+        assert!(CellKind::Xnor.eval_bool(&[true, true]));
+        assert!(!CellKind::Inv.eval_bool(&[true]));
+        assert!(CellKind::Buf.eval_bool(&[true]));
+    }
+
+    #[test]
+    fn eval_wide_gates() {
+        assert!(CellKind::And.eval_bool(&[true, true, true, true]));
+        assert!(!CellKind::And.eval_bool(&[true, true, false, true]));
+        assert!(CellKind::Xor.eval_bool(&[true, true, true]));
+        assert!(!CellKind::Xor.eval_bool(&[true, true, false]));
+        assert!(CellKind::Nor.eval_bool(&[false, false, false, false]));
+    }
+
+    #[test]
+    fn eval_mux() {
+        // sel=0 selects input a; sel=1 selects input b.
+        assert!(CellKind::Mux2.eval_bool(&[false, true, false]));
+        assert!(!CellKind::Mux2.eval_bool(&[false, false, true]));
+        assert!(CellKind::Mux2.eval_bool(&[true, false, true]));
+        assert!(!CellKind::Mux2.eval_bool(&[true, true, false]));
+    }
+
+    #[test]
+    fn eval_words_is_bit_parallel() {
+        let a = 0b1010;
+        let b = 0b1100;
+        assert_eq!(CellKind::And.eval_words(&[a, b]) & 0xF, 0b1000);
+        assert_eq!(CellKind::Or.eval_words(&[a, b]) & 0xF, 0b1110);
+        assert_eq!(CellKind::Xor.eval_words(&[a, b]) & 0xF, 0b0110);
+        assert_eq!(CellKind::Nand.eval_words(&[a, b]) & 0xF, 0b0111);
+    }
+
+    #[test]
+    fn mnemonic_round_trip() {
+        for kind in CellKind::ALL {
+            assert_eq!(CellKind::from_mnemonic(kind.mnemonic()), Some(kind));
+        }
+        assert_eq!(CellKind::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn arity_ranges_consistent() {
+        for kind in CellKind::ALL {
+            let (lo, hi) = kind.arity_range();
+            assert!(lo <= hi, "{kind}: {lo} > {hi}");
+        }
+    }
+
+    #[test]
+    fn area_grows_with_arity() {
+        assert!(CellKind::Nand.area(4) > CellKind::Nand.area(2));
+        assert_eq!(CellKind::Input.area(0), 0.0);
+        assert!(CellKind::ScanDff.area(1) > CellKind::Dff.area(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn eval_rejects_bad_arity() {
+        CellKind::Inv.eval_words(&[0, 0]);
+    }
+}

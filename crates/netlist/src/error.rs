@@ -1,0 +1,135 @@
+//! Error types for netlist construction and parsing.
+
+use crate::ids::{GateId, NetId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating a [`Netlist`](crate::Netlist).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate was created with an input-pin count outside the legal arity
+    /// range of its cell kind.
+    BadArity {
+        /// The offending gate.
+        gate: GateId,
+        /// Number of inputs supplied.
+        got: usize,
+        /// Legal inclusive range for the kind.
+        expected: (u8, u8),
+    },
+    /// A net is referenced but never driven by any gate.
+    UndrivenNet(NetId),
+    /// A net has a driver but no load (dangling output).
+    DanglingNet(NetId),
+    /// The combinational portion of the netlist contains a cycle through the
+    /// given gate.
+    CombinationalCycle(GateId),
+    /// A gate id is out of range for this netlist.
+    UnknownGate(GateId),
+    /// A net id is out of range for this netlist.
+    UnknownNet(NetId),
+    /// A flip-flop's D input was never connected.
+    UnconnectedFlop(GateId),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::BadArity {
+                gate,
+                got,
+                expected,
+            } => write!(
+                f,
+                "gate {gate} has {got} inputs, expected {}..={}",
+                expected.0, expected.1
+            ),
+            NetlistError::UndrivenNet(n) => write!(f, "net {n} has no driver"),
+            NetlistError::DanglingNet(n) => write!(f, "net {n} has no load"),
+            NetlistError::CombinationalCycle(g) => {
+                write!(f, "combinational cycle through gate {g}")
+            }
+            NetlistError::UnknownGate(g) => write!(f, "unknown gate {g}"),
+            NetlistError::UnknownNet(n) => write!(f, "unknown net {n}"),
+            NetlistError::UnconnectedFlop(g) => {
+                write!(f, "flip-flop {g} has an unconnected D input")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// Errors produced while parsing the text netlist format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseNetlistError {
+    /// A line could not be parsed; carries the 1-based line number and a
+    /// description.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A signal name was referenced before being defined.
+    UnknownSignal {
+        /// 1-based line number.
+        line: usize,
+        /// The unresolved signal name.
+        name: String,
+    },
+    /// The parsed netlist failed semantic validation.
+    Invalid(NetlistError),
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNetlistError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ParseNetlistError::UnknownSignal { line, name } => {
+                write!(f, "line {line}: unknown signal `{name}`")
+            }
+            ParseNetlistError::Invalid(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl Error for ParseNetlistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseNetlistError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for ParseNetlistError {
+    fn from(e: NetlistError) -> Self {
+        ParseNetlistError::Invalid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = NetlistError::UndrivenNet(NetId(3));
+        assert_eq!(e.to_string(), "net n3 has no driver");
+        let p = ParseNetlistError::UnknownSignal {
+            line: 7,
+            name: "x".into(),
+        };
+        assert!(p.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<NetlistError>();
+        check::<ParseNetlistError>();
+    }
+}

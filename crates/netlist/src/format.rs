@@ -1,0 +1,178 @@
+//! A minimal text netlist format (`.mnl`) with exact round-tripping.
+//!
+//! One gate per line, in gate-id order:
+//!
+//! ```text
+//! # m3d-netlist v1
+//! nets 3
+//! input -> n0
+//! input -> n1
+//! and n0 n1 -> n2
+//! output n2 -> -
+//! ```
+//!
+//! Net tokens are `n<k>`; `-` marks the absent output of port/DfT cells.
+//! Gate ids are implicit line order, so `parse(write(nl)) == nl` exactly.
+
+use crate::cell::CellKind;
+use crate::error::ParseNetlistError;
+use crate::ids::NetId;
+use crate::netlist::{Gate, Netlist};
+use std::fmt::Write as _;
+
+/// Serializes a netlist to the `.mnl` text format.
+pub fn write_netlist(nl: &Netlist) -> String {
+    let mut s = String::new();
+    s.push_str("# m3d-netlist v1\n");
+    let _ = writeln!(s, "nets {}", nl.net_count());
+    for (_, g) in nl.iter_gates() {
+        s.push_str(g.kind.mnemonic());
+        for inp in &g.inputs {
+            let _ = write!(s, " {inp}");
+        }
+        match g.output {
+            Some(out) => {
+                let _ = writeln!(s, " -> {out}");
+            }
+            None => s.push_str(" -> -\n"),
+        }
+    }
+    s
+}
+
+/// Parses the `.mnl` text format produced by [`write_netlist`].
+///
+/// # Errors
+///
+/// Returns a [`ParseNetlistError`] describing the first syntax problem or
+/// semantic violation (via [`Netlist::validate`]).
+pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
+    let mut net_count: Option<usize> = None;
+    let mut gates: Vec<Gate> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let head = tokens.next().expect("non-empty line has a token");
+        if head == "nets" {
+            let n = tokens
+                .next()
+                .and_then(|t| t.parse::<usize>().ok())
+                .ok_or_else(|| ParseNetlistError::Syntax {
+                    line: line_no,
+                    message: "expected `nets <count>`".into(),
+                })?;
+            net_count = Some(n);
+            continue;
+        }
+        let kind = CellKind::from_mnemonic(head).ok_or_else(|| ParseNetlistError::Syntax {
+            line: line_no,
+            message: format!("unknown cell kind `{head}`"),
+        })?;
+        let rest: Vec<&str> = tokens.collect();
+        let arrow = rest
+            .iter()
+            .position(|&t| t == "->")
+            .ok_or_else(|| ParseNetlistError::Syntax {
+                line: line_no,
+                message: "missing `->`".into(),
+            })?;
+        let inputs = rest[..arrow]
+            .iter()
+            .map(|t| parse_net(t, line_no))
+            .collect::<Result<Vec<NetId>, _>>()?;
+        let out_tok = rest.get(arrow + 1).ok_or_else(|| ParseNetlistError::Syntax {
+            line: line_no,
+            message: "missing output token after `->`".into(),
+        })?;
+        let output = if *out_tok == "-" {
+            None
+        } else {
+            Some(parse_net(out_tok, line_no)?)
+        };
+        gates.push(Gate {
+            kind,
+            inputs,
+            output,
+        });
+    }
+    let net_count = net_count.ok_or(ParseNetlistError::Syntax {
+        line: 0,
+        message: "missing `nets <count>` header".into(),
+    })?;
+    Ok(Netlist::from_gates(net_count, gates)?)
+}
+
+fn parse_net(tok: &str, line: usize) -> Result<NetId, ParseNetlistError> {
+    tok.strip_prefix('n')
+        .and_then(|t| t.parse::<u32>().ok())
+        .map(NetId)
+        .ok_or_else(|| ParseNetlistError::UnknownSignal {
+            line,
+            name: tok.to_string(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, GeneratorConfig};
+
+    #[test]
+    fn round_trip_small_handbuilt() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let y = nl.add_gate(CellKind::Nand, &[a, b]).unwrap();
+        let (ff, q) = nl.add_flop(true);
+        nl.connect_flop_d(ff, y).unwrap();
+        let z = nl.add_gate(CellKind::Inv, &[q]).unwrap();
+        nl.add_output(z);
+        nl.validate().unwrap();
+
+        let text = write_netlist(&nl);
+        let back = parse_netlist(&text).unwrap();
+        assert_eq!(nl, back);
+    }
+
+    #[test]
+    fn round_trip_generated() {
+        let nl = generate(&GeneratorConfig::default());
+        let back = parse_netlist(&write_netlist(&nl)).unwrap();
+        assert_eq!(nl, back);
+    }
+
+    #[test]
+    fn rejects_bad_kind() {
+        let err = parse_netlist("nets 1\nfrobnicate -> n0\n").unwrap_err();
+        assert!(err.to_string().contains("unknown cell kind"));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = parse_netlist("input -> n0\n").unwrap_err();
+        assert!(err.to_string().contains("nets"));
+    }
+
+    #[test]
+    fn rejects_bad_net_token() {
+        let err = parse_netlist("nets 1\ninput -> x7\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::UnknownSignal { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_net() {
+        let err = parse_netlist("nets 1\ninput -> n5\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::Invalid(_)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let nl = parse_netlist("# hi\n\nnets 2\ninput -> n0\ninv n0 -> n1\noutput n1 -> -\n")
+            .unwrap();
+        assert_eq!(nl.gate_count(), 3);
+    }
+}

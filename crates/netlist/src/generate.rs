@@ -1,0 +1,463 @@
+//! Synthetic gate-level benchmark generation.
+//!
+//! The paper evaluates on four M3D benchmarks (AES, Tate, netcard, leon3mp)
+//! synthesized from RTL with a commercial tool. RTL sources and Synopsys DC
+//! are unavailable here, so this module generates seeded random netlists
+//! whose *topology statistics* (gate count, flop count, logic depth, fanout
+//! distribution, gate-kind mix) are scaled from the paper's Table III. The
+//! downstream diagnosis problem depends on those statistics — cone sizes,
+//! reconvergence, depth — rather than on the specific logic function, so
+//! the substitution preserves the behaviour under study (see DESIGN.md §2).
+//!
+//! Two synthesis "corners" model the paper's *Syn-1* / *Syn-2*
+//! configurations: Syn-2 regenerates the logic cloud with a different seed,
+//! a shallower depth target, and extra buffering on high-fanout nets —
+//! i.e. the kinds of structural change a re-synthesis at a different clock
+//! frequency produces.
+
+use crate::cell::CellKind;
+use crate::ids::NetId;
+use crate::netlist::Netlist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The four benchmark profiles of the paper's Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchmarkProfile {
+    /// AES (OpenCores): XOR-heavy datapath, moderate depth.
+    AesLike,
+    /// Tate bilinear pairing (OpenCores): XOR-heavy, deeper.
+    TateLike,
+    /// netcard (ISPD 2012): control-dominated, mux-heavy, many flops.
+    NetcardLike,
+    /// leon3mp (ISPD 2012): largest, mixed logic.
+    Leon3Like,
+}
+
+impl BenchmarkProfile {
+    /// All profiles in Table III order.
+    pub const ALL: [BenchmarkProfile; 4] = [
+        BenchmarkProfile::AesLike,
+        BenchmarkProfile::TateLike,
+        BenchmarkProfile::NetcardLike,
+        BenchmarkProfile::Leon3Like,
+    ];
+
+    /// Benchmark name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchmarkProfile::AesLike => "aes",
+            BenchmarkProfile::TateLike => "tate",
+            BenchmarkProfile::NetcardLike => "netcard",
+            BenchmarkProfile::Leon3Like => "leon3mp",
+        }
+    }
+
+    /// Paper-scale gate count from Table III.
+    pub fn paper_gate_count(self) -> usize {
+        match self {
+            BenchmarkProfile::AesLike => 98_000,
+            BenchmarkProfile::TateLike => 187_000,
+            BenchmarkProfile::NetcardLike => 220_000,
+            BenchmarkProfile::Leon3Like => 338_000,
+        }
+    }
+
+    /// Paper scan-chain matrix from Table III: `(chains, channels, length)`.
+    pub fn paper_scan_matrix(self) -> (usize, usize, usize) {
+        match self {
+            BenchmarkProfile::AesLike => (100, 5, 123),
+            BenchmarkProfile::TateLike => (200, 10, 171),
+            BenchmarkProfile::NetcardLike => (400, 20, 182),
+            BenchmarkProfile::Leon3Like => (400, 20, 285),
+        }
+    }
+
+    /// Generator configuration for this profile at a given `scale`
+    /// (fraction of paper size; `1.0` = Table III scale) and synthesis
+    /// `corner`.
+    pub fn config(self, scale: f64, corner: SynthesisCorner) -> GeneratorConfig {
+        let (chains, _channels, chain_len) = self.paper_scan_matrix();
+        let flops_paper = chains * chain_len;
+        let gates = ((self.paper_gate_count() as f64 * scale) as usize).max(200);
+        let flops = ((flops_paper as f64 * scale) as usize).max(16);
+        let (xor_bias, mux_bias, depth) = match self {
+            BenchmarkProfile::AesLike => (0.40, 0.03, 22),
+            BenchmarkProfile::TateLike => (0.35, 0.04, 28),
+            BenchmarkProfile::NetcardLike => (0.08, 0.15, 34),
+            BenchmarkProfile::Leon3Like => (0.12, 0.10, 40),
+        };
+        let base_seed = match self {
+            BenchmarkProfile::AesLike => 0x1000,
+            BenchmarkProfile::TateLike => 0x2000,
+            BenchmarkProfile::NetcardLike => 0x3000,
+            BenchmarkProfile::Leon3Like => 0x4000,
+        };
+        let mut cfg = GeneratorConfig {
+            seed: base_seed,
+            n_inputs: (gates / 100).clamp(8, 512),
+            n_outputs: (gates / 120).clamp(8, 512),
+            n_flops: flops,
+            n_comb_gates: gates.saturating_sub(flops).max(64),
+            target_depth: depth,
+            xor_bias,
+            mux_bias,
+            buffer_high_fanout: false,
+        };
+        if corner == SynthesisCorner::Syn2 {
+            // Re-synthesis at a different clock frequency: different seed,
+            // shallower logic, more buffering.
+            cfg.seed ^= 0xABCD_EF01;
+            cfg.target_depth = ((depth as f64) * 0.75) as u32;
+            cfg.buffer_high_fanout = true;
+        }
+        cfg
+    }
+}
+
+/// Synthesis corner: two configurations of the same RTL (paper's Syn-1 and
+/// Syn-2 netlists).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SynthesisCorner {
+    /// Baseline synthesis configuration (used for training data).
+    Syn1,
+    /// Alternative clock-frequency synthesis (transfer target).
+    Syn2,
+}
+
+/// Configuration of the random netlist generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// RNG seed; generation is fully deterministic given the config.
+    pub seed: u64,
+    /// Number of primary inputs.
+    pub n_inputs: usize,
+    /// Number of primary outputs.
+    pub n_outputs: usize,
+    /// Number of flip-flops (inserted as scan flops).
+    pub n_flops: usize,
+    /// Number of combinational gates.
+    pub n_comb_gates: usize,
+    /// Approximate logic depth of the generated cloud.
+    pub target_depth: u32,
+    /// Fraction of XOR/XNOR cells (datapath-/crypto-like circuits are high).
+    pub xor_bias: f64,
+    /// Fraction of MUX cells (control-dominated circuits are high).
+    pub mux_bias: f64,
+    /// Insert buffers on high-fanout nets after generation (Syn-2 corner).
+    pub buffer_high_fanout: bool,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 42,
+            n_inputs: 32,
+            n_outputs: 32,
+            n_flops: 64,
+            n_comb_gates: 600,
+            target_depth: 12,
+            xor_bias: 0.2,
+            mux_bias: 0.05,
+            buffer_high_fanout: false,
+        }
+    }
+}
+
+/// Generates a random sequential netlist matching `cfg`.
+///
+/// The generated netlist is validated and full-scan (all flops are
+/// [`CellKind::ScanDff`]). Every run with the same `cfg` yields an
+/// identical netlist.
+///
+/// # Panics
+///
+/// Panics if `cfg` requests zero inputs or zero combinational gates, or if
+/// the internal construction produces an invalid netlist (a bug).
+pub fn generate(cfg: &GeneratorConfig) -> Netlist {
+    assert!(cfg.n_inputs > 0, "need at least one primary input");
+    assert!(cfg.n_comb_gates > 0, "need at least one gate");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut nl = Netlist::new();
+    let depth = cfg.target_depth.max(2);
+
+    // Level 0: sources.
+    let mut by_level: Vec<Vec<NetId>> = vec![Vec::new(); depth as usize + 1];
+    let mut flops = Vec::with_capacity(cfg.n_flops);
+    for _ in 0..cfg.n_inputs {
+        by_level[0].push(nl.add_input());
+    }
+    for _ in 0..cfg.n_flops {
+        let (ff, q) = nl.add_flop(true);
+        flops.push(ff);
+        by_level[0].push(q);
+    }
+
+    // Nets not yet consumed by any load, bucketed by level, so we can bias
+    // input selection toward them and keep the dangling count low.
+    let mut unused: Vec<Vec<NetId>> = by_level.clone();
+
+    // Cumulative net pool per level for uniform picks below a level.
+    let mut all_nets: Vec<(NetId, u32)> = by_level[0].iter().map(|&n| (n, 0)).collect();
+
+    for i in 0..cfg.n_comb_gates {
+        // Target level: sweep 1..=depth round-robin-ish with jitter so every
+        // level gets populated and the cloud converges to `depth`.
+        let lvl = 1 + ((i as u32 * 7 + rng.gen_range(0..3)) % depth);
+        let kind = pick_kind(&mut rng, cfg);
+        let arity = pick_arity(&mut rng, kind);
+        let mut ins = Vec::with_capacity(arity);
+        // First input from level lvl-1 to actually realize the depth.
+        let first = pick_from_level(&mut rng, &by_level, &mut unused, lvl - 1);
+        ins.push(first);
+        for _ in 1..arity {
+            let pick_unused = rng.gen_bool(0.6);
+            let net = if pick_unused {
+                pick_unused_below(&mut rng, &mut unused, lvl)
+            } else {
+                None
+            };
+            let net = net.unwrap_or_else(|| pick_any_below(&mut rng, &all_nets, lvl));
+            ins.push(net);
+        }
+        let out = nl
+            .add_gate(kind, &ins)
+            .expect("generator produced bad arity");
+        by_level[lvl as usize].push(out);
+        unused[lvl as usize].push(out);
+        all_nets.push((out, lvl));
+    }
+
+    // Connect flop D inputs and primary outputs, consuming unused deep nets
+    // first.
+    let mut deep_unused: Vec<NetId> = unused
+        .iter()
+        .rev()
+        .flat_map(|v| v.iter().copied())
+        .collect();
+    for &ff in &flops {
+        let net = deep_unused
+            .pop()
+            .unwrap_or_else(|| pick_any_below(&mut rng, &all_nets, depth + 1));
+        nl.connect_flop_d(ff, net).expect("flop wiring");
+    }
+    for _ in 0..cfg.n_outputs {
+        let net = deep_unused
+            .pop()
+            .unwrap_or_else(|| pick_any_below(&mut rng, &all_nets, depth + 1));
+        nl.add_output(net);
+    }
+    // Any remaining unconsumed nets: round-robin extra loads onto existing
+    // primary outputs is not possible (ports are single-pin), so absorb the
+    // stragglers with 2-input OR taps feeding one extra output each, up to a
+    // small budget; the rest stay dangling (realistic, lowers FC slightly).
+    let mut budget = cfg.n_outputs / 4 + 1;
+    while let (Some(a), true) = (deep_unused.pop(), budget > 0) {
+        if let Some(b) = deep_unused.pop() {
+            let y = nl.add_gate(CellKind::Or, &[a, b]).expect("tap");
+            nl.add_output(y);
+        } else {
+            nl.add_output(a);
+        }
+        budget -= 1;
+    }
+
+    if cfg.buffer_high_fanout {
+        buffer_high_fanout_nets(&mut nl, 8);
+    }
+
+    nl.validate().expect("generated netlist must validate");
+    nl
+}
+
+/// Inserts buffers on every net whose fanout exceeds `threshold`
+/// (fanout-repair pass used by the Syn-2 corner). Returns the number of
+/// buffers inserted.
+pub fn buffer_high_fanout_nets(nl: &mut Netlist, threshold: usize) -> usize {
+    let heavy: Vec<NetId> = nl
+        .iter_nets()
+        .filter(|(_, n)| n.fanout() > threshold)
+        .map(|(id, _)| id)
+        .collect();
+    let count = heavy.len();
+    for net in heavy {
+        nl.insert_buffer(net);
+    }
+    count
+}
+
+fn pick_kind(rng: &mut StdRng, cfg: &GeneratorConfig) -> CellKind {
+    let r: f64 = rng.gen();
+    if r < cfg.xor_bias {
+        if rng.gen_bool(0.5) {
+            CellKind::Xor
+        } else {
+            CellKind::Xnor
+        }
+    } else if r < cfg.xor_bias + cfg.mux_bias {
+        CellKind::Mux2
+    } else {
+        match rng.gen_range(0..6) {
+            0 => CellKind::And,
+            1 => CellKind::Or,
+            2 => CellKind::Nand,
+            3 => CellKind::Nor,
+            4 => CellKind::Inv,
+            _ => CellKind::Nand, // NAND-rich like real std-cell mappings
+        }
+    }
+}
+
+fn pick_arity(rng: &mut StdRng, kind: CellKind) -> usize {
+    let (lo, hi) = kind.arity_range();
+    if lo == hi {
+        return lo as usize;
+    }
+    // Bias toward 2-input cells like technology mapping does.
+    let r: f64 = rng.gen();
+    let extra = if r < 0.65 {
+        0
+    } else if r < 0.9 {
+        1
+    } else {
+        2
+    };
+    ((lo as usize + extra).min(hi as usize)).max(lo as usize)
+}
+
+fn pick_from_level(
+    rng: &mut StdRng,
+    by_level: &[Vec<NetId>],
+    unused: &mut [Vec<NetId>],
+    lvl: u32,
+) -> NetId {
+    // Prefer an unused net at exactly `lvl`; fall back to any net at `lvl`,
+    // then scan downward.
+    let mut l = lvl as i64;
+    loop {
+        let li = l as usize;
+        if !unused[li].is_empty() {
+            let k = rng.gen_range(0..unused[li].len());
+            return unused[li].swap_remove(k);
+        }
+        if !by_level[li].is_empty() {
+            let k = rng.gen_range(0..by_level[li].len());
+            return by_level[li][k];
+        }
+        l -= 1;
+        assert!(l >= 0, "level 0 always has sources");
+    }
+}
+
+fn pick_unused_below(rng: &mut StdRng, unused: &mut [Vec<NetId>], lvl: u32) -> Option<NetId> {
+    let candidates: Vec<usize> = (0..lvl as usize)
+        .filter(|&l| !unused[l].is_empty())
+        .collect();
+    let &l = candidates.get(rng.gen_range(0..candidates.len().max(1)))?;
+    let k = rng.gen_range(0..unused[l].len());
+    Some(unused[l].swap_remove(k))
+}
+
+fn pick_any_below(rng: &mut StdRng, all_nets: &[(NetId, u32)], lvl: u32) -> NetId {
+    // Rejection-sample a net with level < lvl; the level-0 sources make this
+    // terminate quickly.
+    loop {
+        let (n, l) = all_nets[rng.gen_range(0..all_nets.len())];
+        if l < lvl {
+            return n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo;
+
+    #[test]
+    fn default_generation_is_valid_and_deterministic() {
+        let cfg = GeneratorConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a, b, "generation must be deterministic");
+        a.validate().unwrap();
+        let s = a.stats();
+        assert_eq!(s.flops, cfg.n_flops);
+        assert_eq!(s.inputs, cfg.n_inputs);
+        assert!(s.comb_gates >= cfg.n_comb_gates);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GeneratorConfig::default());
+        let b = generate(&GeneratorConfig {
+            seed: 43,
+            ..GeneratorConfig::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn depth_tracks_target() {
+        let cfg = GeneratorConfig {
+            n_comb_gates: 2000,
+            target_depth: 16,
+            ..GeneratorConfig::default()
+        };
+        let nl = generate(&cfg);
+        let d = topo::comb_depth(&nl);
+        assert!(
+            (14..=20).contains(&d),
+            "depth {d} should be near target 16 (+ports)"
+        );
+    }
+
+    #[test]
+    fn profiles_generate_with_expected_relative_sizes() {
+        let scale = 0.004;
+        let mut sizes = Vec::new();
+        for p in BenchmarkProfile::ALL {
+            let nl = generate(&p.config(scale, SynthesisCorner::Syn1));
+            nl.validate().unwrap();
+            sizes.push(nl.stats().gates);
+        }
+        // Table III ordering: aes < tate < netcard < leon3mp.
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "{sizes:?}");
+    }
+
+    #[test]
+    fn syn2_corner_differs_and_buffers() {
+        let p = BenchmarkProfile::AesLike;
+        let s1 = generate(&p.config(0.004, SynthesisCorner::Syn1));
+        let s2 = generate(&p.config(0.004, SynthesisCorner::Syn2));
+        assert_ne!(s1, s2);
+        // Syn-2 should contain buffers from the fanout repair pass.
+        let bufs = s2
+            .iter_gates()
+            .filter(|(_, g)| g.kind == CellKind::Buf)
+            .count();
+        assert!(bufs > 0, "Syn-2 corner inserts buffers");
+    }
+
+    #[test]
+    fn dangling_fraction_is_small() {
+        let nl = generate(&GeneratorConfig {
+            n_comb_gates: 3000,
+            ..GeneratorConfig::default()
+        });
+        let dangling = nl.dangling_nets().len();
+        assert!(
+            (dangling as f64) < 0.05 * nl.net_count() as f64,
+            "dangling {dangling}/{}",
+            nl.net_count()
+        );
+    }
+
+    #[test]
+    fn generated_flops_are_scan() {
+        let nl = generate(&GeneratorConfig::default());
+        for &ff in nl.flops() {
+            assert_eq!(nl.gate(ff).kind, CellKind::ScanDff);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Strongly-typed identifiers for netlist objects.
+//!
+//! Every object in a [`Netlist`](crate::Netlist) is referred to by a compact
+//! index newtype rather than a raw `usize`, so that gate/net/pin indices can
+//! never be confused with each other at compile time (C-NEWTYPE).
+
+use std::fmt;
+
+/// Identifier of a gate (cell instance) within a [`Netlist`](crate::Netlist).
+///
+/// Gate ids are dense: they index into the netlist's internal gate table and
+/// range over `0..netlist.gate_count()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GateId(pub u32);
+
+/// Identifier of a net (wire) within a [`Netlist`](crate::Netlist).
+///
+/// Net ids are dense: they index into the netlist's internal net table and
+/// range over `0..netlist.net_count()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub u32);
+
+impl GateId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NetId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<GateId> for usize {
+    fn from(id: GateId) -> usize {
+        id.index()
+    }
+}
+
+impl From<NetId> for usize {
+    fn from(id: NetId) -> usize {
+        id.index()
+    }
+}
+
+/// A pin of a gate: either one of its inputs or its output.
+///
+/// Pins are the *fault sites* of transition-delay-fault testing: every input
+/// pin and every output pin of every gate can host a slow-to-rise or
+/// slow-to-fall fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Pin {
+    /// The `k`-th input pin of a gate.
+    Input(u8),
+    /// The (single) output pin of a gate.
+    Output,
+}
+
+impl fmt::Display for Pin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pin::Input(k) => write!(f, "i{k}"),
+            Pin::Output => write!(f, "o"),
+        }
+    }
+}
+
+/// A fully-qualified pin reference: gate plus pin position.
+///
+/// `PinRef` is the canonical identity of a fault site throughout the
+/// workspace (simulation, diagnosis, graph construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PinRef {
+    /// The gate the pin belongs to.
+    pub gate: GateId,
+    /// Which pin of the gate.
+    pub pin: Pin,
+}
+
+impl PinRef {
+    /// Creates a reference to input pin `k` of `gate`.
+    #[inline]
+    pub fn input(gate: GateId, k: u8) -> Self {
+        PinRef {
+            gate,
+            pin: Pin::Input(k),
+        }
+    }
+
+    /// Creates a reference to the output pin of `gate`.
+    #[inline]
+    pub fn output(gate: GateId) -> Self {
+        PinRef {
+            gate,
+            pin: Pin::Output,
+        }
+    }
+
+    /// Returns `true` if this is an output pin.
+    #[inline]
+    pub fn is_output(self) -> bool {
+        matches!(self.pin, Pin::Output)
+    }
+}
+
+impl fmt::Display for PinRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.gate, self.pin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(GateId(1) < GateId(2));
+        assert!(NetId(0) < NetId(7));
+        assert_eq!(GateId(3).to_string(), "g3");
+        assert_eq!(NetId(9).to_string(), "n9");
+    }
+
+    #[test]
+    fn pinref_constructors() {
+        let p = PinRef::input(GateId(4), 1);
+        assert_eq!(p.gate, GateId(4));
+        assert_eq!(p.pin, Pin::Input(1));
+        assert!(!p.is_output());
+        let q = PinRef::output(GateId(4));
+        assert!(q.is_output());
+        assert_eq!(q.to_string(), "g4/o");
+        assert_eq!(p.to_string(), "g4/i1");
+    }
+
+    #[test]
+    fn pinref_ordering_groups_by_gate() {
+        let a = PinRef::input(GateId(1), 0);
+        let b = PinRef::output(GateId(1));
+        let c = PinRef::input(GateId(2), 0);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn index_conversions() {
+        let g: usize = GateId(12).into();
+        assert_eq!(g, 12);
+        let n: usize = NetId(5).into();
+        assert_eq!(n, 5);
+    }
+}

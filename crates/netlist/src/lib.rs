@@ -1,0 +1,57 @@
+//! # m3d-netlist
+//!
+//! Gate-level netlist substrate for the `m3d-fault-loc` workspace: cell
+//! library, netlist graph, topological utilities, synthetic benchmark
+//! generation (the stand-in for the paper's RTL + Design Compiler flow),
+//! scan-chain stitching, and observation test-point insertion.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use m3d_netlist::{generate, GeneratorConfig, ScanChains};
+//!
+//! # fn main() -> Result<(), m3d_netlist::NetlistError> {
+//! // Generate a small seeded benchmark and stitch 8 scan chains at 4x
+//! // response compaction.
+//! let nl = generate(&GeneratorConfig::default());
+//! nl.validate()?;
+//! let chains = ScanChains::stitch(&nl, 8, 4);
+//! assert_eq!(chains.channel_count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Paper-profile benchmarks scaled from Table III:
+//!
+//! ```
+//! use m3d_netlist::{generate, BenchmarkProfile, SynthesisCorner};
+//!
+//! let cfg = BenchmarkProfile::AesLike.config(0.01, SynthesisCorner::Syn1);
+//! let aes = generate(&cfg);
+//! assert!(aes.stats().gates > 500);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod cell;
+mod error;
+mod format;
+mod generate;
+mod ids;
+mod netlist;
+mod scan;
+mod testpoint;
+
+pub mod topo;
+
+pub use cell::CellKind;
+pub use error::{NetlistError, ParseNetlistError};
+pub use format::{parse_netlist, write_netlist};
+pub use generate::{
+    buffer_high_fanout_nets, generate, BenchmarkProfile, GeneratorConfig, SynthesisCorner,
+};
+pub use ids::{GateId, NetId, Pin, PinRef};
+pub use netlist::{Gate, Net, Netlist, NetlistStats};
+pub use scan::ScanChains;
+pub use testpoint::{insert_observation_points, TestPointConfig};

@@ -1,0 +1,120 @@
+//! Test-point insertion (the paper's *TPI* design configuration).
+//!
+//! The paper caps test points at 1% of the gate count and lets the ATPG
+//! tool pick locations. We insert *observation* test points at the nets
+//! that are hardest to observe — deepest in the logic and farthest from any
+//! existing observation point — which is the dominant heuristic commercial
+//! tools use for resolution-oriented TPI. Control points (which modify
+//! functional logic) are intentionally not modelled: the diagnosis flow
+//! under study consumes observation structure, and observe-only TPI
+//! reproduces the paper's effect (extra Topnodes → smaller back-traced
+//! cones → better resolution).
+
+use crate::cell::CellKind;
+use crate::ids::NetId;
+use crate::netlist::Netlist;
+use crate::topo;
+
+/// Configuration for observation test-point insertion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestPointConfig {
+    /// Maximum number of test points as a fraction of the gate count
+    /// (the paper uses 0.01).
+    pub max_fraction: f64,
+}
+
+impl Default for TestPointConfig {
+    fn default() -> Self {
+        TestPointConfig { max_fraction: 0.01 }
+    }
+}
+
+/// Inserts observation test points and returns the nets that were tapped.
+///
+/// Candidate nets are scored by observability difficulty: combinational
+/// level (deep nets score high) times fanout (high-fanout stems influence
+/// many cones). The top `max_fraction × gate_count` nets that do not
+/// already feed an observation structure get an [`CellKind::ObsPoint`].
+pub fn insert_observation_points(nl: &mut Netlist, cfg: &TestPointConfig) -> Vec<NetId> {
+    let budget = ((nl.gate_count() as f64) * cfg.max_fraction).floor() as usize;
+    if budget == 0 {
+        return Vec::new();
+    }
+    let lvl = topo::levels(nl);
+    let mut scored: Vec<(f64, NetId)> = nl
+        .iter_nets()
+        .filter(|(_, net)| {
+            // Skip nets that already reach an observation structure directly.
+            net.driver.is_some()
+                && !net.loads.iter().any(|&(g, _)| {
+                    matches!(
+                        nl.gate(g).kind,
+                        CellKind::Output | CellKind::ObsPoint
+                    ) || nl.gate(g).kind.is_sequential()
+                })
+        })
+        .map(|(id, net)| {
+            let drv = net.driver.expect("filtered");
+            let depth = lvl[drv.index()] as f64;
+            let score = depth * (1.0 + net.fanout() as f64).ln().max(0.1);
+            (score, id)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let picked: Vec<NetId> = scored.into_iter().take(budget).map(|(_, n)| n).collect();
+    for &net in &picked {
+        nl.add_obs_point(net);
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, GeneratorConfig};
+
+    #[test]
+    fn insertion_respects_budget() {
+        let mut nl = generate(&GeneratorConfig::default());
+        let before = nl.gate_count();
+        let picked = insert_observation_points(&mut nl, &TestPointConfig::default());
+        assert!(!picked.is_empty());
+        assert!(picked.len() <= before / 100 + 1);
+        assert_eq!(nl.obs_points().len(), picked.len());
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_budget_is_noop() {
+        let mut nl = generate(&GeneratorConfig {
+            n_comb_gates: 64,
+            n_flops: 4,
+            n_inputs: 8,
+            n_outputs: 4,
+            ..GeneratorConfig::default()
+        });
+        let picked = insert_observation_points(&mut nl, &TestPointConfig { max_fraction: 0.0 });
+        assert!(picked.is_empty());
+    }
+
+    #[test]
+    fn picks_deep_unobserved_nets() {
+        let mut nl = generate(&GeneratorConfig::default());
+        let lvl = topo::levels(&nl);
+        let picked = insert_observation_points(&mut nl, &TestPointConfig { max_fraction: 0.005 });
+        for &net in &picked {
+            let drv = nl.net(net).driver.unwrap();
+            assert!(lvl[drv.index()] > 0, "sources are never hard to observe");
+        }
+    }
+
+    #[test]
+    fn repeated_insertion_avoids_already_observed() {
+        let mut nl = generate(&GeneratorConfig::default());
+        let first = insert_observation_points(&mut nl, &TestPointConfig { max_fraction: 0.01 });
+        let second = insert_observation_points(&mut nl, &TestPointConfig { max_fraction: 0.01 });
+        for n in &second {
+            assert!(!first.contains(n), "net {n} tapped twice");
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Fiduccia–Mattheyses min-cut bipartitioning.
+//!
+//! Models the paper's *Syn-1/Syn-2* partitioning flow (Panth et al. [34]):
+//! a cut-aware, area-balanced assignment of standard cells to two tiers.
+//! We implement classic FM with hyperedge gains, area-balance constraints,
+//! and best-prefix rollback, on top of a seeded random initial assignment.
+
+use crate::partition::{is_pinned, Partitioner, Tier, TierPartition};
+use m3d_netlist::{GateId, Netlist};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BinaryHeap;
+
+/// FM min-cut partitioner (two tiers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinCutPartitioner {
+    /// Seed for the initial random balanced assignment.
+    pub seed: u64,
+    /// Maximum FM passes (each pass is a full tentative move sequence with
+    /// rollback to the best prefix).
+    pub max_passes: usize,
+    /// Per-side area tolerance around the perfect 50/50 split
+    /// (0.1 → each side holds 40–60% of total area).
+    pub balance_tolerance: f64,
+}
+
+impl Default for MinCutPartitioner {
+    fn default() -> Self {
+        MinCutPartitioner {
+            seed: 7,
+            max_passes: 4,
+            balance_tolerance: 0.1,
+        }
+    }
+}
+
+impl Partitioner for MinCutPartitioner {
+    fn partition(&self, nl: &Netlist, n_tiers: usize) -> TierPartition {
+        assert_eq!(n_tiers, 2, "MinCutPartitioner bipartitions (2 tiers)");
+        let mut part = crate::random::random_balanced(nl, self.seed);
+        let mut fm = FmState::new(nl, &part, self.balance_tolerance);
+        for _ in 0..self.max_passes {
+            let improved = fm.pass(&mut part);
+            if !improved {
+                break;
+            }
+        }
+        part
+    }
+
+    fn name(&self) -> &'static str {
+        "fm-mincut"
+    }
+}
+
+struct FmState<'a> {
+    nl: &'a Netlist,
+    /// Member gates of each net (deduplicated).
+    net_members: Vec<Vec<GateId>>,
+    /// Nets incident to each gate (deduplicated).
+    gate_nets: Vec<Vec<u32>>,
+    /// Per-gate area.
+    area: Vec<f64>,
+    total_area: f64,
+    tol: f64,
+}
+
+impl<'a> FmState<'a> {
+    fn new(nl: &'a Netlist, _part: &TierPartition, tol: f64) -> Self {
+        let mut net_members = vec![Vec::new(); nl.net_count()];
+        let mut gate_nets = vec![Vec::new(); nl.gate_count()];
+        for (nid, net) in nl.iter_nets() {
+            let mut members: Vec<GateId> = Vec::with_capacity(net.loads.len() + 1);
+            if let Some(d) = net.driver {
+                members.push(d);
+            }
+            for &(g, _) in &net.loads {
+                members.push(g);
+            }
+            members.sort_unstable();
+            members.dedup();
+            for &g in &members {
+                gate_nets[g.index()].push(nid.0);
+            }
+            net_members[nid.index()] = members;
+        }
+        for v in &mut gate_nets {
+            v.sort_unstable();
+            v.dedup();
+        }
+        let area: Vec<f64> = nl
+            .iter_gates()
+            .map(|(_, g)| g.kind.area(g.inputs.len() as u8).max(0.1))
+            .collect();
+        let total_area = area.iter().sum();
+        FmState {
+            nl,
+            net_members,
+            gate_nets,
+            area,
+            total_area,
+            tol,
+        }
+    }
+
+    /// One FM pass; returns `true` if the cut improved.
+    fn pass(&mut self, part: &mut TierPartition) -> bool {
+        let n = self.nl.gate_count();
+        // side[g] = 0 or 1, mirrors part during tentative moves.
+        let mut side: Vec<u8> = (0..n).map(|i| part.tier_of(GateId(i as u32)).0).collect();
+        // Per-net side counts.
+        let mut count: Vec<[u32; 2]> = self
+            .net_members
+            .iter()
+            .map(|m| {
+                let mut c = [0u32; 2];
+                for &g in m {
+                    c[side[g.index()] as usize] += 1;
+                }
+                c
+            })
+            .collect();
+        let initial_cut: i64 = count.iter().filter(|c| c[0] > 0 && c[1] > 0).count() as i64;
+
+        let movable: Vec<usize> = (0..n)
+            .filter(|&i| !is_pinned(self.nl.gate(GateId(i as u32)).kind))
+            .collect();
+        let mut gain: Vec<i64> = vec![0; n];
+        for &i in &movable {
+            gain[i] = self.cell_gain(i, &side, &count);
+        }
+        let mut heap: BinaryHeap<(i64, usize)> =
+            movable.iter().map(|&i| (gain[i], i)).collect();
+        let mut locked = vec![false; n];
+        let mut side_area = [0f64, 0f64];
+        for i in 0..n {
+            side_area[side[i] as usize] += self.area[i];
+        }
+        let lo = self.total_area * (0.5 - self.tol);
+        let hi = self.total_area * (0.5 + self.tol);
+
+        let mut moves: Vec<usize> = Vec::new();
+        let mut cut = initial_cut;
+        let mut best_cut = initial_cut;
+        let mut best_prefix = 0usize;
+
+        while let Some((g, i)) = heap.pop() {
+            if locked[i] || g != gain[i] {
+                continue; // stale heap entry
+            }
+            let from = side[i] as usize;
+            let to = 1 - from;
+            // Balance check.
+            let new_from = side_area[from] - self.area[i];
+            let new_to = side_area[to] + self.area[i];
+            if new_from < lo || new_to > hi {
+                continue; // skip (remains unlocked; may become feasible later)
+            }
+            // Commit tentative move.
+            locked[i] = true;
+            side_area[from] = new_from;
+            side_area[to] = new_to;
+            cut -= g;
+            // Update net counts and neighbor gains.
+            for &nid in &self.gate_nets[i] {
+                count[nid as usize][from] -= 1;
+                count[nid as usize][to] += 1;
+            }
+            side[i] = to as u8;
+            for &nid in &self.gate_nets[i] {
+                for &m in &self.net_members[nid as usize] {
+                    let mi = m.index();
+                    if !locked[mi] && !is_pinned(self.nl.gate(m).kind) {
+                        let ng = self.cell_gain(mi, &side, &count);
+                        if ng != gain[mi] {
+                            gain[mi] = ng;
+                            heap.push((ng, mi));
+                        }
+                    }
+                }
+            }
+            moves.push(i);
+            if cut < best_cut {
+                best_cut = cut;
+                best_prefix = moves.len();
+            }
+        }
+
+        if best_cut >= initial_cut {
+            return false;
+        }
+        // Apply the best prefix to the real partition.
+        for &i in &moves[..best_prefix] {
+            let cur = part.tier_of(GateId(i as u32));
+            part.set(GateId(i as u32), Tier(1 - cur.0));
+        }
+        true
+    }
+
+    fn cell_gain(&self, i: usize, side: &[u8], count: &[[u32; 2]]) -> i64 {
+        let from = side[i] as usize;
+        let to = 1 - from;
+        let mut g = 0i64;
+        for &nid in &self.gate_nets[i] {
+            let c = count[nid as usize];
+            if c[from] == 1 {
+                g += 1; // moving uncuts this net
+            }
+            if c[to] == 0 {
+                g -= 1; // moving cuts this net
+            }
+        }
+        g
+    }
+}
+
+/// Shuffles `items` deterministically with `seed` (shared helper for the
+/// partitioners).
+pub(crate) fn seeded_shuffle<T>(items: &mut [T], seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    items.shuffle(&mut rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netlist::{generate, GeneratorConfig};
+
+    #[test]
+    fn fm_reduces_cut_vs_random() {
+        let nl = generate(&GeneratorConfig::default());
+        let random = crate::random::random_balanced(&nl, 7);
+        let fm = MinCutPartitioner::default().partition(&nl, 2);
+        assert!(
+            fm.cut_nets(&nl) < random.cut_nets(&nl),
+            "FM {} should beat random {}",
+            fm.cut_nets(&nl),
+            random.cut_nets(&nl)
+        );
+    }
+
+    #[test]
+    fn fm_respects_balance() {
+        let nl = generate(&GeneratorConfig::default());
+        let p = MinCutPartitioner::default().partition(&nl, 2);
+        assert!(p.area_imbalance(&nl) <= 0.25, "{}", p.area_imbalance(&nl));
+    }
+
+    #[test]
+    fn fm_pins_ports_to_bottom() {
+        let nl = generate(&GeneratorConfig::default());
+        let p = MinCutPartitioner::default().partition(&nl, 2);
+        for &g in nl.inputs().iter().chain(nl.outputs()) {
+            assert_eq!(p.tier_of(g), Tier::BOTTOM);
+        }
+    }
+
+    #[test]
+    fn fm_is_deterministic() {
+        let nl = generate(&GeneratorConfig::default());
+        let a = MinCutPartitioner::default().partition(&nl, 2);
+        let b = MinCutPartitioner::default().partition(&nl, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bipartitions")]
+    fn fm_rejects_three_tiers() {
+        let nl = generate(&GeneratorConfig {
+            n_comb_gates: 64,
+            n_flops: 4,
+            ..GeneratorConfig::default()
+        });
+        MinCutPartitioner::default().partition(&nl, 3);
+    }
+}

@@ -1,0 +1,144 @@
+//! Level-driven tier partitioning — a structural stand-in for the paper's
+//! *Par* configuration (TP-GNN [27]).
+//!
+//! TP-GNN folds timing paths across tiers; structurally this concentrates
+//! logic of adjacent topological levels on the same tier, producing a
+//! spatial distribution very different from min-cut FM. We model that by
+//! splitting the level range so that area is halved (deep logic on top),
+//! then repairing residual imbalance greedily. The resulting partitions
+//! have a characteristically different MIV distribution (cuts cluster at
+//! the fold level), which is exactly what the transferability study needs.
+
+use crate::partition::{is_pinned, Partitioner, Tier, TierPartition};
+use m3d_netlist::{topo, GateId, Netlist};
+
+/// Level-driven partitioner (two tiers): gates above the area-median
+/// combinational level go to the top tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LevelDrivenPartitioner;
+
+impl Partitioner for LevelDrivenPartitioner {
+    fn partition(&self, nl: &Netlist, n_tiers: usize) -> TierPartition {
+        assert_eq!(n_tiers, 2, "LevelDrivenPartitioner bipartitions (2 tiers)");
+        let lvl = topo::levels(nl);
+        let depth = lvl.iter().copied().max().unwrap_or(0) as usize;
+
+        // Area per level.
+        let mut level_area = vec![0f64; depth + 1];
+        let mut total = 0f64;
+        for (id, g) in nl.iter_gates() {
+            if is_pinned(g.kind) {
+                continue;
+            }
+            let a = g.kind.area(g.inputs.len() as u8).max(0.1);
+            level_area[lvl[id.index()] as usize] += a;
+            total += a;
+        }
+        // Fold level: smallest L such that area(levels <= L) >= total/2.
+        let mut acc = 0f64;
+        let mut fold = depth;
+        for (l, a) in level_area.iter().enumerate() {
+            acc += a;
+            if acc >= total / 2.0 {
+                fold = l;
+                break;
+            }
+        }
+
+        let mut tiers = vec![Tier::BOTTOM; nl.gate_count()];
+        let mut area = [0f64, 0f64];
+        for (id, g) in nl.iter_gates() {
+            if is_pinned(g.kind) {
+                continue;
+            }
+            let t = usize::from(lvl[id.index()] as usize > fold);
+            tiers[id.index()] = Tier(t as u8);
+            area[t] += g.kind.area(g.inputs.len() as u8).max(0.1);
+        }
+
+        // Greedy repair: move boundary-level gates from the heavy tier
+        // until imbalance < 5%.
+        let mut part = TierPartition::new(tiers, 2);
+        let tol = 0.05 * total;
+        let mut boundary: Vec<GateId> = nl
+            .iter_gates()
+            .filter(|(id, g)| {
+                !is_pinned(g.kind) && {
+                    let l = lvl[id.index()] as usize;
+                    l == fold || l == fold + 1
+                }
+            })
+            .map(|(id, _)| id)
+            .collect();
+        boundary.sort_unstable();
+        for g in boundary {
+            if (area[0] - area[1]).abs() <= tol {
+                break;
+            }
+            let heavy = usize::from(area[1] > area[0]);
+            if part.tier_of(g).index() == heavy {
+                let gate = nl.gate(g);
+                let a = gate.kind.area(gate.inputs.len() as u8).max(0.1);
+                part.set(g, Tier((1 - heavy) as u8));
+                area[heavy] -= a;
+                area[1 - heavy] += a;
+            }
+        }
+        part
+    }
+
+    fn name(&self) -> &'static str {
+        "level-driven"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fm::MinCutPartitioner;
+    use m3d_netlist::{generate, GeneratorConfig};
+
+    #[test]
+    fn level_partition_balances() {
+        let nl = generate(&GeneratorConfig::default());
+        let p = LevelDrivenPartitioner.partition(&nl, 2);
+        assert!(p.area_imbalance(&nl) <= 0.15, "{}", p.area_imbalance(&nl));
+    }
+
+    #[test]
+    fn level_partition_differs_from_fm() {
+        let nl = generate(&GeneratorConfig::default());
+        let a = LevelDrivenPartitioner.partition(&nl, 2);
+        let b = MinCutPartitioner::default().partition(&nl, 2);
+        assert_ne!(a, b, "distinct flows must yield distinct partitions");
+    }
+
+    #[test]
+    fn deep_gates_go_to_top() {
+        let nl = generate(&GeneratorConfig::default());
+        let p = LevelDrivenPartitioner.partition(&nl, 2);
+        let lvl = topo::levels(&nl);
+        let depth = lvl.iter().copied().max().unwrap();
+        // The very deepest combinational gates should mostly be on top.
+        let deepest: Vec<GateId> = nl
+            .iter_gates()
+            .filter(|(id, g)| g.kind.is_combinational() && lvl[id.index()] == depth)
+            .map(|(id, _)| id)
+            .collect();
+        let on_top = deepest.iter().filter(|&&g| p.tier_of(g) == Tier::TOP).count();
+        assert!(
+            on_top * 2 >= deepest.len(),
+            "{on_top}/{} deepest gates on top",
+            deepest.len()
+        );
+    }
+
+    #[test]
+    fn ports_stay_on_bottom() {
+        let nl = generate(&GeneratorConfig::default());
+        let p = LevelDrivenPartitioner.partition(&nl, 2);
+        for &g in nl.inputs().iter().chain(nl.outputs()) {
+            assert_eq!(p.tier_of(g), Tier::BOTTOM);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # m3d-part
+//!
+//! M3D tier partitioning and monolithic inter-tier via (MIV) insertion.
+//!
+//! Three partitioners model the design flows the paper evaluates:
+//!
+//! - [`MinCutPartitioner`] — FM min-cut, area-balanced (the *Syn-1/Syn-2*
+//!   flow of Panth et al.).
+//! - [`LevelDrivenPartitioner`] — topological-level folding (the *Par*
+//!   flow of TP-GNN).
+//! - [`RandomPartitioner`] — random balanced assignment, the paper's
+//!   training-data augmentation device.
+//!
+//! [`M3dNetlist::build`] then inserts one MIV per tier boundary each
+//! cut net crosses and exposes site↔MIV equivalence queries used by
+//! diagnosis.
+//!
+//! ```
+//! use m3d_netlist::{generate, GeneratorConfig};
+//! use m3d_part::{LevelDrivenPartitioner, M3dNetlist, Partitioner, Tier};
+//!
+//! let nl = generate(&GeneratorConfig::default());
+//! let part = LevelDrivenPartitioner.partition(&nl, 2);
+//! let m3d = M3dNetlist::build(nl, part);
+//! let stats = m3d.stats();
+//! assert_eq!(stats.gates_per_tier.len(), 2);
+//! assert_eq!(stats.mivs, stats.cut_nets); // two-tier: one via per cut net
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod fm;
+mod level;
+mod miv;
+mod partition;
+mod random;
+
+pub use fm::MinCutPartitioner;
+pub use level::LevelDrivenPartitioner;
+pub use miv::{M3dNetlist, M3dStats, Miv, MivId};
+pub use partition::{Partitioner, Tier, TierPartition};
+pub use random::RandomPartitioner;

@@ -1,0 +1,114 @@
+//! Random area-balanced partitioning — the paper's data-augmentation
+//! device (Section IV): training on randomly partitioned netlists creates
+//! diverse spatial distributions of logic gates and prevents the GNN from
+//! overfitting one partitioning flow.
+
+use crate::fm::seeded_shuffle;
+use crate::partition::{is_pinned, Partitioner, Tier, TierPartition};
+use m3d_netlist::{GateId, Netlist};
+
+/// Random balanced partitioner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomPartitioner {
+    /// Shuffle seed; each seed yields a distinct spatial distribution.
+    pub seed: u64,
+}
+
+impl RandomPartitioner {
+    /// Creates a random partitioner with the given seed.
+    pub fn new(seed: u64) -> Self {
+        RandomPartitioner { seed }
+    }
+}
+
+impl Partitioner for RandomPartitioner {
+    fn partition(&self, nl: &Netlist, n_tiers: usize) -> TierPartition {
+        assert!((1..=8).contains(&n_tiers), "1..=8 tiers supported");
+        if n_tiers == 2 {
+            return random_balanced(nl, self.seed);
+        }
+        // Multi-tier: greedy area-balanced round-robin over a shuffle.
+        let mut movable: Vec<usize> = (0..nl.gate_count())
+            .filter(|&i| !is_pinned(nl.gate(GateId(i as u32)).kind))
+            .collect();
+        seeded_shuffle(&mut movable, self.seed);
+        let mut tiers = vec![Tier::BOTTOM; nl.gate_count()];
+        let mut area = vec![0f64; n_tiers];
+        for i in movable {
+            let g = nl.gate(GateId(i as u32));
+            let t = area
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite areas"))
+                .map(|(t, _)| t)
+                .expect("n_tiers >= 1");
+            tiers[i] = Tier(t as u8);
+            area[t] += g.kind.area(g.inputs.len() as u8).max(0.1);
+        }
+        TierPartition::new(tiers, n_tiers)
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Random balanced two-tier assignment with ports pinned to the bottom
+/// tier. Also used as the FM initial solution.
+pub(crate) fn random_balanced(nl: &Netlist, seed: u64) -> TierPartition {
+    let mut movable: Vec<usize> = (0..nl.gate_count())
+        .filter(|&i| !is_pinned(nl.gate(GateId(i as u32)).kind))
+        .collect();
+    seeded_shuffle(&mut movable, seed);
+    let mut tiers = vec![Tier::BOTTOM; nl.gate_count()];
+    let mut area = [0f64; 2];
+    for i in movable {
+        let g = nl.gate(GateId(i as u32));
+        let t = usize::from(area[1] < area[0]);
+        tiers[i] = Tier(t as u8);
+        area[t] += g.kind.area(g.inputs.len() as u8).max(0.1);
+    }
+    TierPartition::new(tiers, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netlist::{generate, GeneratorConfig};
+
+    #[test]
+    fn random_is_balanced_and_pinned() {
+        let nl = generate(&GeneratorConfig::default());
+        let p = RandomPartitioner::new(11).partition(&nl, 2);
+        assert!(p.area_imbalance(&nl) < 0.05, "{}", p.area_imbalance(&nl));
+        for &g in nl.inputs().iter().chain(nl.outputs()) {
+            assert_eq!(p.tier_of(g), Tier::BOTTOM);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let nl = generate(&GeneratorConfig::default());
+        let a = RandomPartitioner::new(1).partition(&nl, 2);
+        let b = RandomPartitioner::new(2).partition(&nl, 2);
+        assert_ne!(a, b);
+        assert_eq!(a, RandomPartitioner::new(1).partition(&nl, 2));
+    }
+
+    #[test]
+    fn multi_tier_split_balances() {
+        let nl = generate(&GeneratorConfig::default());
+        let p = RandomPartitioner::new(5).partition(&nl, 4);
+        assert_eq!(p.tier_count(), 4);
+        let h = p.area_histogram(&nl);
+        let total: f64 = h.iter().sum();
+        for (t, a) in h.iter().enumerate() {
+            // Bottom tier also carries zero-area ports; generous bound.
+            assert!(
+                (a / total - 0.25).abs() < 0.1,
+                "tier {t} area share {}",
+                a / total
+            );
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The transition-delay-fault (TDF) model.
+//!
+//! A TDF sits at a pin (fault site) with a polarity: *slow-to-rise* delays
+//! 0→1 transitions, *slow-to-fall* delays 1→0. Under launch-on-capture
+//! timing, a delayed transition means the capture clock samples the old V1
+//! value; algebraically the faulty V2 value at the site is
+//! `V1 & V2` (slow-to-rise) or `V1 | V2` (slow-to-fall).
+
+use m3d_netlist::{Netlist, PinRef};
+use std::fmt;
+
+/// TDF polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Polarity {
+    /// Rising transitions arrive late (capture sees 0 instead of 1).
+    SlowToRise,
+    /// Falling transitions arrive late (capture sees 1 instead of 0).
+    SlowToFall,
+}
+
+impl Polarity {
+    /// Both polarities.
+    pub const BOTH: [Polarity; 2] = [Polarity::SlowToRise, Polarity::SlowToFall];
+
+    /// Applies the delay to a packed faulty-capture word: given the site's
+    /// V1 word and its (otherwise) faulty V2 word, returns the word the
+    /// capture clock actually samples.
+    #[inline]
+    pub fn apply(self, v1: u64, v2: u64) -> u64 {
+        match self {
+            Polarity::SlowToRise => v1 & v2,
+            Polarity::SlowToFall => v1 | v2,
+        }
+    }
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Polarity::SlowToRise => "str",
+            Polarity::SlowToFall => "stf",
+        })
+    }
+}
+
+/// One transition-delay fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tdf {
+    /// The pin hosting the fault.
+    pub site: PinRef,
+    /// Slow-to-rise or slow-to-fall.
+    pub polarity: Polarity,
+}
+
+impl Tdf {
+    /// Creates a TDF.
+    pub fn new(site: PinRef, polarity: Polarity) -> Self {
+        Tdf { site, polarity }
+    }
+}
+
+impl fmt::Display for Tdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.polarity, self.site)
+    }
+}
+
+/// Enumerates the full collapsed-free TDF list of `nl`: both polarities at
+/// every pin of every gate (the paper's fault universe).
+pub fn tdf_list(nl: &Netlist) -> Vec<Tdf> {
+    let mut out = Vec::with_capacity(nl.fault_site_count() * 2);
+    for site in nl.fault_sites() {
+        for p in Polarity::BOTH {
+            out.push(Tdf::new(site, p));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netlist::{generate, GateId, GeneratorConfig, Pin};
+
+    #[test]
+    fn polarity_algebra() {
+        // Rising bit (v1=0, v2=1) is suppressed by STR, kept by STF.
+        assert_eq!(Polarity::SlowToRise.apply(0b0, 0b1), 0b0);
+        assert_eq!(Polarity::SlowToFall.apply(0b0, 0b1), 0b1);
+        // Falling bit (v1=1, v2=0) is suppressed by STF, kept by STR.
+        assert_eq!(Polarity::SlowToFall.apply(0b1, 0b0), 0b1);
+        assert_eq!(Polarity::SlowToRise.apply(0b1, 0b0), 0b0);
+        // Stable bits unaffected.
+        assert_eq!(Polarity::SlowToRise.apply(0b1, 0b1), 0b1);
+        assert_eq!(Polarity::SlowToFall.apply(0b0, 0b0), 0b0);
+    }
+
+    #[test]
+    fn tdf_list_covers_every_pin_twice() {
+        let nl = generate(&GeneratorConfig::default());
+        let list = tdf_list(&nl);
+        assert_eq!(list.len(), nl.fault_site_count() * 2);
+        // Unique.
+        let mut dedup = list.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), list.len());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let t = Tdf::new(
+            PinRef {
+                gate: GateId(3),
+                pin: Pin::Input(1),
+            },
+            Polarity::SlowToRise,
+        );
+        assert_eq!(t.to_string(), "str@g3/i1");
+    }
+}

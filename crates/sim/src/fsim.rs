@@ -1,0 +1,399 @@
+//! Cone-limited bit-parallel fault simulation.
+//!
+//! Injecting a TDF only perturbs the transitive fan-out of its site, so the
+//! simulator re-evaluates just that cone against the cached fault-free
+//! [`PatternSim`] values, 64 patterns at a time, with event-driven pruning
+//! (a gate whose recomputed output equals the fault-free value stops the
+//! wave).
+//!
+//! Multi-site fault lists (MIV defects span several load pins; Table X
+//! injects 2–5 TDFs per tier) are simulated jointly in one faulty pass:
+//! activation masks use the faulty circuit's own site values, so
+//! downstream faults see upstream fault effects.
+
+use crate::fault::Tdf;
+use crate::obs::{ObsId, ObsPoints};
+use crate::patterns::PatternSet;
+use crate::sim::PatternSim;
+use m3d_netlist::{topo, CellKind, GateId, Netlist, Pin};
+use std::collections::HashMap;
+
+/// One detected failure: pattern index and failing observation point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Detection {
+    /// Pattern index.
+    pub pattern: u32,
+    /// Failing observation point.
+    pub obs: ObsId,
+}
+
+/// A fault simulator bound to a netlist and a pattern set.
+#[derive(Debug)]
+pub struct FaultSimulator<'a> {
+    nl: &'a Netlist,
+    pats: &'a PatternSet,
+    sim: PatternSim,
+    obs: ObsPoints,
+    topo_pos: Vec<u32>,
+}
+
+impl<'a> FaultSimulator<'a> {
+    /// Runs the fault-free simulation and builds the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`PatternSim::run`].
+    pub fn new(nl: &'a Netlist, pats: &'a PatternSet) -> Self {
+        let sim = PatternSim::run(nl, pats);
+        let obs = ObsPoints::collect(nl);
+        let order = topo::topological_order(nl);
+        let mut topo_pos = vec![0u32; nl.gate_count()];
+        for (i, &g) in order.iter().enumerate() {
+            topo_pos[g.index()] = i as u32;
+        }
+        FaultSimulator {
+            nl,
+            pats,
+            sim,
+            obs,
+            topo_pos,
+        }
+    }
+
+    /// The netlist under simulation.
+    pub fn netlist(&self) -> &Netlist {
+        self.nl
+    }
+
+    /// The pattern set under simulation.
+    pub fn patterns(&self) -> &PatternSet {
+        self.pats
+    }
+
+    /// Cached fault-free simulation results.
+    pub fn sim(&self) -> &PatternSim {
+        &self.sim
+    }
+
+    /// The observation-point table.
+    pub fn obs(&self) -> &ObsPoints {
+        &self.obs
+    }
+
+    /// Simulates a (possibly multi-site) fault and returns every detection,
+    /// sorted by `(pattern, obs)`.
+    pub fn simulate(&self, faults: &[Tdf]) -> Vec<Detection> {
+        let mut out = Vec::new();
+        self.run_fault(faults, &mut |w, obs, diff| {
+            let mut bits = diff;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                out.push(Detection {
+                    pattern: (w * 64) as u32 + b,
+                    obs,
+                });
+                bits &= bits - 1;
+            }
+            false
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Returns the lowest pattern index that detects the fault, if any.
+    pub fn first_detecting_pattern(&self, faults: &[Tdf]) -> Option<u32> {
+        let mut best: Option<u32> = None;
+        self.run_fault(faults, &mut |w, _obs, diff| {
+            let p = (w * 64) as u32 + diff.trailing_zeros();
+            best = Some(match best {
+                Some(b) => b.min(p),
+                None => p,
+            });
+            // Can't early-exit the whole run (a later obs in the same word
+            // may fail at an earlier bit), but whole later words can only
+            // yield larger indices, which run_fault exploits via the word
+            // cursor; returning false keeps scanning this word's obs set.
+            false
+        });
+        best
+    }
+
+    /// Returns `true` if any pattern detects the fault.
+    pub fn detects(&self, faults: &[Tdf]) -> bool {
+        let mut hit = false;
+        self.run_fault(faults, &mut |_, _, _| {
+            hit = true;
+            true
+        });
+        hit
+    }
+
+    /// Core cone-limited faulty evaluation. Calls `on_fail(word, obs, diff)`
+    /// for every observation point with a nonzero failing-pattern mask;
+    /// `on_fail` returning `true` aborts the remaining simulation.
+    fn run_fault(&self, faults: &[Tdf], on_fail: &mut dyn FnMut(usize, ObsId, u64) -> bool) {
+        if faults.is_empty() {
+            return;
+        }
+        // --- Collect the union fan-out cone, topologically sorted.
+        let mut cone: Vec<GateId> = Vec::new();
+        let mut seen = HashMap::new();
+        for f in faults {
+            for (g, _) in topo::fanout_cone(self.nl, f.site.gate) {
+                if seen.insert(g, ()).is_none() {
+                    cone.push(g);
+                }
+            }
+        }
+        cone.sort_unstable_by_key(|g| self.topo_pos[g.index()]);
+
+        // --- Override tables. Multiple faults can share a pin (e.g. a
+        // gross-delay defect is slow-to-rise AND slow-to-fall); their
+        // effects compose, so each pin keeps a polarity list.
+        let mut in_over: HashMap<(GateId, u8), Vec<crate::fault::Polarity>> = HashMap::new();
+        let mut out_over: HashMap<GateId, Vec<crate::fault::Polarity>> = HashMap::new();
+        for f in faults {
+            match f.site.pin {
+                Pin::Input(k) => {
+                    let list = in_over.entry((f.site.gate, k)).or_default();
+                    if !list.contains(&f.polarity) {
+                        list.push(f.polarity);
+                    }
+                }
+                Pin::Output => {
+                    let list = out_over.entry(f.site.gate).or_default();
+                    if !list.contains(&f.polarity) {
+                        list.push(f.polarity);
+                    }
+                }
+            }
+        }
+
+        // Observing gates inside the cone.
+        let observers: Vec<(ObsId, m3d_netlist::NetId)> = cone
+            .iter()
+            .filter_map(|&g| {
+                let kind = self.nl.gate(g).kind;
+                if matches!(
+                    kind,
+                    CellKind::ScanDff | CellKind::Dff | CellKind::Output | CellKind::ObsPoint
+                ) {
+                    self.obs.of_gate(g).map(|id| (id, self.nl.gate(g).inputs[0]))
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        // --- Scratch with epoch stamping (shared across words).
+        let n_nets = self.nl.net_count();
+        let mut scratch = vec![0u64; n_nets];
+        let mut stamp = vec![u32::MAX; n_nets];
+        let mut in_words: Vec<u64> = Vec::with_capacity(4);
+
+        for w in 0..self.pats.word_count() {
+            let epoch = w as u32;
+            let mask = self.pats.tail_mask(w);
+            for &g in &cone {
+                let gate = self.nl.gate(g);
+                let kind = gate.kind;
+                if kind.is_sequential() {
+                    // A slow clock-to-Q fault delays the launch transition
+                    // on the flop's Q net itself.
+                    if let Some(pols) = out_over.get(&g) {
+                        let q = gate.output.expect("flop drives Q");
+                        let v1 = self.sim.v1(w, q);
+                        let mut out = self.sim.v2(w, q);
+                        for pol in pols {
+                            out = pol.apply(v1, out);
+                        }
+                        if out != self.sim.v2(w, q) {
+                            scratch[q.index()] = out;
+                            stamp[q.index()] = epoch;
+                        }
+                    }
+                    continue;
+                }
+                if !kind.has_output() {
+                    continue; // observers produce nothing this cycle
+                }
+                let out_net = gate.output.expect("has_output");
+                // Gather (possibly faulty) input words.
+                in_words.clear();
+                for (k, &inp) in gate.inputs.iter().enumerate() {
+                    let mut v = if stamp[inp.index()] == epoch {
+                        scratch[inp.index()]
+                    } else {
+                        self.sim.v2(w, inp)
+                    };
+                    if let Some(pols) = in_over.get(&(g, k as u8)) {
+                        let v1 = self.sim.v1(w, inp);
+                        for pol in pols {
+                            v = pol.apply(v1, v);
+                        }
+                    }
+                    in_words.push(v);
+                }
+                let mut out = if kind == CellKind::Input {
+                    // PI values are held across launch; output equals V2.
+                    self.sim.v2(w, out_net)
+                } else {
+                    kind.eval_words(&in_words)
+                };
+                if let Some(pols) = out_over.get(&g) {
+                    let v1 = self.sim.v1(w, out_net);
+                    for pol in pols {
+                        out = pol.apply(v1, out);
+                    }
+                }
+                if out != self.sim.v2(w, out_net) {
+                    scratch[out_net.index()] = out;
+                    stamp[out_net.index()] = epoch;
+                }
+            }
+            // Faults directly on observer input pins (e.g. a TDF at a flop's
+            // D pin or a PO pin) perturb the captured value without any gate
+            // evaluation; fold them in here.
+            for (obs_id, net) in &observers {
+                let gate_id = self.obs.point(*obs_id).gate;
+                let mut v = if stamp[net.index()] == epoch {
+                    scratch[net.index()]
+                } else {
+                    self.sim.v2(w, *net)
+                };
+                if let Some(pols) = in_over.get(&(gate_id, 0)) {
+                    let v1 = self.sim.v1(w, *net);
+                    for pol in pols {
+                        v = pol.apply(v1, v);
+                    }
+                }
+                let diff = (v ^ self.sim.v2(w, *net)) & mask;
+                if diff != 0 && on_fail(w, *obs_id, diff) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{tdf_list, Polarity};
+    use crate::sim::source_count_for;
+    use m3d_netlist::{generate, GeneratorConfig, PinRef};
+
+    fn setup() -> (Netlist, PatternSet) {
+        let nl = generate(&GeneratorConfig {
+            n_comb_gates: 300,
+            n_flops: 32,
+            n_inputs: 16,
+            n_outputs: 8,
+            target_depth: 8,
+            ..GeneratorConfig::default()
+        });
+        let pats = PatternSet::random(source_count_for(&nl), 192, 11);
+        (nl, pats)
+    }
+
+    #[test]
+    fn fault_free_circuit_has_no_detections() {
+        let (nl, pats) = setup();
+        let fsim = FaultSimulator::new(&nl, &pats);
+        assert!(fsim.simulate(&[]).is_empty());
+    }
+
+    #[test]
+    fn some_faults_are_detected_and_sorted() {
+        let (nl, pats) = setup();
+        let fsim = FaultSimulator::new(&nl, &pats);
+        let faults = tdf_list(&nl);
+        let mut n_detected = 0;
+        for f in faults.iter().take(400) {
+            let d = fsim.simulate(std::slice::from_ref(f));
+            if !d.is_empty() {
+                n_detected += 1;
+                assert!(d.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            }
+        }
+        assert!(n_detected > 50, "only {n_detected}/400 detected");
+    }
+
+    #[test]
+    fn first_detecting_pattern_matches_simulate() {
+        let (nl, pats) = setup();
+        let fsim = FaultSimulator::new(&nl, &pats);
+        for f in tdf_list(&nl).iter().step_by(37) {
+            let d = fsim.simulate(std::slice::from_ref(f));
+            let first = fsim.first_detecting_pattern(std::slice::from_ref(f));
+            assert_eq!(first, d.first().map(|x| x.pattern), "fault {f}");
+            assert_eq!(fsim.detects(std::slice::from_ref(f)), !d.is_empty());
+        }
+    }
+
+    #[test]
+    fn pi_pin_faults_are_untestable_under_loc() {
+        let (nl, pats) = setup();
+        let fsim = FaultSimulator::new(&nl, &pats);
+        // Primary inputs are held between V1 and V2, so TDFs on PI output
+        // pins never activate.
+        for &pi in nl.inputs().iter().take(5) {
+            for p in Polarity::BOTH {
+                let f = Tdf::new(PinRef::output(pi), p);
+                assert!(!fsim.detects(&[f]), "PI fault {f} must not activate");
+            }
+        }
+    }
+
+    #[test]
+    fn str_and_stf_detect_disjoint_patterns_at_same_site() {
+        let (nl, pats) = setup();
+        let fsim = FaultSimulator::new(&nl, &pats);
+        // At any site, a given pattern activates a rise or a fall, never
+        // both, so the same (pattern, obs) pair cannot appear for both
+        // polarities *due to activation at the site itself*.
+        let mut checked = 0;
+        for site in nl.fault_sites().step_by(53) {
+            let d_str = fsim.simulate(&[Tdf::new(site, Polarity::SlowToRise)]);
+            let d_stf = fsim.simulate(&[Tdf::new(site, Polarity::SlowToFall)]);
+            if d_str.is_empty() || d_stf.is_empty() {
+                continue;
+            }
+            for a in &d_str {
+                assert!(!d_stf.contains(a), "{site}: {a:?} detected by both");
+            }
+            checked += 1;
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn multi_site_fault_superset_intuition() {
+        // A multi-site fault generally fails at least somewhere when its
+        // strongest component does (not strictly guaranteed in theory due to
+        // masking, but holds on random logic for sampled sites).
+        let (nl, pats) = setup();
+        let fsim = FaultSimulator::new(&nl, &pats);
+        let faults: Vec<Tdf> = tdf_list(&nl)
+            .into_iter()
+            .filter(|f| fsim.detects(std::slice::from_ref(f)))
+            .take(3)
+            .collect();
+        assert_eq!(faults.len(), 3);
+        let joint = fsim.simulate(&faults);
+        assert!(!joint.is_empty());
+    }
+
+    #[test]
+    fn detection_patterns_within_range() {
+        let (nl, pats) = setup();
+        let fsim = FaultSimulator::new(&nl, &pats);
+        for f in tdf_list(&nl).iter().step_by(101) {
+            for d in fsim.simulate(std::slice::from_ref(f)) {
+                assert!((d.pattern as usize) < pats.len());
+                assert!((d.obs.index()) < fsim.obs().len());
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Tester failure-log text format.
+//!
+//! The framework's only tester-side input is "the failure log file from
+//! the tester", so the log needs a durable interchange format. One entry
+//! per line:
+//!
+//! ```text
+//! # m3d-failure-log v1
+//! fail pattern 12 obs 7
+//! fail pattern 12 channel 3 position 40
+//! ```
+//!
+//! `obs <k>` is a directly-observed point (bypass mode, POs, test
+//! points); `channel <c> position <p>` a compacted scan-out failure.
+
+use crate::failure::{FailEntry, FailObs, FailureLog};
+use crate::obs::ObsId;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors from [`parse_failure_log`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLogError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParseLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseLogError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseLogError {
+    ParseLogError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serializes a failure log to the `m3d-failure-log v1` text format.
+pub fn write_failure_log(log: &FailureLog) -> String {
+    let mut s = String::from("# m3d-failure-log v1\n");
+    for e in log.entries() {
+        match e.obs {
+            FailObs::Direct(obs) => {
+                let _ = writeln!(s, "fail pattern {} obs {}", e.pattern, obs.0);
+            }
+            FailObs::Channel { channel, position } => {
+                let _ = writeln!(
+                    s,
+                    "fail pattern {} channel {channel} position {position}",
+                    e.pattern
+                );
+            }
+        }
+    }
+    s
+}
+
+/// Parses a log produced by [`write_failure_log`] (or hand-written by a
+/// tester bridge).
+///
+/// # Errors
+///
+/// Returns a [`ParseLogError`] describing the first malformed line.
+pub fn parse_failure_log(text: &str) -> Result<FailureLog, ParseLogError> {
+    let mut entries = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let parse_num = |idx: usize| -> Result<u32, ParseLogError> {
+            tokens
+                .get(idx)
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err(line_no, format!("expected a number at token {idx}")))
+        };
+        match tokens.as_slice() {
+            ["fail", "pattern", _, "obs", _] => {
+                entries.push(FailEntry {
+                    pattern: parse_num(2)?,
+                    obs: FailObs::Direct(ObsId(parse_num(4)?)),
+                });
+            }
+            ["fail", "pattern", _, "channel", _, "position", _] => {
+                let channel = parse_num(4)?;
+                let position = parse_num(6)?;
+                let to_u16 = |v: u32, what: &str| -> Result<u16, ParseLogError> {
+                    u16::try_from(v).map_err(|_| err(line_no, format!("{what} out of range")))
+                };
+                entries.push(FailEntry {
+                    pattern: parse_num(2)?,
+                    obs: FailObs::Channel {
+                        channel: to_u16(channel, "channel")?,
+                        position: to_u16(position, "position")?,
+                    },
+                });
+            }
+            _ => return Err(err(line_no, "unrecognized entry")),
+        }
+    }
+    Ok(FailureLog::new(entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> FailureLog {
+        FailureLog::new(vec![
+            FailEntry {
+                pattern: 12,
+                obs: FailObs::Direct(ObsId(7)),
+            },
+            FailEntry {
+                pattern: 12,
+                obs: FailObs::Channel {
+                    channel: 3,
+                    position: 40,
+                },
+            },
+            FailEntry {
+                pattern: 2,
+                obs: FailObs::Direct(ObsId(0)),
+            },
+        ])
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let log = sample_log();
+        let text = write_failure_log(&log);
+        let back = parse_failure_log(&text).unwrap();
+        assert_eq!(log, back);
+    }
+
+    #[test]
+    fn parse_tolerates_comments_and_blanks() {
+        let log = parse_failure_log("# hi\n\nfail pattern 1 obs 2\n").unwrap();
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_failure_log("fail pattern x obs 2").is_err());
+        assert!(parse_failure_log("pass pattern 1 obs 2").is_err());
+        assert!(parse_failure_log("fail pattern 1 channel 99999999 position 0").is_err());
+    }
+
+    #[test]
+    fn empty_log_round_trips() {
+        let text = write_failure_log(&FailureLog::default());
+        assert_eq!(parse_failure_log(&text).unwrap(), FailureLog::default());
+    }
+
+    #[test]
+    fn parsed_entries_are_sorted_and_deduped() {
+        let log =
+            parse_failure_log("fail pattern 5 obs 1\nfail pattern 1 obs 1\nfail pattern 5 obs 1\n")
+                .unwrap();
+        assert_eq!(log.len(), 2);
+        assert!(log.entries().windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,242 @@
+//! Bit-parallel two-pattern test-pattern storage.
+//!
+//! A launch-on-capture (LOC) transition test is fully specified by its
+//! *initialization* vector V1: the scan-loaded flop state plus primary-input
+//! values. The launch clock computes the next state V2 = f(V1) in-circuit,
+//! so V2 never needs to be stored. Patterns are packed 64 per machine word:
+//! bit *i* of a source's word *w* is pattern `64·w + i`'s value.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A packed set of LOC initialization vectors over `n_sources` pattern
+/// sources (primary inputs followed by flip-flops, in netlist order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternSet {
+    n_sources: usize,
+    n_patterns: usize,
+    /// `words[s][w]` = packed values of source `s`, word `w`.
+    words: Vec<Vec<u64>>,
+}
+
+impl PatternSet {
+    /// Creates an all-zero pattern set.
+    pub fn zeroed(n_sources: usize, n_patterns: usize) -> Self {
+        let w = n_patterns.div_ceil(64);
+        PatternSet {
+            n_sources,
+            n_patterns,
+            words: vec![vec![0u64; w]; n_sources],
+        }
+    }
+
+    /// Creates a uniformly random pattern set (deterministic in `seed`).
+    /// Bits beyond `n_patterns` in the last word are kept zero.
+    pub fn random(n_sources: usize, n_patterns: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set = PatternSet::zeroed(n_sources, n_patterns);
+        let mask = set.tail_mask(set.word_count().saturating_sub(1));
+        for s in 0..n_sources {
+            for w in 0..set.word_count() {
+                set.words[s][w] = rng.gen::<u64>();
+            }
+            if let Some(last) = set.words[s].last_mut() {
+                *last &= mask;
+            }
+        }
+        set
+    }
+
+    /// Number of pattern sources.
+    #[inline]
+    pub fn source_count(&self) -> usize {
+        self.n_sources
+    }
+
+    /// Number of patterns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n_patterns
+    }
+
+    /// Returns `true` if the set holds no patterns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n_patterns == 0
+    }
+
+    /// Number of 64-bit words per source.
+    #[inline]
+    pub fn word_count(&self) -> usize {
+        self.n_patterns.div_ceil(64)
+    }
+
+    /// Mask of valid pattern bits within word `w` (all-ones except possibly
+    /// the final word).
+    #[inline]
+    pub fn tail_mask(&self, w: usize) -> u64 {
+        let full_words = self.n_patterns / 64;
+        if w < full_words {
+            !0u64
+        } else {
+            let rem = self.n_patterns % 64;
+            if rem == 0 {
+                if self.n_patterns == 0 || w >= self.word_count() {
+                    0
+                } else {
+                    !0u64
+                }
+            } else {
+                (1u64 << rem) - 1
+            }
+        }
+    }
+
+    /// Packed word `w` of source `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `w` is out of range.
+    #[inline]
+    pub fn word(&self, s: usize, w: usize) -> u64 {
+        self.words[s][w]
+    }
+
+    /// Single pattern bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= source_count()` or `p >= len()`.
+    pub fn bit(&self, s: usize, p: usize) -> bool {
+        assert!(p < self.n_patterns, "pattern {p} out of range");
+        (self.words[s][p / 64] >> (p % 64)) & 1 == 1
+    }
+
+    /// Sets a single pattern bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= source_count()` or `p >= len()`.
+    pub fn set_bit(&mut self, s: usize, p: usize, v: bool) {
+        assert!(p < self.n_patterns, "pattern {p} out of range");
+        let w = &mut self.words[s][p / 64];
+        if v {
+            *w |= 1 << (p % 64);
+        } else {
+            *w &= !(1 << (p % 64));
+        }
+    }
+
+    /// Builds a new set containing only the selected pattern indices of
+    /// `self`, in the given order (ATPG pattern compaction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select(&self, indices: &[usize]) -> PatternSet {
+        let mut out = PatternSet::zeroed(self.n_sources, indices.len());
+        for (new_p, &old_p) in indices.iter().enumerate() {
+            for s in 0..self.n_sources {
+                out.set_bit(s, new_p, self.bit(s, old_p));
+            }
+        }
+        out
+    }
+
+    /// Appends all patterns of `other` (must have the same source count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if source counts differ.
+    pub fn append(&mut self, other: &PatternSet) {
+        assert_eq!(self.n_sources, other.n_sources, "source count mismatch");
+        let mut merged = PatternSet::zeroed(self.n_sources, self.n_patterns + other.n_patterns);
+        for s in 0..self.n_sources {
+            for p in 0..self.n_patterns {
+                merged.set_bit(s, p, self.bit(s, p));
+            }
+            for p in 0..other.n_patterns {
+                merged.set_bit(s, self.n_patterns + p, other.bit(s, p));
+            }
+        }
+        *self = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_dimensions() {
+        let p = PatternSet::zeroed(3, 130);
+        assert_eq!(p.source_count(), 3);
+        assert_eq!(p.len(), 130);
+        assert_eq!(p.word_count(), 3);
+        assert!(!p.is_empty());
+        assert!(!p.bit(0, 0));
+    }
+
+    #[test]
+    fn tail_mask_shapes() {
+        let p = PatternSet::zeroed(1, 130);
+        assert_eq!(p.tail_mask(0), !0);
+        assert_eq!(p.tail_mask(1), !0);
+        assert_eq!(p.tail_mask(2), 0b11);
+        let q = PatternSet::zeroed(1, 128);
+        assert_eq!(q.tail_mask(1), !0);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_masked() {
+        let a = PatternSet::random(4, 100, 9);
+        let b = PatternSet::random(4, 100, 9);
+        assert_eq!(a, b);
+        let c = PatternSet::random(4, 100, 10);
+        assert_ne!(a, c);
+        for s in 0..4 {
+            assert_eq!(a.word(s, 1) & !a.tail_mask(1), 0, "tail bits must be 0");
+        }
+    }
+
+    #[test]
+    fn bit_set_get_round_trip() {
+        let mut p = PatternSet::zeroed(2, 70);
+        p.set_bit(1, 65, true);
+        assert!(p.bit(1, 65));
+        assert!(!p.bit(0, 65));
+        p.set_bit(1, 65, false);
+        assert!(!p.bit(1, 65));
+    }
+
+    #[test]
+    fn select_reorders() {
+        let mut p = PatternSet::zeroed(1, 4);
+        p.set_bit(0, 2, true);
+        let q = p.select(&[2, 0]);
+        assert_eq!(q.len(), 2);
+        assert!(q.bit(0, 0));
+        assert!(!q.bit(0, 1));
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut a = PatternSet::random(2, 70, 1);
+        let b = PatternSet::random(2, 30, 2);
+        let a0 = a.clone();
+        a.append(&b);
+        assert_eq!(a.len(), 100);
+        for p in 0..70 {
+            assert_eq!(a.bit(0, p), a0.bit(0, p));
+        }
+        for p in 0..30 {
+            assert_eq!(a.bit(1, 70 + p), b.bit(1, p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_bounds_checked() {
+        PatternSet::zeroed(1, 10).bit(0, 10);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for simulation invariants (proptest).
+
+#![cfg(test)]
+
+use crate::fault::{Polarity, Tdf};
+use crate::fsim::FaultSimulator;
+use crate::patterns::PatternSet;
+use crate::sim::source_count_for;
+use m3d_netlist::{generate, CellKind, GeneratorConfig};
+use proptest::prelude::*;
+
+fn gen_cfg() -> impl Strategy<Value = GeneratorConfig> {
+    (0u64..500, 100usize..260, 8usize..24).prop_map(|(seed, gates, flops)| GeneratorConfig {
+        seed,
+        n_comb_gates: gates,
+        n_flops: flops,
+        n_inputs: 12,
+        n_outputs: 6,
+        target_depth: 7,
+        ..GeneratorConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// De Morgan: NAND(a,b) == OR(!a,!b) and NOR(a,b) == AND(!a,!b) on
+    /// packed words.
+    #[test]
+    fn cell_de_morgan(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(
+            CellKind::Nand.eval_words(&[a, b]),
+            CellKind::Or.eval_words(&[!a, !b])
+        );
+        prop_assert_eq!(
+            CellKind::Nor.eval_words(&[a, b]),
+            CellKind::And.eval_words(&[!a, !b])
+        );
+        prop_assert_eq!(
+            CellKind::Xnor.eval_words(&[a, b]),
+            !CellKind::Xor.eval_words(&[a, b])
+        );
+    }
+
+    /// A fault at a site whose net never transitions is never detected
+    /// (the activation condition of delay faults).
+    #[test]
+    fn no_transition_no_detection(cfg in gen_cfg(), pat_seed in 0u64..50) {
+        let nl = generate(&cfg);
+        let pats = PatternSet::random(source_count_for(&nl), 64, pat_seed);
+        let fsim = FaultSimulator::new(&nl, &pats);
+        let counts = fsim.sim().transition_counts(&pats);
+        let mut checked = 0;
+        for site in nl.fault_sites().step_by(5) {
+            let Some(net) = nl.pin_net(site) else { continue };
+            if counts[net.index()] == 0 {
+                for pol in Polarity::BOTH {
+                    prop_assert!(
+                        !fsim.detects(&[Tdf::new(site, pol)]),
+                        "inactive site {site} detected"
+                    );
+                }
+                checked += 1;
+                if checked > 4 {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Detections of a joint multi-site fault at pins on *disjoint* output
+    /// cones never exceed the union bound of detection universes: every
+    /// joint detection's observation point must be in some component's
+    /// fan-out cone. Weaker but always-true form: joint simulation of a
+    /// fault with itself equals the single fault.
+    #[test]
+    fn duplicate_fault_is_idempotent(cfg in gen_cfg()) {
+        let nl = generate(&cfg);
+        let pats = PatternSet::random(source_count_for(&nl), 64, 9);
+        let fsim = FaultSimulator::new(&nl, &pats);
+        let mut found = 0;
+        for site in nl.fault_sites().step_by(11) {
+            let f = Tdf::new(site, Polarity::SlowToRise);
+            let single = fsim.simulate(std::slice::from_ref(&f));
+            let doubled = fsim.simulate(&[f, f]);
+            prop_assert_eq!(&single, &doubled);
+            if !single.is_empty() {
+                found += 1;
+            }
+            if found >= 3 {
+                break;
+            }
+        }
+    }
+
+    /// Opposite-polarity faults at the same site, simulated jointly, act
+    /// as a gross-delay fault: any transition at the site is delayed, so
+    /// the joint detections form a superset of each polarity alone.
+    #[test]
+    fn gross_delay_superset(cfg in gen_cfg()) {
+        let nl = generate(&cfg);
+        let pats = PatternSet::random(source_count_for(&nl), 64, 3);
+        let fsim = FaultSimulator::new(&nl, &pats);
+        let mut found = 0;
+        for site in nl.fault_sites().step_by(13) {
+            let str_f = Tdf::new(site, Polarity::SlowToRise);
+            let stf_f = Tdf::new(site, Polarity::SlowToFall);
+            let gross = fsim.simulate(&[str_f, stf_f]);
+            // Activation sets of the two polarities are disjoint pattern
+            // sets, and the faulty value at the site is V1 in both, so the
+            // union of single-polarity detections equals the joint run.
+            let mut union = fsim.simulate(std::slice::from_ref(&str_f));
+            union.extend(fsim.simulate(std::slice::from_ref(&stf_f)));
+            union.sort_unstable();
+            union.dedup();
+            prop_assert_eq!(&gross, &union);
+            if !gross.is_empty() {
+                found += 1;
+            }
+            if found >= 3 {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: generate an M3D design, inject one transition-delay fault,
+//! and localize it to a device tier.
+//!
+//! ```sh
+//! cargo run --release -p m3d-fault-loc --example quickstart
+//! ```
+
+use m3d_diagnosis::{AtpgDiagnosis, DiagnosisConfig};
+use m3d_fault_loc::{
+    generate_samples, DatasetConfig, DesignConfig, DesignContext, Framework, FrameworkConfig,
+    TestBench, TestBenchConfig, TrainingSet,
+};
+use m3d_netlist::BenchmarkProfile;
+
+fn main() {
+    // 1. Build a scaled AES-like M3D test bench: synthetic netlist, FM
+    //    min-cut tier partitioning, MIV insertion, scan stitching, ATPG.
+    let bench = TestBench::build(&TestBenchConfig::quick(
+        BenchmarkProfile::AesLike,
+        DesignConfig::Syn1,
+    ));
+    let stats = bench.m3d.stats();
+    println!(
+        "design {}: {} gates, {} MIVs across {} cut nets, {} patterns (FC {:.1}%)",
+        bench.name,
+        bench.netlist().gate_count(),
+        stats.mivs,
+        stats.cut_nets,
+        bench.patterns.len(),
+        100.0 * bench.coverage,
+    );
+
+    // 2. Prepare the diagnosis context (fault simulator, heterogeneous
+    //    graph, Table II features) and a training set of injected faults.
+    let ctx = DesignContext::new(&bench);
+    let train = generate_samples(
+        &ctx,
+        &DatasetConfig {
+            miv_fraction: 0.2,
+            ..DatasetConfig::single(200, 1)
+        },
+    );
+    let mut ts = TrainingSet::new();
+    ts.add(&bench, &train);
+
+    // 3. Train the framework: Tier-predictor, MIV-pinpointer, PR-curve
+    //    threshold T_P, and the prune/reorder Classifier.
+    let framework = Framework::train(&ts, &FrameworkConfig::default());
+    println!("trained; T_P = {:.3}", framework.t_p());
+
+    // 4. Diagnose fresh failing chips.
+    let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
+    let chips = generate_samples(&ctx, &DatasetConfig::single(5, 42));
+    for (i, chip) in chips.iter().enumerate() {
+        let result = framework.process_case(&ctx, &diag, chip);
+        let truth_tier = chip.fault.tier(&bench).expect("single fault");
+        println!(
+            "chip {i}: {} failing observations; predicted {} (conf {:.2}, truth {truth_tier}); \
+             report {} -> {} candidates ({:?}); ground truth at rank {:?}",
+            chip.log.len(),
+            result.outcome.predicted_tier,
+            result.outcome.confidence,
+            result.atpg_report.resolution(),
+            result.outcome.report.resolution(),
+            result.outcome.action,
+            result.outcome.report.first_hit_index(&chip.truth),
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based cross-crate invariants (proptest).
+
+use m3d_netlist::{
+    generate, parse_netlist, write_netlist, GeneratorConfig, ScanChains,
+};
+use m3d_part::{M3dNetlist, MinCutPartitioner, Partitioner, RandomPartitioner};
+use m3d_sim::{source_count_for, FailureLog, ObsPoints, PatternSet, PatternSim};
+use proptest::prelude::*;
+
+fn small_config() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        0u64..1_000,
+        4usize..24,
+        2usize..12,
+        4usize..32,
+        60usize..300,
+        4u32..12,
+    )
+        .prop_map(|(seed, n_inputs, n_outputs, n_flops, n_comb_gates, target_depth)| {
+            GeneratorConfig {
+                seed,
+                n_inputs,
+                n_outputs,
+                n_flops,
+                n_comb_gates,
+                target_depth,
+                xor_bias: 0.25,
+                mux_bias: 0.05,
+                buffer_high_fanout: seed % 3 == 0,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated netlist validates and round-trips through the text
+    /// format exactly.
+    #[test]
+    fn generated_netlists_validate_and_round_trip(cfg in small_config()) {
+        let nl = generate(&cfg);
+        prop_assert!(nl.validate().is_ok());
+        let back = parse_netlist(&write_netlist(&nl)).expect("round trip parses");
+        prop_assert_eq!(nl, back);
+    }
+
+    /// FM min-cut never cuts more nets than a random balanced partition,
+    /// and both respect port pinning.
+    #[test]
+    fn fm_beats_random_cut(cfg in small_config()) {
+        let nl = generate(&cfg);
+        let fm = MinCutPartitioner::default().partition(&nl, 2);
+        let rnd = RandomPartitioner::new(cfg.seed).partition(&nl, 2);
+        prop_assert!(fm.cut_nets(&nl) <= rnd.cut_nets(&nl));
+        for &g in nl.inputs() {
+            prop_assert_eq!(fm.tier_of(g), m3d_part::Tier::BOTTOM);
+        }
+    }
+
+    /// Two-tier MIV insertion: exactly one via per cut net, and every
+    /// via's far loads really sit opposite the driver.
+    #[test]
+    fn miv_insertion_invariants(cfg in small_config()) {
+        let nl = generate(&cfg);
+        let part = MinCutPartitioner::default().partition(&nl, 2);
+        let m3d = M3dNetlist::build(nl, part);
+        prop_assert_eq!(m3d.miv_count(), m3d.partition().cut_nets(m3d.netlist()));
+        for miv in m3d.mivs() {
+            let drv = m3d.netlist().net(miv.net).driver.expect("driven net");
+            let t = m3d.partition().tier_of(drv);
+            for &pin in &miv.far_loads {
+                prop_assert_ne!(m3d.tier_of_site(pin), t);
+            }
+        }
+    }
+
+    /// V2 of the fault-free simulation equals the next-state function of
+    /// V1 at every flop output.
+    #[test]
+    fn launch_capture_consistency(cfg in small_config(), pat_seed in 0u64..100) {
+        let nl = generate(&cfg);
+        let pats = PatternSet::random(source_count_for(&nl), 96, pat_seed);
+        let sim = PatternSim::run(&nl, &pats);
+        for &ff in nl.flops() {
+            let q = nl.gate(ff).output.expect("flop Q");
+            let d = nl.gate(ff).inputs[0];
+            for w in 0..pats.word_count() {
+                prop_assert_eq!(sim.v2(w, q), sim.v1(w, d), "flop {} word {}", ff, w);
+            }
+        }
+    }
+
+    /// The XOR compactor preserves parity: for every pattern/channel/
+    /// position, the compacted failure bit equals the XOR of the flop
+    /// failure bits feeding it.
+    #[test]
+    fn compactor_parity(detect_seed in 0u64..1000) {
+        let nl = generate(&GeneratorConfig {
+            n_flops: 24,
+            n_comb_gates: 120,
+            ..GeneratorConfig::default()
+        });
+        let chains = ScanChains::stitch(&nl, 6, 3);
+        let obs = ObsPoints::collect(&nl);
+        // Random detection set over flop observation points.
+        let mut rng_state = detect_seed;
+        let mut detections = Vec::new();
+        for id in 0..obs.flop_count() {
+            for pattern in 0..4u32 {
+                rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if rng_state >> 62 == 0 {
+                    detections.push(m3d_sim::Detection {
+                        pattern,
+                        obs: m3d_sim::ObsId(id as u32),
+                    });
+                }
+            }
+        }
+        let log = FailureLog::compacted(&detections, &obs, &chains);
+        // Recompute parity by hand.
+        use std::collections::HashMap;
+        let mut parity: HashMap<(u32, usize, usize), usize> = HashMap::new();
+        for d in &detections {
+            let flop = obs.point(d.obs).gate;
+            let (chain, pos) = chains.locate(flop).expect("stitched");
+            *parity
+                .entry((d.pattern, chains.channel_of_chain(chain), pos))
+                .or_insert(0) += 1;
+        }
+        let expected: usize = parity.values().filter(|&&c| c % 2 == 1).count();
+        prop_assert_eq!(log.len(), expected);
+    }
+
+    /// Pattern-set select/append algebra.
+    #[test]
+    fn pattern_select_append(n in 1usize..100, seed in 0u64..50) {
+        let p = PatternSet::random(3, n, seed);
+        let all: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(p.select(&all), p.clone());
+        let mut q = p.select(&all[..n / 2]);
+        q.append(&p.select(&all[n / 2..]));
+        prop_assert_eq!(q, p);
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end behaviour under EDT-style response compaction: the search
+//! space widens, report quality degrades relative to bypass mode, and the
+//! framework still operates without bypass data.
+
+use m3d_diagnosis::{AtpgDiagnosis, DiagnosisConfig};
+use m3d_fault_loc::{
+    generate_samples, DatasetConfig, DesignConfig, DesignContext, Framework, FrameworkConfig,
+    TestBench, TestBenchConfig, TrainingSet,
+};
+use m3d_netlist::BenchmarkProfile;
+use m3d_sim::{FailObs, FailureLog};
+
+fn bench() -> TestBench {
+    TestBench::build(&TestBenchConfig::quick(
+        BenchmarkProfile::TateLike,
+        DesignConfig::Syn1,
+    ))
+}
+
+#[test]
+fn compaction_widens_backtraced_subgraphs() {
+    let tb = bench();
+    let ctx = DesignContext::new(&tb);
+    let plain = generate_samples(&ctx, &DatasetConfig::single(25, 5));
+    let edt = generate_samples(
+        &ctx,
+        &DatasetConfig {
+            compacted: true,
+            ..DatasetConfig::single(25, 5)
+        },
+    );
+    let mean = |v: &[m3d_fault_loc::Sample]| {
+        v.iter().map(|s| s.subgraph.len()).sum::<usize>() as f64 / v.len() as f64
+    };
+    assert!(
+        mean(&edt) >= mean(&plain) * 0.9,
+        "compaction ambiguity should not shrink the search space: {} vs {}",
+        mean(&edt),
+        mean(&plain)
+    );
+}
+
+#[test]
+fn compacted_logs_reference_channels_not_flops() {
+    let tb = bench();
+    let ctx = DesignContext::new(&tb);
+    let edt = generate_samples(
+        &ctx,
+        &DatasetConfig {
+            compacted: true,
+            ..DatasetConfig::single(10, 11)
+        },
+    );
+    let mut channel_entries = 0usize;
+    for s in &edt {
+        for e in s.log.entries() {
+            match e.obs {
+                FailObs::Channel { channel, .. } => {
+                    channel_entries += 1;
+                    assert!((channel as usize) < tb.chains.channel_count());
+                }
+                FailObs::Direct(obs) => {
+                    // Direct entries under compaction are POs/TPs only.
+                    let point_kind = {
+                        let fsim = &ctx.fsim;
+                        fsim.obs().point(obs).kind
+                    };
+                    assert_ne!(point_kind, m3d_sim::ObsKind::FlopD);
+                }
+            }
+        }
+    }
+    assert!(channel_entries > 0, "some flop failures must be compacted");
+}
+
+#[test]
+fn framework_diagnoses_through_compactor() {
+    let tb = bench();
+    let ctx = DesignContext::new(&tb);
+    let train = generate_samples(
+        &ctx,
+        &DatasetConfig {
+            compacted: true,
+            miv_fraction: 0.2,
+            ..DatasetConfig::single(100, 3)
+        },
+    );
+    let test = generate_samples(
+        &ctx,
+        &DatasetConfig {
+            compacted: true,
+            ..DatasetConfig::single(25, 99)
+        },
+    );
+    let mut ts = TrainingSet::new();
+    ts.add(&tb, &train);
+    let fw = Framework::train(&ts, &FrameworkConfig::default());
+    let diag = AtpgDiagnosis::new(&ctx.fsim, Some(ctx.chains()), DiagnosisConfig::default());
+    let mut tier_hits = 0usize;
+    let mut atpg_hits = 0usize;
+    let mut fw_hits = 0usize;
+    for s in &test {
+        let r = fw.process_case(&ctx, &diag, s);
+        atpg_hits += usize::from(r.atpg_report.hits_any(&s.truth));
+        fw_hits += usize::from(r.outcome.report.hits_any(&s.truth));
+        if Some(r.outcome.predicted_tier) == s.fault.tier(&tb) {
+            tier_hits += 1;
+        }
+    }
+    assert!(atpg_hits > test.len() / 2, "compacted diagnosis must mostly work");
+    assert!(atpg_hits.saturating_sub(fw_hits) <= 3, "{fw_hits}/{atpg_hits}");
+    assert!(tier_hits * 2 > test.len(), "{tier_hits}/{}", test.len());
+}
+
+#[test]
+fn even_parity_failures_alias_end_to_end() {
+    // Construct a detection pair on two chains of one channel at the same
+    // position/pattern and verify the compacted log drops it while the
+    // bypass log keeps both.
+    let tb = bench();
+    let ctx = DesignContext::new(&tb);
+    let f0 = tb.chains.chains()[0][0];
+    let f1 = tb.chains.chains()[1][0];
+    assert_eq!(tb.chains.channel_of_chain(0), tb.chains.channel_of_chain(1));
+    let obs = ctx.fsim.obs();
+    let d = vec![
+        m3d_sim::Detection {
+            pattern: 0,
+            obs: obs.of_gate(f0).unwrap(),
+        },
+        m3d_sim::Detection {
+            pattern: 0,
+            obs: obs.of_gate(f1).unwrap(),
+        },
+    ];
+    assert_eq!(FailureLog::uncompacted(&d).len(), 2);
+    assert!(FailureLog::compacted(&d, obs, &tb.chains).is_empty());
+}

@@ -1,0 +1,117 @@
+//! Transferability (Section IV): a model trained on Syn-1 plus random
+//! partitions must work on unseen design configurations (the paper runs
+//! this analysis on the Tate benchmark, Section IV), and subgraph
+//! feature distributions must overlap across configurations (Fig. 5).
+
+use m3d_fault_loc::{
+    generate_samples, tier_training_set, DatasetConfig, DesignConfig, DesignContext,
+    ModelTrainConfig, TestBench, TestBenchConfig, TierPredictor,
+};
+use m3d_gnn::{Matrix, Pca};
+use m3d_netlist::BenchmarkProfile;
+
+fn build(config: DesignConfig) -> TestBench {
+    TestBench::build(&TestBenchConfig::quick(BenchmarkProfile::TateLike, config))
+}
+
+#[test]
+fn transferred_model_works_on_unseen_configs() {
+    // Train: Syn-1 + 2 random partitions.
+    let mut pool = Vec::new();
+    for (i, dc) in [
+        DesignConfig::Syn1,
+        DesignConfig::RandomPart { seed: 101 },
+        DesignConfig::RandomPart { seed: 202 },
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let bench = build(dc);
+        let ctx = DesignContext::new(&bench);
+        let samples = generate_samples(&ctx, &DatasetConfig::single(150, 10 + i as u64));
+        pool.extend(tier_training_set(&bench, &samples));
+    }
+    let transferred = TierPredictor::train(&pool, &ModelTrainConfig::default());
+
+    // Evaluate on Par and Syn-2, never seen during training.
+    for dc in [DesignConfig::Par, DesignConfig::Syn2] {
+        let bench = build(dc);
+        let ctx = DesignContext::new(&bench);
+        let test = generate_samples(&ctx, &DatasetConfig::single(40, 99));
+        let test_set = tier_training_set(&bench, &test);
+        let acc = transferred.accuracy(&test_set);
+        assert!(
+            acc > 0.55,
+            "transferred accuracy on {} only {acc:.3}",
+            dc.name()
+        );
+    }
+}
+
+#[test]
+fn feature_distributions_overlap_across_configs() {
+    // Fig. 5's claim: per-subgraph feature vectors from different design
+    // configurations occupy the same region of feature space. We check
+    // that PCA centroids are separated by less than twice the mean
+    // within-config spread.
+    let mut per_config: Vec<Vec<Vec<f32>>> = Vec::new();
+    for dc in DesignConfig::EVAL {
+        let bench = build(dc);
+        let ctx = DesignContext::new(&bench);
+        let samples = generate_samples(&ctx, &DatasetConfig::single(30, 5));
+        per_config.push(
+            samples
+                .iter()
+                .map(|s| s.subgraph.x.mean_rows().as_slice().to_vec())
+                .collect(),
+        );
+    }
+    let d = per_config[0][0].len();
+    let total: usize = per_config.iter().map(Vec::len).sum();
+    let mut stacked = Matrix::zeros(total, d);
+    let mut r = 0;
+    for vecs in &per_config {
+        for v in vecs {
+            stacked.row_mut(r).copy_from_slice(v);
+            r += 1;
+        }
+    }
+    let pca = Pca::fit(&stacked, 2);
+    let proj = pca.transform(&stacked);
+
+    let mut centroids = Vec::new();
+    let mut spreads = Vec::new();
+    let mut row = 0usize;
+    for vecs in &per_config {
+        let k = vecs.len();
+        let (mut cx, mut cy) = (0f64, 0f64);
+        for i in row..row + k {
+            cx += f64::from(proj.get(i, 0));
+            cy += f64::from(proj.get(i, 1));
+        }
+        cx /= k as f64;
+        cy /= k as f64;
+        let spread = ((row..row + k)
+            .map(|i| {
+                let dx = f64::from(proj.get(i, 0)) - cx;
+                let dy = f64::from(proj.get(i, 1)) - cy;
+                dx * dx + dy * dy
+            })
+            .sum::<f64>()
+            / k as f64)
+            .sqrt();
+        centroids.push((cx, cy));
+        spreads.push(spread);
+        row += k;
+    }
+    let mean_spread = spreads.iter().sum::<f64>() / spreads.len() as f64;
+    for (i, a) in centroids.iter().enumerate() {
+        for b in centroids.iter().skip(i + 1) {
+            let sep = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+            assert!(
+                sep < 2.5 * mean_spread,
+                "config clusters must overlap: separation {sep:.3} vs spread {mean_spread:.3}"
+            );
+        }
+    }
+}
