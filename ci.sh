@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Tier-1 verification: formatting, lints (including the workspace-wide
+# clippy print_stdout/print_stderr deny — diagnostics must go through
+# m3d-obs), release build, and the full test suite.
+#
+# Usage: ./ci.sh
+set -eu
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "ci.sh: all green"

@@ -4,10 +4,10 @@ fn main() {
     let scale = m3d_bench::Scale::from_args();
     let profiles = m3d_bench::profiles_from_args();
     let rows = m3d_bench::experiments::table09(&scale, &profiles);
-    println!("== Fig. 9: deployment flow (per test set) ==");
+    m3d_obs::out!("== Fig. 9: deployment flow (per test set) ==");
     for r in &rows {
         let parallel = r.t_atpg.max(r.t_gnn);
-        println!(
+        m3d_obs::out!(
             "{:<10} max(T_ATPG {:.2}s, T_GNN {:.3}s) + T_update {:.4}s = {:.2}s  (GNN {:.1}x faster than ATPG)",
             r.design,
             r.t_atpg,
@@ -17,4 +17,5 @@ fn main() {
             if r.t_gnn > 0.0 { r.t_atpg / r.t_gnn } else { f64::INFINITY },
         );
     }
+    m3d_bench::finish_run(&scale, &profiles);
 }

@@ -4,4 +4,5 @@ fn main() {
     let profiles = m3d_bench::profiles_from_args();
     let rows = m3d_bench::experiments::table09(&scale, &profiles);
     m3d_bench::experiments::fig10(&rows);
+    m3d_bench::finish_run(&scale, &profiles);
 }

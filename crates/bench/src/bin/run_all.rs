@@ -15,4 +15,5 @@ fn main() {
     m3d_bench::experiments::fig10(&rows);
     m3d_bench::experiments::table10(&scale, &profiles);
     m3d_bench::experiments::table11(&scale);
+    m3d_bench::finish_run(&scale, &profiles);
 }

@@ -2,4 +2,5 @@
 fn main() {
     let scale = m3d_bench::Scale::from_args();
     m3d_bench::experiments::table02(&scale);
+    m3d_bench::finish_run(&scale, &[]);
 }

@@ -3,4 +3,5 @@
 fn main() {
     let scale = m3d_bench::Scale::from_args();
     m3d_bench::experiments::table_atpg_quality(&scale, false);
+    m3d_bench::finish_run(&scale, &[]);
 }

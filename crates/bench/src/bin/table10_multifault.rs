@@ -4,4 +4,5 @@ fn main() {
     let scale = m3d_bench::Scale::from_args();
     let profiles = m3d_bench::profiles_from_args();
     m3d_bench::experiments::table10(&scale, &profiles);
+    m3d_bench::finish_run(&scale, &profiles);
 }

@@ -20,10 +20,16 @@ use std::time::Instant;
 
 /// Table III: the design matrix of the generated M3D benchmarks.
 pub fn table03(scale: &Scale) -> Vec<(String, usize, usize, usize, usize, usize, f64)> {
-    println!("== Table III: design matrix (scale = {}) ==", scale.name);
-    println!(
+    m3d_obs::out!("== Table III: design matrix (scale = {}) ==", scale.name);
+    m3d_obs::out!(
         "{:<10} {:>8} {:>8} {:>10} {:>8} {:>10} {:>7}",
-        "design", "gates", "#MIVs", "Nsc(Nch)", "chainlen", "#patterns", "FC"
+        "design",
+        "gates",
+        "#MIVs",
+        "Nsc(Nch)",
+        "chainlen",
+        "#patterns",
+        "FC"
     );
     let cfg = ExperimentConfig::new(scale.clone(), false);
     let mut rows = Vec::new();
@@ -32,7 +38,7 @@ pub fn table03(scale: &Scale) -> Vec<(String, usize, usize, usize, usize, usize,
         let stats = tb.netlist().stats();
         let m3d_stats = tb.m3d.stats();
         let atpg = generate_patterns(tb.netlist(), &scale.atpg);
-        println!(
+        m3d_obs::out!(
             "{:<10} {:>8} {:>8} {:>5}({:>3}) {:>8} {:>10} {:>6.1}%",
             profile.name(),
             stats.gates,
@@ -58,7 +64,10 @@ pub fn table03(scale: &Scale) -> Vec<(String, usize, usize, usize, usize, usize,
 
 /// Table II: feature-significance scores of the trained Tier-predictor.
 pub fn table02(scale: &Scale) -> Vec<(String, f64)> {
-    println!("== Table II: feature significance (scale = {}) ==", scale.name);
+    m3d_obs::out!(
+        "== Table II: feature significance (scale = {}) ==",
+        scale.name
+    );
     let cfg = ExperimentConfig::new(scale.clone(), false);
     let bench = build_bench(BenchmarkProfile::AesLike, DesignConfig::Syn1, &cfg);
     let ctx = DesignContext::new(&bench);
@@ -72,11 +81,11 @@ pub fn table02(scale: &Scale) -> Vec<(String, f64)> {
         },
     );
     let sig = permutation_significance(tier.model(), &tset, 3, 5);
-    println!("baseline accuracy: {:.3}", sig.baseline_accuracy);
+    m3d_obs::out!("baseline accuracy: {:.3}", sig.baseline_accuracy);
     let names = m3d_fault_loc::feature_names();
     let mut rows = Vec::new();
     for (name, score) in names.iter().zip(&sig.scores) {
-        println!("{name:<28} {score:.4}");
+        m3d_obs::out!("{name:<28} {score:.4}");
         rows.push((name.to_string(), *score));
     }
     rows
@@ -86,7 +95,10 @@ pub fn table02(scale: &Scale) -> Vec<(String, f64)> {
 /// configurations. Returns `(config, centroid, rms spread)` per config and
 /// prints the 2-D point series.
 pub fn fig05(scale: &Scale) -> Vec<(String, [f64; 2], f64)> {
-    println!("== Fig. 5: PCA feature visualization (Tate, scale = {}) ==", scale.name);
+    m3d_obs::out!(
+        "== Fig. 5: PCA feature visualization (Tate, scale = {}) ==",
+        scale.name
+    );
     let cfg = ExperimentConfig::new(scale.clone(), false);
     let mut per_config: Vec<(&'static str, Vec<Vec<f32>>)> = Vec::new();
     let n = (scale.n_test / 2).max(20);
@@ -134,9 +146,11 @@ pub fn fig05(scale: &Scale) -> Vec<(String, [f64; 2], f64)> {
             .sum::<f64>()
             / k as f64)
             .sqrt();
-        println!("{name:<6} centroid = ({cx:+.3}, {cy:+.3})  rms spread = {spread:.3}  n = {k}");
+        m3d_obs::out!(
+            "{name:<6} centroid = ({cx:+.3}, {cy:+.3})  rms spread = {spread:.3}  n = {k}"
+        );
         for i in row..row + k.min(10) {
-            println!("  {name} {:+.3} {:+.3}", proj.get(i, 0), proj.get(i, 1));
+            m3d_obs::out!("  {name} {:+.3} {:+.3}", proj.get(i, 0), proj.get(i, 1));
         }
         out.push((name.to_string(), [cx, cy], spread));
         row += k;
@@ -145,13 +159,15 @@ pub fn fig05(scale: &Scale) -> Vec<(String, [f64; 2], f64)> {
     let mean_spread: f64 = out.iter().map(|(_, _, s)| s).sum::<f64>() / out.len() as f64;
     let max_sep = out
         .iter()
-        .flat_map(|a| out.iter().map(move |b| {
-            let dx = a.1[0] - b.1[0];
-            let dy = a.1[1] - b.1[1];
-            (dx * dx + dy * dy).sqrt()
-        }))
+        .flat_map(|a| {
+            out.iter().map(move |b| {
+                let dx = a.1[0] - b.1[0];
+                let dy = a.1[1] - b.1[1];
+                (dx * dx + dy * dy).sqrt()
+            })
+        })
         .fold(0.0f64, f64::max);
-    println!("max centroid separation {max_sep:.3} vs mean spread {mean_spread:.3} (overlapped iff separation < spread)");
+    m3d_obs::out!("max centroid separation {max_sep:.3} vs mean spread {mean_spread:.3} (overlapped iff separation < spread)");
     out
 }
 
@@ -201,7 +217,10 @@ fn strip_top_level_features(samples: &[m3d_gnn::GraphSample]) -> Vec<m3d_gnn::Gr
 /// Fig. 6: dedicated vs transferred model accuracy on the Tate profile,
 /// plus the data-augmentation ablation.
 pub fn fig06(scale: &Scale) -> Vec<TransferRow> {
-    println!("== Fig. 6: transferability (Tate, scale = {}) ==", scale.name);
+    m3d_obs::out!(
+        "== Fig. 6: transferability (Tate, scale = {}) ==",
+        scale.name
+    );
     let cfg = ExperimentConfig::new(scale.clone(), false);
     let profile = BenchmarkProfile::TateLike;
     let mcfg = ModelTrainConfig {
@@ -244,9 +263,15 @@ pub fn fig06(scale: &Scale) -> Vec<TransferRow> {
     let miv_tr = MivPinpointer::train(&transferred_ts.miv_samples, &mcfg);
 
     let mut rows = Vec::new();
-    println!(
+    m3d_obs::out!(
         "{:<6} {:>10} {:>11} {:>9} {:>9} | {:>10} {:>11}",
-        "config", "tier-ded", "tier-transf", "tier-noaug", "tier-notop", "miv-ded", "miv-transf"
+        "config",
+        "tier-ded",
+        "tier-transf",
+        "tier-noaug",
+        "tier-notop",
+        "miv-ded",
+        "miv-transf"
     );
     for (i, dc) in DesignConfig::EVAL.iter().enumerate() {
         let bench = build_bench(profile, *dc, &cfg);
@@ -278,7 +303,7 @@ pub fn fig06(scale: &Scale) -> Vec<TransferRow> {
             miv_dedicated: miv_ded.accuracy(&miv_test),
             miv_transferred: miv_tr.accuracy(&miv_test),
         };
-        println!(
+        m3d_obs::out!(
             "{:<6} {:>9.1}% {:>10.1}% {:>8.1}% {:>8.1}% | {:>9.1}% {:>10.1}%",
             row.config,
             100.0 * row.tier_dedicated,
@@ -294,9 +319,12 @@ pub fn fig06(scale: &Scale) -> Vec<TransferRow> {
 }
 
 /// Tables V/VII: raw ATPG report quality for every benchmark and config.
-pub fn table_atpg_quality(scale: &Scale, compacted: bool) -> Vec<(String, &'static str, ReportQuality)> {
+pub fn table_atpg_quality(
+    scale: &Scale,
+    compacted: bool,
+) -> Vec<(String, &'static str, ReportQuality)> {
     let which = if compacted { "VII" } else { "V" };
-    println!(
+    m3d_obs::out!(
         "== Table {which}: ATPG report quality ({}compaction, scale = {}) ==",
         if compacted { "" } else { "no " },
         scale.name
@@ -324,7 +352,7 @@ pub fn table_atpg_quality(scale: &Scale, compacted: bool) -> Vec<(String, &'stat
                 .map(|s| (diag.diagnose(&s.log), s.truth.clone()))
                 .collect();
             let q = report_quality(&cases, false);
-            println!("{:<8} {:<6} {}", profile.name(), dc.name(), fmt_quality(&q));
+            m3d_obs::out!("{:<8} {:<6} {}", profile.name(), dc.name(), fmt_quality(&q));
             rows.push((profile.name().to_string(), dc.name(), q));
         }
     }
@@ -339,7 +367,7 @@ pub fn table_localization(
     profiles: &[BenchmarkProfile],
 ) -> Vec<(String, ConfigEval)> {
     let which = if compacted { "VIII" } else { "VI" };
-    println!(
+    m3d_obs::out!(
         "== Table {which}: fault localization ({}compaction, scale = {}) ==",
         if compacted { "" } else { "no " },
         scale.name
@@ -347,22 +375,22 @@ pub fn table_localization(
     let cfg = ExperimentConfig::new(scale.clone(), compacted);
     let mut out = Vec::new();
     for &profile in profiles {
-        println!("--- {} ---", profile.name());
+        m3d_obs::out!("--- {} ---", profile.name());
         for eval in run_profile(profile, &cfg) {
-            println!("{:<6} ATPG       {}", eval.config, fmt_quality(&eval.atpg));
-            println!(
+            m3d_obs::out!("{:<6} ATPG       {}", eval.config, fmt_quality(&eval.atpg));
+            m3d_obs::out!(
                 "{:<6} [11]       {}  tier-loc {}",
                 eval.config,
                 fmt_quality_vs(&eval.baseline.quality, &eval.atpg),
                 fmt_tier_loc(eval.baseline.tier_localization)
             );
-            println!(
+            m3d_obs::out!(
                 "{:<6} GNN        {}  tier-loc {}",
                 eval.config,
                 fmt_quality_vs(&eval.gnn.quality, &eval.atpg),
                 fmt_tier_loc(eval.gnn.tier_localization)
             );
-            println!(
+            m3d_obs::out!(
                 "{:<6} GNN+[11]   {}",
                 eval.config,
                 fmt_quality_vs(&eval.gnn_plus.quality, &eval.atpg)
@@ -397,10 +425,15 @@ pub struct RuntimeRow {
 /// Table IX: runtime analysis on the Syn-2 configuration of every
 /// benchmark (as in the paper).
 pub fn table09(scale: &Scale, profiles: &[BenchmarkProfile]) -> Vec<RuntimeRow> {
-    println!("== Table IX: runtime analysis (scale = {}) ==", scale.name);
-    println!(
+    m3d_obs::out!("== Table IX: runtime analysis (scale = {}) ==", scale.name);
+    m3d_obs::out!(
         "{:<10} {:>10} {:>9} {:>9} {:>8} {:>9}",
-        "design", "features", "training", "T_ATPG", "T_GNN", "T_update"
+        "design",
+        "features",
+        "training",
+        "T_ATPG",
+        "T_GNN",
+        "T_update"
     );
     let cfg = ExperimentConfig::new(scale.clone(), false);
     let mut rows = Vec::new();
@@ -419,13 +452,19 @@ pub fn table09(scale: &Scale, profiles: &[BenchmarkProfile]) -> Vec<RuntimeRow> 
             fhi_atpg: eval.atpg.mean_fhi,
             fhi_updated: eval.gnn.quality.mean_fhi,
         };
-        println!(
+        m3d_obs::out!(
             "{:<10} {:>9.2}s {:>8.2}s {:>8.2}s {:>7.3}s {:>8.4}s",
-            row.design, row.t_features, row.t_training, row.t_atpg, row.t_gnn, row.t_update
+            row.design,
+            row.t_features,
+            row.t_training,
+            row.t_atpg,
+            row.t_gnn,
+            row.t_update
         );
-        println!(
+        m3d_obs::out!(
             "{:<10} backup dictionary ≈ {} bytes/pruned case",
-            "", eval.backup_bytes
+            "",
+            eval.backup_bytes
         );
         rows.push(row);
     }
@@ -435,7 +474,7 @@ pub fn table09(scale: &Scale, profiles: &[BenchmarkProfile]) -> Vec<RuntimeRow> 
 /// Fig. 10: PFA time saved vs per-candidate PFA cost `x`, from Table IX
 /// runtime rows.
 pub fn fig10(rows: &[RuntimeRow]) -> Vec<(String, Vec<(f64, f64)>)> {
-    println!("== Fig. 10: T_diff vs per-candidate PFA cost x ==");
+    m3d_obs::out!("== Fig. 10: T_diff vs per-candidate PFA cost x ==");
     let xs = [1.0, 5.0, 10.0, 50.0, 100.0];
     let mut out = Vec::new();
     for r in rows {
@@ -444,17 +483,15 @@ pub fn fig10(rows: &[RuntimeRow]) -> Vec<(String, Vec<(f64, f64)>)> {
             .map(|&x| {
                 (
                     x,
-                    pfa_time_saved(
-                        r.t_atpg, r.t_gnn, r.t_update, r.fhi_atpg, r.fhi_updated, x,
-                    ),
+                    pfa_time_saved(r.t_atpg, r.t_gnn, r.t_update, r.fhi_atpg, r.fhi_updated, x),
                 )
             })
             .collect();
-        print!("{:<10}", r.design);
+        let mut line = format!("{:<10}", r.design);
         for (x, t) in &series {
-            print!("  x={x:>5}: {t:>9.1}s");
+            line.push_str(&format!("  x={x:>5}: {t:>9.1}s"));
         }
-        println!();
+        m3d_obs::out!("{line}");
         out.push((r.design.clone(), series));
     }
     out
@@ -476,7 +513,10 @@ pub struct MultiFaultRow {
 /// Table X: 2–5 same-tier TDFs; train on Syn-1 multi-fault data, test on
 /// Syn-2 (the paper's transfer setting).
 pub fn table10(scale: &Scale, profiles: &[BenchmarkProfile]) -> Vec<MultiFaultRow> {
-    println!("== Table X: multiple-fault localization (scale = {}) ==", scale.name);
+    m3d_obs::out!(
+        "== Table X: multiple-fault localization (scale = {}) ==",
+        scale.name
+    );
     let cfg = ExperimentConfig::new(scale.clone(), false);
     let multi_cfg = |n: usize, seed: u64| DatasetConfig {
         multi: Some((2, 5)),
@@ -532,12 +572,8 @@ pub fn table10(scale: &Scale, profiles: &[BenchmarkProfile]) -> Vec<MultiFaultRo
             framework: report_quality(&fw_cases, true),
             tier_localization: tl.percentage(),
         };
-        println!(
-            "{:<10} ATPG      {}",
-            row.design,
-            fmt_quality(&row.atpg)
-        );
-        println!(
+        m3d_obs::out!("{:<10} ATPG      {}", row.design, fmt_quality(&row.atpg));
+        m3d_obs::out!(
             "{:<10} proposed  {}  tier-loc {}",
             row.design,
             fmt_quality_vs(&row.framework, &row.atpg),
@@ -561,7 +597,10 @@ pub struct AblationRow {
 /// standalone vs both, on AES Syn-1 with the test set augmented by 10%
 /// MIV-fault samples.
 pub fn table11(scale: &Scale) -> Vec<AblationRow> {
-    println!("== Table XI: standalone-model ablation (AES Syn-1, scale = {}) ==", scale.name);
+    m3d_obs::out!(
+        "== Table XI: standalone-model ablation (AES Syn-1, scale = {}) ==",
+        scale.name
+    );
     let cfg = ExperimentConfig::new(scale.clone(), false);
     let profile = BenchmarkProfile::AesLike;
     let bench = build_bench(profile, DesignConfig::Syn1, &cfg);
@@ -623,7 +662,7 @@ pub fn table11(scale: &Scale) -> Vec<AblationRow> {
             })
             .collect();
         let quality = report_quality(&cases, false);
-        println!("{:<16} {}", name, fmt_quality(&quality));
+        m3d_obs::out!("{:<16} {}", name, fmt_quality(&quality));
         rows.push(AblationRow {
             method: name,
             quality,

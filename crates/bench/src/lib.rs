@@ -14,11 +14,12 @@
 
 pub mod experiments;
 pub mod pipeline;
+pub mod report;
 pub mod scale;
 
 pub use pipeline::{
-    build_bench, evaluate_config, fmt_quality, fmt_quality_vs, fmt_tier_loc,
-    profiles_from_args, run_profile, train_framework, ConfigEval, ExperimentConfig,
-    MethodResult, Trained,
+    build_bench, evaluate_config, fmt_quality, fmt_quality_vs, fmt_tier_loc, profiles_from_args,
+    run_profile, train_framework, ConfigEval, ExperimentConfig, MethodResult, Trained,
 };
+pub use report::finish_run;
 pub use scale::Scale;

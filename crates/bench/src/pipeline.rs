@@ -10,8 +10,7 @@ use m3d_diagnosis::{
 };
 use m3d_fault_loc::{
     generate_samples, single_tier_of, DatasetConfig, DesignConfig, DesignContext, Framework,
-    FrameworkConfig, ModelTrainConfig, TestBench, TestBenchConfig, TierLocalization,
-    TrainingSet,
+    FrameworkConfig, ModelTrainConfig, TestBench, TestBenchConfig, TierLocalization, TrainingSet,
 };
 use m3d_netlist::BenchmarkProfile;
 use std::time::{Duration, Instant};
@@ -70,19 +69,27 @@ pub struct Trained {
 /// netlists (the paper's augmentation recipe), and the PADRE baseline on
 /// diagnosed Syn-1 training samples.
 pub fn train_framework(profile: BenchmarkProfile, cfg: &ExperimentConfig) -> Trained {
+    let _span = m3d_obs::span!("pipeline.train_framework");
+    m3d_obs::info!("training on profile {}", profile.name());
     let mut ts = TrainingSet::new();
     let mut t_features = Duration::ZERO;
     let mut padre_rows = Vec::new();
 
     let train_configs = [
         (DesignConfig::Syn1, cfg.scale.n_train),
-        (DesignConfig::RandomPart { seed: 101 }, cfg.scale.n_rand_train),
-        (DesignConfig::RandomPart { seed: 202 }, cfg.scale.n_rand_train),
+        (
+            DesignConfig::RandomPart { seed: 101 },
+            cfg.scale.n_rand_train,
+        ),
+        (
+            DesignConfig::RandomPart { seed: 202 },
+            cfg.scale.n_rand_train,
+        ),
     ];
     for (i, (dc, n)) in train_configs.iter().enumerate() {
         let bench = build_bench(profile, *dc, cfg);
         let t0 = Instant::now();
-        let ctx = DesignContext::new(&bench);
+        let ctx = m3d_obs::timed("pipeline.features", || DesignContext::new(&bench));
         t_features += t0.elapsed();
         let samples = generate_samples(
             &ctx,
@@ -133,10 +140,7 @@ pub fn train_framework(profile: BenchmarkProfile, cfg: &ExperimentConfig) -> Tra
     }
 }
 
-fn make_diag<'a, 'b>(
-    ctx: &'b DesignContext<'a>,
-    compacted: bool,
-) -> AtpgDiagnosis<'a, 'b> {
+fn make_diag<'a, 'b>(ctx: &'b DesignContext<'a>, compacted: bool) -> AtpgDiagnosis<'a, 'b> {
     AtpgDiagnosis::new(
         &ctx.fsim,
         compacted.then(|| ctx.chains()),
@@ -241,7 +245,15 @@ pub fn evaluate_config(
             .copied()
             .collect();
         let plus = if plus_list.is_empty() {
-            DiagnosisReport::new(r.outcome.report.candidates().iter().take(1).copied().collect())
+            DiagnosisReport::new(
+                r.outcome
+                    .report
+                    .candidates()
+                    .iter()
+                    .take(1)
+                    .copied()
+                    .collect(),
+            )
         } else {
             DiagnosisReport::new(plus_list)
         };
@@ -257,8 +269,8 @@ pub fn evaluate_config(
 
         if !r.outcome.pruned.is_empty() {
             pruned_cases += 1;
-            backup_bytes += r.outcome.pruned.len()
-                * std::mem::size_of::<m3d_diagnosis::Candidate>();
+            backup_bytes +=
+                r.outcome.pruned.len() * std::mem::size_of::<m3d_diagnosis::Candidate>();
         }
 
         atpg_cases.push((r.atpg_report, s.truth.clone()));
@@ -346,7 +358,7 @@ pub fn profiles_from_args() -> Vec<BenchmarkProfile> {
                 if let Some(p) = BenchmarkProfile::ALL.iter().find(|p| p.name() == name) {
                     return vec![*p];
                 }
-                eprintln!("unknown profile `{name}`; running all");
+                m3d_obs::warn!("unknown profile `{name}`; running all");
             }
         }
     }

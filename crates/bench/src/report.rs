@@ -1,0 +1,38 @@
+//! Run-report plumbing shared by every harness binary.
+//!
+//! Each `src/bin` target calls [`finish_run`] as its last statement; when
+//! `M3D_OBS_REPORT` names a path, the collected spans, counters, gauges,
+//! and training curves are written there as NDJSON (schema `m3d-obs/1`)
+//! together with a config echo of the binary name, scale, and profile
+//! filter — making table/figure runs diffable across commits.
+
+use crate::scale::Scale;
+use m3d_netlist::BenchmarkProfile;
+
+/// Writes the observability run report if `M3D_OBS_REPORT` is set.
+///
+/// Errors are reported on the log (a failed report write must not fail
+/// the experiment that produced the tables).
+pub fn finish_run(scale: &Scale, profiles: &[BenchmarkProfile]) {
+    let bin = std::env::args()
+        .next()
+        .map(|p| {
+            std::path::Path::new(&p)
+                .file_stem()
+                .map_or_else(|| p.clone(), |s| s.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    let profile_list = profiles
+        .iter()
+        .map(|p| p.name())
+        .collect::<Vec<_>>()
+        .join(",");
+    let config = [
+        ("bin", bin),
+        ("scale", scale.name.to_string()),
+        ("profiles", profile_list),
+    ];
+    if let Err(e) = m3d_obs::write_from_env(&config) {
+        m3d_obs::error!("failed to write run report: {e}");
+    }
+}

@@ -113,7 +113,7 @@ impl Scale {
             Some("medium") => Scale::medium(),
             Some("paper") => Scale::paper(),
             Some(other) => {
-                eprintln!("unknown scale `{other}`, using quick");
+                m3d_obs::warn!("unknown scale `{other}`, using quick");
                 Scale::quick()
             }
         }

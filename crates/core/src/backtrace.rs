@@ -16,11 +16,11 @@
 use crate::features::{
     local_degree_feature, FeatureExtractor, F_FANIN_SUB, F_FANOUT_SUB, N_FEATURES,
 };
-use crate::hetero::{HeteroGraph, HNodeId, HNodeKind};
+use crate::hetero::{HNodeId, HNodeKind, HeteroGraph};
 use m3d_gnn::{Graph, Matrix, NormAdj};
+use m3d_netlist::ScanChains;
 use m3d_part::MivId;
 use m3d_sim::{FailureLog, ObsPoints, PatternSim};
-use m3d_netlist::ScanChains;
 use std::collections::HashMap;
 
 /// Back-tracing configuration.
@@ -86,12 +86,17 @@ pub fn backtrace(
     log: &FailureLog,
     cfg: &BacktraceConfig,
 ) -> Subgraph {
+    let _span = m3d_obs::span!("backtrace");
     let mut support: HashMap<HNodeId, u32> = HashMap::new();
     let entries = log.entries();
+    // Accumulated locally and flushed once: the registry lock is cheap
+    // but not per-cone-edge cheap.
+    let mut nodes_visited = 0u64;
     for entry in entries {
         let mut seen: HashMap<HNodeId, ()> = HashMap::new();
         for obs_id in FailureLog::candidate_observers(entry, obs, chains) {
             for edge in &hetero.topnode(obs_id).cone {
+                nodes_visited += 1;
                 // Only transition-active nodes can launch a delay fault.
                 let active = hetero
                     .net_of(edge.node)
@@ -105,15 +110,14 @@ pub fn backtrace(
             *support.entry(node).or_insert(0) += 1;
         }
     }
+    m3d_obs::counter!("backtrace.nodes_visited", nodes_visited);
     let max_support = support.values().copied().max().unwrap_or(0);
     if max_support == 0 {
         return empty_subgraph();
     }
     let floor = ((f64::from(max_support)) * cfg.keep_frac).ceil().max(1.0) as u32;
-    let mut picked: Vec<(HNodeId, u32)> = support
-        .into_iter()
-        .filter(|&(_, c)| c >= floor)
-        .collect();
+    let mut picked: Vec<(HNodeId, u32)> =
+        support.into_iter().filter(|&(_, c)| c >= floor).collect();
     // Cap deterministically: strongest support first, then node order.
     picked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     picked.truncate(cfg.max_nodes);
@@ -141,11 +145,7 @@ pub fn build_subgraph(
     nodes: Vec<HNodeId>,
 ) -> Subgraph {
     debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "sorted unique nodes");
-    let index: HashMap<HNodeId, usize> = nodes
-        .iter()
-        .enumerate()
-        .map(|(i, &n)| (n, i))
-        .collect();
+    let index: HashMap<HNodeId, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     let mut g = Graph::new(nodes.len());
     let mut fanin = vec![0usize; nodes.len()];
     let mut fanout = vec![0usize; nodes.len()];
@@ -182,9 +182,7 @@ mod tests {
     use super::*;
     use m3d_netlist::{generate, GeneratorConfig};
     use m3d_part::{M3dNetlist, MinCutPartitioner, Partitioner};
-    use m3d_sim::{
-        generate_patterns, tdf_list, AtpgConfig, FaultSimulator, PatternSet, Tdf,
-    };
+    use m3d_sim::{generate_patterns, tdf_list, AtpgConfig, FaultSimulator, PatternSet, Tdf};
 
     struct Fixture {
         m3d: M3dNetlist,

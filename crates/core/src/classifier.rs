@@ -94,9 +94,7 @@ impl PruneClassifier {
         }
         let samples: Vec<GraphSample> = training
             .iter()
-            .map(|(sub, class)| {
-                GraphSample::graph_level(sub.adj.clone(), sub.x.clone(), *class)
-            })
+            .map(|(sub, class)| GraphSample::graph_level(sub.adj.clone(), sub.x.clone(), *class))
             .collect();
         let mut model = tier.model().transfer(2, Some(cfg.head_hidden), cfg.seed);
         model.train(
@@ -104,6 +102,7 @@ impl PruneClassifier {
             &TrainConfig {
                 epochs: cfg.epochs,
                 seed: cfg.seed ^ 0x99,
+                label: Some("classifier".to_string()),
                 ..TrainConfig::default()
             },
         );
@@ -197,7 +196,8 @@ mod tests {
             .filter_map(|s| s.fault.tier(&tb).map(|t| (s.subgraph.clone(), t.index())))
             .collect();
         // Confidence can never exceed 1.0.
-        assert!(PruneClassifier::train(&tier, &labelled, 1.1, &ClassifierConfig::default())
-            .is_none());
+        assert!(
+            PruneClassifier::train(&tier, &labelled, 1.1, &ClassifierConfig::default()).is_none()
+        );
     }
 }

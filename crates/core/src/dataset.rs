@@ -11,9 +11,9 @@ use crate::design::TestBench;
 use crate::features::FeatureExtractor;
 use crate::hetero::HeteroGraph;
 use m3d_gnn::GraphSample;
+use m3d_netlist::{PinRef, ScanChains};
 use m3d_part::{MivId, Tier};
 use m3d_sim::{FailureLog, FaultSimulator, Polarity, Tdf};
-use m3d_netlist::{PinRef, ScanChains};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -66,9 +66,7 @@ impl InjectedFault {
                 }
                 sites
             }
-            InjectedFault::MultiTier { faults, .. } => {
-                faults.iter().map(|f| f.site).collect()
-            }
+            InjectedFault::MultiTier { faults, .. } => faults.iter().map(|f| f.site).collect(),
         }
     }
 
@@ -206,12 +204,7 @@ impl<'a> DesignContext<'a> {
     }
 
     /// Back-traces a failure log into a subgraph.
-    pub fn backtrace(
-        &self,
-        log: &FailureLog,
-        compacted: bool,
-        cfg: &BacktraceConfig,
-    ) -> Subgraph {
+    pub fn backtrace(&self, log: &FailureLog, compacted: bool, cfg: &BacktraceConfig) -> Subgraph {
         backtrace(
             &self.hetero,
             &self.features,
@@ -277,7 +270,9 @@ pub fn generate_samples(ctx: &DesignContext<'_>, cfg: &DatasetConfig) -> Vec<Sam
             &fault,
             cfg.compacted,
             cfg.detect_prob,
-            cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(attempts as u64),
+            cfg.seed
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(attempts as u64),
         );
         if log.is_empty() {
             continue;

@@ -107,6 +107,7 @@ pub struct TestBench {
 impl TestBench {
     /// Builds a test bench per the Fig. 4 flow. Deterministic in `cfg`.
     pub fn build(cfg: &TestBenchConfig) -> Self {
+        let _span = m3d_obs::span!("bench.build");
         let corner = match cfg.config {
             DesignConfig::Syn2 => SynthesisCorner::Syn2,
             _ => SynthesisCorner::Syn1,

@@ -8,10 +8,10 @@
 //! transfers across designs of different sizes — the property Section IV
 //! depends on.
 
-use crate::hetero::{HeteroGraph, HNodeId, HNodeKind};
+use crate::hetero::{HNodeId, HNodeKind, HeteroGraph};
 use m3d_gnn::Matrix;
-use m3d_part::M3dNetlist;
 use m3d_netlist::topo;
+use m3d_part::M3dNetlist;
 
 /// Number of node features (the 13 rows of Table II).
 pub const N_FEATURES: usize = 13;
@@ -228,7 +228,11 @@ mod tests {
         let fx = FeatureExtractor::compute(&m3d, &h);
         for i in 0..h.node_count() {
             let row = fx.node_row(HNodeId(i as u32));
-            assert!((0.0..=1.0).contains(&row[F_DTOP_MEAN]), "{}", row[F_DTOP_MEAN]);
+            assert!(
+                (0.0..=1.0).contains(&row[F_DTOP_MEAN]),
+                "{}",
+                row[F_DTOP_MEAN]
+            );
             assert!((0.0..=1.0).contains(&row[F_DTOP_STD]));
         }
     }

@@ -116,6 +116,13 @@ impl Framework {
     ///
     /// Panics if `ts.tier_samples` is empty.
     pub fn train(ts: &TrainingSet, cfg: &FrameworkConfig) -> Self {
+        let _span = m3d_obs::span!("framework.train");
+        m3d_obs::info!(
+            "training framework: {} tier samples, {} MIV samples, {} labelled subgraphs",
+            ts.tier_samples.len(),
+            ts.miv_samples.len(),
+            ts.labelled_subgraphs.len()
+        );
         let tier = TierPredictor::train(&ts.tier_samples, &cfg.model);
         let curve = PrCurve::from_samples(&tier.confidence_scores(&ts.tier_samples));
         let t_p = curve
@@ -125,10 +132,14 @@ impl Framework {
             .then(|| MivPinpointer::train(&ts.miv_samples, &cfg.model));
         let classifier = cfg
             .use_classifier
-            .then(|| {
-                PruneClassifier::train(&tier, &ts.labelled_subgraphs, t_p, &cfg.classifier)
-            })
+            .then(|| PruneClassifier::train(&tier, &ts.labelled_subgraphs, t_p, &cfg.classifier))
             .flatten();
+        m3d_obs::gauge!("framework.t_p", f64::from(t_p));
+        m3d_obs::info!(
+            "framework trained: T_P = {t_p:.4}, miv = {}, classifier = {}",
+            miv.is_some(),
+            classifier.is_some()
+        );
         Framework {
             tier,
             miv,
@@ -177,11 +188,13 @@ impl Framework {
         diag: &AtpgDiagnosis<'_, '_>,
         sample: &Sample,
     ) -> FrameworkResult {
+        let _span = m3d_obs::span!("framework.diagnose");
         let t0 = Instant::now();
         let atpg_report = diag.diagnose(&sample.log);
         let t_atpg = t0.elapsed();
 
         let t1 = Instant::now();
+        let inference = m3d_obs::span!("inference");
         let tier_probs = if self.use_tier && !sample.subgraph.is_empty() {
             self.tier.predict(&sample.subgraph)
         } else {
@@ -195,6 +208,7 @@ impl Framework {
         } else {
             Vec::new()
         };
+        drop(inference);
         let t_gnn = t1.elapsed();
 
         let t2 = Instant::now();
@@ -292,10 +306,7 @@ mod tests {
         for s in &test {
             let r = fw.process_case(&ctx, &diag, s);
             assert!(r.outcome.pruned.is_empty(), "tier-less mode cannot prune");
-            assert_eq!(
-                r.outcome.report.resolution(),
-                r.atpg_report.resolution()
-            );
+            assert_eq!(r.outcome.report.resolution(), r.atpg_report.resolution());
         }
     }
 }

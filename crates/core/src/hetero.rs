@@ -13,9 +13,9 @@
 //! Topnode, `O(|V| + |E|)` overall per Topnode set, run once per design
 //! and reused for every failure log.
 
+use m3d_netlist::{GateId, NetId, Pin, PinRef};
 use m3d_part::{M3dNetlist, MivId};
 use m3d_sim::{ObsId, ObsPoints};
-use m3d_netlist::{GateId, NetId, Pin, PinRef};
 use std::collections::VecDeque;
 
 /// Dense id of a heterogeneous-graph node (a pin or an MIV).
@@ -128,7 +128,10 @@ impl HeteroGraph {
         for (id, g) in nl.iter_gates() {
             if g.output.is_some() {
                 for k in 0..g.inputs.len() {
-                    edges.push((pin_node(PinRef::input(id, k as u8)), pin_node(PinRef::output(id))));
+                    edges.push((
+                        pin_node(PinRef::input(id, k as u8)),
+                        pin_node(PinRef::output(id)),
+                    ));
                 }
             }
         }

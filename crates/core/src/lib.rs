@@ -45,7 +45,7 @@
 //! let test = generate_samples(&ctx, &DatasetConfig::single(10, 2));
 //! for sample in &test {
 //!     let result = framework.process_case(&ctx, &diag, sample);
-//!     println!(
+//!     m3d_obs::out!(
 //!         "tier={} conf={:.2} resolution {} -> {}",
 //!         result.outcome.predicted_tier,
 //!         result.outcome.confidence,
@@ -72,24 +72,18 @@ mod policy;
 
 pub use backtrace::{backtrace, build_subgraph, BacktraceConfig, Subgraph};
 pub use classifier::{ClassifierConfig, PruneClassifier, CLASS_PRUNE, CLASS_REORDER};
-pub use dataset::{
-    generate_samples, DatasetConfig, DesignContext, InjectedFault, Sample,
-};
+pub use dataset::{generate_samples, DatasetConfig, DesignContext, InjectedFault, Sample};
 pub use design::{DesignConfig, TestBench, TestBenchConfig};
 pub use features::{
     feature_names, local_degree_feature, FeatureExtractor, F_DTOP_MEAN, F_DTOP_STD,
-    F_FANIN_CIRCUIT, F_FANIN_SUB, F_FANOUT_CIRCUIT, F_FANOUT_SUB, F_LOC, F_LVL, F_MIV,
-    F_NMIV_MEAN, F_NMIV_STD, F_N_TOP, F_OUT, N_FEATURES,
+    F_FANIN_CIRCUIT, F_FANIN_SUB, F_FANOUT_CIRCUIT, F_FANOUT_SUB, F_LOC, F_LVL, F_MIV, F_NMIV_MEAN,
+    F_NMIV_STD, F_N_TOP, F_OUT, N_FEATURES,
 };
 pub use framework::{Framework, FrameworkConfig, FrameworkResult, TrainingSet};
-pub use hetero::{HeteroGraph, HNodeId, HNodeKind, TopEdge, TopNode};
-pub use metrics::{
-    improvement_pct, pfa_time_saved, single_tier_of, TierLocalization,
-};
+pub use hetero::{HNodeId, HNodeKind, HeteroGraph, TopEdge, TopNode};
+pub use metrics::{improvement_pct, pfa_time_saved, single_tier_of, TierLocalization};
 pub use models::{
     miv_training_set, tier_training_set, MivPinpointer, ModelTrainConfig, TierPredictor,
 };
 pub use oversample::{balance_with_buffers, with_dummy_buffers};
-pub use policy::{
-    apply_policy, BackupDictionary, PolicyAction, PolicyConfig, PolicyOutcome,
-};
+pub use policy::{apply_policy, BackupDictionary, PolicyAction, PolicyConfig, PolicyOutcome};

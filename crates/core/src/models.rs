@@ -39,6 +39,7 @@ fn best_of_restarts(
     task: Task,
     n_classes: usize,
     class_weights: Option<Vec<f32>>,
+    curve_label: &str,
 ) -> GcnModel {
     let mut best: Option<(f64, GcnModel)> = None;
     for r in 0..cfg.restarts.max(1) {
@@ -51,12 +52,20 @@ fn best_of_restarts(
             task,
             seed,
         });
+        // Restart 0 keeps the bare label so the primary curve has a
+        // stable name; later restarts get a `/r{n}` suffix.
+        let label = if r == 0 {
+            curve_label.to_string()
+        } else {
+            format!("{curve_label}/r{r}")
+        };
         model.train(
             samples,
             &TrainConfig {
                 epochs: cfg.epochs,
                 seed: seed ^ 0xA5A5,
                 class_weights: class_weights.clone(),
+                label: Some(label),
                 ..TrainConfig::default()
             },
         );
@@ -92,7 +101,10 @@ fn weighted_accuracy(model: &GcnModel, samples: &[GraphSample], weights: &[f32])
 /// Converts samples to Tier-predictor [`GraphSample`]s (skipping MIV
 /// defects and empty subgraphs).
 pub fn tier_training_set(bench: &TestBench, samples: &[Sample]) -> Vec<GraphSample> {
-    samples.iter().filter_map(|s| s.tier_sample(bench)).collect()
+    samples
+        .iter()
+        .filter_map(|s| s.tier_sample(bench))
+        .collect()
 }
 
 /// Converts samples to MIV-pinpointer [`GraphSample`]s (skipping
@@ -142,7 +154,14 @@ impl TierPredictor {
             .iter()
             .map(|&c| if c > 0.0 { total / (k * c) } else { 1.0 })
             .collect();
-        let model = best_of_restarts(samples, cfg, Task::Graph, n_tiers, Some(weights));
+        let model = best_of_restarts(
+            samples,
+            cfg,
+            Task::Graph,
+            n_tiers,
+            Some(weights),
+            "tier-predictor",
+        );
         TierPredictor { model }
     }
 
@@ -247,8 +266,19 @@ impl MivPinpointer {
                 }
             }
         }
-        let w_pos = if pos > 0.0 { (neg / pos).clamp(1.0, 10.0) } else { 1.0 };
-        let model = best_of_restarts(samples, cfg, Task::Node, 2, Some(vec![1.0, w_pos]));
+        let w_pos = if pos > 0.0 {
+            (neg / pos).clamp(1.0, 10.0)
+        } else {
+            1.0
+        };
+        let model = best_of_restarts(
+            samples,
+            cfg,
+            Task::Node,
+            2,
+            Some(vec![1.0, w_pos]),
+            "miv-pinpointer",
+        );
         MivPinpointer { model }
     }
 
@@ -332,8 +362,7 @@ mod tests {
         let tset = tier_training_set(&tb, &train);
         let predictor = TierPredictor::train(&tset, &ModelTrainConfig::default());
         let scores = predictor.confidence_scores(&tset);
-        let frac_correct =
-            scores.iter().filter(|s| s.correct).count() as f64 / scores.len() as f64;
+        let frac_correct = scores.iter().filter(|s| s.correct).count() as f64 / scores.len() as f64;
         assert!((frac_correct - predictor.accuracy(&tset)).abs() < 1e-9);
         assert!(scores.iter().all(|s| s.score >= 0.5 - 1e-6));
     }
@@ -369,7 +398,10 @@ mod tests {
         assert!(!faulty_p.is_empty() && !healthy_p.is_empty());
         let mf = faulty_p.iter().sum::<f64>() / faulty_p.len() as f64;
         let mh = healthy_p.iter().sum::<f64>() / healthy_p.len() as f64;
-        assert!(mf > mh, "faulty vias must rank above healthy ({mf:.3} vs {mh:.3})");
+        assert!(
+            mf > mh,
+            "faulty vias must rank above healthy ({mf:.3} vs {mh:.3})"
+        );
         // Predictions cover exactly the MIV rows.
         for s in train.iter().take(5) {
             let preds = pin.predict(&s.subgraph);

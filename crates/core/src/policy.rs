@@ -88,6 +88,7 @@ pub fn apply_policy(
     subgraph: &Subgraph,
     cfg: &PolicyConfig,
 ) -> PolicyOutcome {
+    let _span = m3d_obs::span!("policy");
     let faulty_mivs: Vec<MivId> = miv_probs
         .iter()
         .filter(|&&(_, p)| p >= cfg.miv_threshold)
@@ -142,6 +143,13 @@ pub fn apply_policy(
         front.into_iter().chain(back).collect()
     };
 
+    m3d_obs::counter!("policy.candidates_pruned", pruned.len() as u64);
+    if !pruned.is_empty() {
+        m3d_obs::debug!(
+            "policy pruned {} candidates (tier {predicted}, confidence {confidence:.3})",
+            pruned.len()
+        );
+    }
     let mut final_list = miv_block;
     final_list.extend(ordered_rest);
     PolicyOutcome {
@@ -341,10 +349,7 @@ mod tests {
         );
         assert_eq!(out.faulty_mivs, vec![miv_id]);
         assert_eq!(out.report.candidates()[0].fault.site, miv_site);
-        assert!(out
-            .pruned
-            .iter()
-            .all(|c| c.fault.site != miv_site));
+        assert!(out.pruned.iter().all(|c| c.fault.site != miv_site));
     }
 
     #[test]

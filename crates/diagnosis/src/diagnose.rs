@@ -78,6 +78,7 @@ impl<'a, 'b> AtpgDiagnosis<'a, 'b> {
     /// appears in the report (bounded recursion; single-fault logs never
     /// recurse because their head candidate explains everything).
     pub fn diagnose(&self, log: &FailureLog) -> DiagnosisReport {
+        let _span = m3d_obs::span!("diagnosis.diagnose");
         self.diagnose_residual(log, 0)
     }
 

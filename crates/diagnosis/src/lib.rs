@@ -34,7 +34,6 @@ mod report;
 
 pub use diagnose::{AtpgDiagnosis, DiagnosisConfig};
 pub use padre::{
-    candidate_features, candidate_levels, training_rows, PadreFilter, PadreTrainRow,
-    PADRE_FEATURES,
+    candidate_features, candidate_levels, training_rows, PadreFilter, PadreTrainRow, PADRE_FEATURES,
 };
 pub use report::{mean_std, report_quality, Candidate, DiagnosisReport, ReportQuality};

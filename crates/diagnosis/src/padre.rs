@@ -103,12 +103,7 @@ impl PadreFilter {
             order.shuffle(&mut rng);
             for &i in &order {
                 let r = &rows[i];
-                let z: f64 = b + r
-                    .features
-                    .iter()
-                    .zip(&w)
-                    .map(|(x, wi)| x * wi)
-                    .sum::<f64>();
+                let z: f64 = b + r.features.iter().zip(&w).map(|(x, wi)| x * wi).sum::<f64>();
                 let p = 1.0 / (1.0 + (-z).exp());
                 let y = f64::from(u8::from(r.is_true));
                 let cw = if r.is_true { pos_weight } else { 1.0 };

@@ -115,7 +115,10 @@ pub struct ReportQuality {
 
 /// Computes aggregate quality over `(report, ground truth)` pairs.
 /// `multi_fault` selects the all-faults accuracy criterion.
-pub fn report_quality(cases: &[(DiagnosisReport, Vec<PinRef>)], multi_fault: bool) -> ReportQuality {
+pub fn report_quality(
+    cases: &[(DiagnosisReport, Vec<PinRef>)],
+    multi_fault: bool,
+) -> ReportQuality {
     let n = cases.len().max(1) as f64;
     let hits = cases
         .iter()
@@ -171,7 +174,8 @@ mod tests {
 
     #[test]
     fn metrics_on_simple_report() {
-        let report = DiagnosisReport::new(vec![cand(1, 5, 0, 0), cand(2, 5, 0, 0), cand(3, 3, 2, 1)]);
+        let report =
+            DiagnosisReport::new(vec![cand(1, 5, 0, 0), cand(2, 5, 0, 0), cand(3, 3, 2, 1)]);
         let truth = vec![PinRef::output(GateId(2))];
         assert_eq!(report.resolution(), 3);
         assert!(report.hits_any(&truth));
@@ -202,10 +206,7 @@ mod tests {
         let truth = vec![PinRef::output(GateId(1))];
         let good = DiagnosisReport::new(vec![cand(1, 2, 0, 0)]);
         let bad = DiagnosisReport::new(vec![cand(7, 2, 0, 0), cand(8, 1, 0, 0)]);
-        let q = report_quality(
-            &[(good, truth.clone()), (bad, truth)],
-            false,
-        );
+        let q = report_quality(&[(good, truth.clone()), (bad, truth)], false);
         assert!((q.accuracy - 0.5).abs() < 1e-9);
         assert!((q.mean_resolution - 1.5).abs() < 1e-9);
         assert!((q.mean_fhi - 1.0).abs() < 1e-9);

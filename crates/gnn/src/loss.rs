@@ -33,7 +33,10 @@ pub fn cross_entropy(
     let mut loss = 0.0f64;
     let mut weight_sum = 0.0f64;
     for &(r, c) in targets {
-        assert!(r < logits.rows() && c < logits.cols(), "target out of range");
+        assert!(
+            r < logits.rows() && c < logits.cols(),
+            "target out of range"
+        );
         let p = softmax_row(logits.row(r));
         let w = class_weights.map_or(1.0, |cw| cw[c]);
         loss += f64::from(w) * -f64::from(p[c].max(1e-12).ln());

@@ -95,6 +95,10 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Optional per-class loss weights (imbalance correction).
     pub class_weights: Option<Vec<f32>>,
+    /// Observability label: when set, every epoch's mean loss and wall
+    /// time is recorded as a training curve under this name in the
+    /// `m3d-obs` registry (and hence in run reports).
+    pub label: Option<String>,
 }
 
 impl Default for TrainConfig {
@@ -104,6 +108,7 @@ impl Default for TrainConfig {
             adam: AdamConfig::default(),
             seed: 1,
             class_weights: None,
+            label: None,
         }
     }
 }
@@ -158,7 +163,12 @@ impl GcnModel {
             Task::Graph => 2 * d, // mean ‖ max readout
             Task::Node => d,
         };
-        let head = Self::build_head(head_in_dim, cfg.head_hidden, cfg.n_classes, cfg.seed ^ 0x5EED);
+        let head = Self::build_head(
+            head_in_dim,
+            cfg.head_hidden,
+            cfg.n_classes,
+            cfg.seed ^ 0x5EED,
+        );
         let states = Self::fresh_states(&gcn, &head);
         GcnModel {
             task: cfg.task,
@@ -378,17 +388,23 @@ impl GcnModel {
     /// Trains on `samples` for `cfg.epochs` epochs (per-sample Adam steps in
     /// shuffled order); returns the mean loss of each epoch.
     pub fn train(&mut self, samples: &[GraphSample], cfg: &TrainConfig) -> Vec<f64> {
+        let _span = m3d_obs::span!("gnn.train");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut order: Vec<usize> = (0..samples.len()).collect();
         let mut losses = Vec::with_capacity(cfg.epochs);
-        for _ in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
+            let t0 = std::time::Instant::now();
             order.shuffle(&mut rng);
             let mut total = 0.0;
             for &i in &order {
-                total +=
-                    self.train_sample(&samples[i], &cfg.adam, cfg.class_weights.as_deref());
+                total += self.train_sample(&samples[i], &cfg.adam, cfg.class_weights.as_deref());
             }
-            losses.push(total / samples.len().max(1) as f64);
+            let loss = total / samples.len().max(1) as f64;
+            losses.push(loss);
+            if let Some(label) = &cfg.label {
+                m3d_obs::registry::record_epoch(label, epoch, loss, None, t0.elapsed());
+                m3d_obs::trace!("{label} epoch {epoch}: loss {loss:.6}");
+            }
         }
         losses
     }
@@ -580,17 +596,23 @@ mod tests {
     fn transfer_freezes_trunk() {
         let data = toy_dataset(40, 9);
         let mut base = GcnModel::new(&GcnConfig::two_layer(3, Task::Graph));
-        base.train(&data, &TrainConfig {
-            epochs: 5,
-            ..TrainConfig::default()
-        });
+        base.train(
+            &data,
+            &TrainConfig {
+                epochs: 5,
+                ..TrainConfig::default()
+            },
+        );
         let trunk_w_before = base.embed(&data[0].adj, &data[0].x);
         let mut t = base.transfer(2, Some(8), 77);
         assert_eq!(t.frozen_layer_count(), t.gcn_layer_count());
-        t.train(&data, &TrainConfig {
-            epochs: 3,
-            ..TrainConfig::default()
-        });
+        t.train(
+            &data,
+            &TrainConfig {
+                epochs: 3,
+                ..TrainConfig::default()
+            },
+        );
         // Frozen trunk ⇒ identical embeddings after further training.
         let trunk_w_after = t.embed(&data[0].adj, &data[0].x);
         assert_eq!(trunk_w_before, trunk_w_after);
@@ -601,10 +623,13 @@ mod tests {
         let data = toy_dataset(20, 12);
         let mk = || {
             let mut m = GcnModel::new(&GcnConfig::two_layer(3, Task::Graph));
-            m.train(&data, &TrainConfig {
-                epochs: 3,
-                ..TrainConfig::default()
-            })
+            m.train(
+                &data,
+                &TrainConfig {
+                    epochs: 3,
+                    ..TrainConfig::default()
+                },
+            )
         };
         assert_eq!(mk(), mk());
     }
@@ -631,8 +656,7 @@ mod tests {
             }
             data.push(GraphSample::graph_level(adj, x, label));
         }
-        let minority: Vec<&GraphSample> =
-            data.iter().filter(|s| s.targets[0].1 == 1).collect();
+        let minority: Vec<&GraphSample> = data.iter().filter(|s| s.targets[0].1 == 1).collect();
         let recall = |m: &GcnModel| {
             minority
                 .iter()
@@ -641,16 +665,22 @@ mod tests {
                 / minority.len() as f64
         };
         let mut plain = GcnModel::new(&GcnConfig::two_layer(2, Task::Graph));
-        plain.train(&data, &TrainConfig {
-            epochs: 15,
-            ..TrainConfig::default()
-        });
+        plain.train(
+            &data,
+            &TrainConfig {
+                epochs: 15,
+                ..TrainConfig::default()
+            },
+        );
         let mut weighted = GcnModel::new(&GcnConfig::two_layer(2, Task::Graph));
-        weighted.train(&data, &TrainConfig {
-            epochs: 15,
-            class_weights: Some(vec![1.0, 9.0]),
-            ..TrainConfig::default()
-        });
+        weighted.train(
+            &data,
+            &TrainConfig {
+                epochs: 15,
+                class_weights: Some(vec![1.0, 9.0]),
+                ..TrainConfig::default()
+            },
+        );
         assert!(
             recall(&weighted) >= recall(&plain),
             "weighted {} < plain {}",

@@ -113,7 +113,9 @@ fn power_iteration(m: &[Vec<f64>], iters: usize, tol: f64, seed: u64) -> (Vec<f6
     // Deterministic pseudo-random start.
     let mut v: Vec<f64> = (0..d)
         .map(|i| {
-            let x = (i as u64 + 1).wrapping_mul(seed).wrapping_mul(6364136223846793005);
+            let x = (i as u64 + 1)
+                .wrapping_mul(seed)
+                .wrapping_mul(6364136223846793005);
             ((x >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         })
         .collect();

@@ -50,15 +50,16 @@ impl PrCurve {
         let points = thresholds
             .into_iter()
             .map(|t| {
-                let tp = samples
-                    .iter()
-                    .filter(|s| s.correct && s.score >= t)
-                    .count() as f64;
+                let tp = samples.iter().filter(|s| s.correct && s.score >= t).count() as f64;
                 let pp = samples.iter().filter(|s| s.score >= t).count() as f64;
                 PrPoint {
                     threshold: t,
                     precision: if pp > 0.0 { tp / pp } else { 1.0 },
-                    recall: if actual_pos > 0.0 { tp / actual_pos } else { 0.0 },
+                    recall: if actual_pos > 0.0 {
+                        tp / actual_pos
+                    } else {
+                        0.0
+                    },
                 }
             })
             .collect();

@@ -155,7 +155,10 @@ impl GcnModel {
     /// Returns a [`LoadModelError`] describing the first malformed line.
     pub fn load_text(text: &str) -> Result<GcnModel, LoadModelError> {
         let lines: Vec<&str> = text.lines().collect();
-        let mut cursor = Cursor { lines: &lines, at: 0 };
+        let mut cursor = Cursor {
+            lines: &lines,
+            at: 0,
+        };
         let (n, header) = cursor.next()?;
         if header.trim() != "m3d-gnn-model v1" {
             return Err(LoadModelError::new(n, "bad header"));

@@ -73,21 +73,23 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
             message: format!("unknown cell kind `{head}`"),
         })?;
         let rest: Vec<&str> = tokens.collect();
-        let arrow = rest
-            .iter()
-            .position(|&t| t == "->")
-            .ok_or_else(|| ParseNetlistError::Syntax {
-                line: line_no,
-                message: "missing `->`".into(),
-            })?;
+        let arrow =
+            rest.iter()
+                .position(|&t| t == "->")
+                .ok_or_else(|| ParseNetlistError::Syntax {
+                    line: line_no,
+                    message: "missing `->`".into(),
+                })?;
         let inputs = rest[..arrow]
             .iter()
             .map(|t| parse_net(t, line_no))
             .collect::<Result<Vec<NetId>, _>>()?;
-        let out_tok = rest.get(arrow + 1).ok_or_else(|| ParseNetlistError::Syntax {
-            line: line_no,
-            message: "missing output token after `->`".into(),
-        })?;
+        let out_tok = rest
+            .get(arrow + 1)
+            .ok_or_else(|| ParseNetlistError::Syntax {
+                line: line_no,
+                message: "missing output token after `->`".into(),
+            })?;
         let output = if *out_tok == "-" {
             None
         } else {
@@ -171,8 +173,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let nl = parse_netlist("# hi\n\nnets 2\ninput -> n0\ninv n0 -> n1\noutput n1 -> -\n")
-            .unwrap();
+        let nl =
+            parse_netlist("# hi\n\nnets 2\ninput -> n0\ninv n0 -> n1\noutput n1 -> -\n").unwrap();
         assert_eq!(nl.gate_count(), 3);
     }
 }

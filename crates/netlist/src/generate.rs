@@ -175,6 +175,7 @@ impl Default for GeneratorConfig {
 /// Panics if `cfg` requests zero inputs or zero combinational gates, or if
 /// the internal construction produces an invalid netlist (a bug).
 pub fn generate(cfg: &GeneratorConfig) -> Netlist {
+    let _span = m3d_obs::span!("netlist.generate");
     assert!(cfg.n_inputs > 0, "need at least one primary input");
     assert!(cfg.n_comb_gates > 0, "need at least one gate");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -249,9 +250,12 @@ pub fn generate(cfg: &GeneratorConfig) -> Netlist {
     }
     // Any remaining unconsumed nets: round-robin extra loads onto existing
     // primary outputs is not possible (ports are single-pin), so absorb the
-    // stragglers with 2-input OR taps feeding one extra output each, up to a
-    // small budget; the rest stay dangling (realistic, lowers FC slightly).
-    let mut budget = cfg.n_outputs / 4 + 1;
+    // stragglers with 2-input OR taps feeding one extra output each. The
+    // budget absorbs most but not all stragglers — it scales with the
+    // straggler count (which grows with the gate count, not the output
+    // count); the rest stay dangling (realistic, lowers FC slightly). Taps
+    // draw no randomness, so the budget does not perturb the RNG stream.
+    let mut budget = cfg.n_outputs / 4 + 1 + deep_unused.len() / 4;
     while let (Some(a), true) = (deep_unused.pop(), budget > 0) {
         if let Some(b) = deep_unused.pop() {
             let y = nl.add_gate(CellKind::Or, &[a, b]).expect("tap");

@@ -314,7 +314,11 @@ impl Netlist {
     pub fn add_flop(&mut self, scan: bool) -> (GateId, NetId) {
         let q = self.new_net();
         let id = self.push_gate(Gate {
-            kind: if scan { CellKind::ScanDff } else { CellKind::Dff },
+            kind: if scan {
+                CellKind::ScanDff
+            } else {
+                CellKind::Dff
+            },
             inputs: vec![],
             output: Some(q),
         });

@@ -47,10 +47,8 @@ pub fn insert_observation_points(nl: &mut Netlist, cfg: &TestPointConfig) -> Vec
             // Skip nets that already reach an observation structure directly.
             net.driver.is_some()
                 && !net.loads.iter().any(|&(g, _)| {
-                    matches!(
-                        nl.gate(g).kind,
-                        CellKind::Output | CellKind::ObsPoint
-                    ) || nl.gate(g).kind.is_sequential()
+                    matches!(nl.gate(g).kind, CellKind::Output | CellKind::ObsPoint)
+                        || nl.gate(g).kind.is_sequential()
                 })
         })
         .map(|(id, net)| {
@@ -101,7 +99,12 @@ mod tests {
     fn picks_deep_unobserved_nets() {
         let mut nl = generate(&GeneratorConfig::default());
         let lvl = topo::levels(&nl);
-        let picked = insert_observation_points(&mut nl, &TestPointConfig { max_fraction: 0.005 });
+        let picked = insert_observation_points(
+            &mut nl,
+            &TestPointConfig {
+                max_fraction: 0.005,
+            },
+        );
         for &net in &picked {
             let drv = nl.net(net).driver.unwrap();
             assert!(lvl[drv.index()] > 0, "sources are never hard to observe");

@@ -233,7 +233,10 @@ mod tests {
     #[test]
     fn fanin_cone_stops_at_sources() {
         let (nl, and_gate, inv_gate, ff) = sample();
-        let cone: Vec<GateId> = fanin_cone(&nl, inv_gate).into_iter().map(|(g, _)| g).collect();
+        let cone: Vec<GateId> = fanin_cone(&nl, inv_gate)
+            .into_iter()
+            .map(|(g, _)| g)
+            .collect();
         assert!(cone.contains(&inv_gate));
         assert!(cone.contains(&and_gate));
         // Both primary inputs reachable.
@@ -246,7 +249,10 @@ mod tests {
     #[test]
     fn fanout_cone_stops_at_flops_and_ports() {
         let (nl, and_gate, _inv, ff) = sample();
-        let cone: Vec<GateId> = fanout_cone(&nl, and_gate).into_iter().map(|(g, _)| g).collect();
+        let cone: Vec<GateId> = fanout_cone(&nl, and_gate)
+            .into_iter()
+            .map(|(g, _)| g)
+            .collect();
         // and -> inv -> {output port, ff}; must NOT cross through ff to buf.
         assert!(cone.contains(&ff));
         let buf_beyond = nl

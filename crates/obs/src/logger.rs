@@ -1,0 +1,239 @@
+//! Leveled, module-filtered logging on stderr, plus the sanctioned stdout
+//! sink for table/figure emission ([`crate::out!`]).
+//!
+//! The filter comes from the `M3D_LOG` environment variable using
+//! `env_logger`-style syntax: a comma-separated list of either a bare
+//! default level (`info`) or a `module=level` rule
+//! (`m3d_sim=debug,m3d_gnn::model=trace`). Module rules match by longest
+//! path prefix. Unset or empty selects the default (`warn`); malformed
+//! pieces are ignored rather than fatal.
+
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-invalidating conditions.
+    Error = 1,
+    /// Suspicious conditions the run survives.
+    Warn = 2,
+    /// High-level progress (per stage / per table).
+    Info = 3,
+    /// Per-case diagnostic detail.
+    Debug = 4,
+    /// Inner-loop detail.
+    Trace = 5,
+}
+
+impl Level {
+    fn name(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+fn parse_level(s: &str) -> Option<Option<Level>> {
+    // Outer None = unparsable; inner None = explicitly off.
+    match s.trim().to_ascii_lowercase().as_str() {
+        "off" | "none" => Some(None),
+        "error" => Some(Some(Level::Error)),
+        "warn" | "warning" => Some(Some(Level::Warn)),
+        "info" => Some(Some(Level::Info)),
+        "debug" => Some(Some(Level::Debug)),
+        "trace" => Some(Some(Level::Trace)),
+        _ => None,
+    }
+}
+
+/// A parsed `M3D_LOG` filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Filter {
+    /// Level for targets no rule matches (`None` = off).
+    default: Option<Level>,
+    /// `(module_prefix, level)` rules; longest matching prefix wins.
+    rules: Vec<(String, Option<Level>)>,
+}
+
+impl Default for Filter {
+    /// The unset-`M3D_LOG` behaviour: warnings and errors only.
+    fn default() -> Self {
+        Filter {
+            default: Some(Level::Warn),
+            rules: Vec::new(),
+        }
+    }
+}
+
+impl Filter {
+    /// Parses an `M3D_LOG` value. Never fails: the empty string yields the
+    /// default filter, malformed items (bad level names, empty module
+    /// paths, stray `=`) are skipped, later items override earlier ones.
+    pub fn parse(spec: &str) -> Filter {
+        let mut filter = Filter::default();
+        for item in spec.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            match item.split_once('=') {
+                None => {
+                    if let Some(level) = parse_level(item) {
+                        filter.default = level;
+                    }
+                }
+                Some((module, level_str)) => {
+                    let module = module.trim();
+                    if module.is_empty() {
+                        continue;
+                    }
+                    if let Some(level) = parse_level(level_str) {
+                        filter.rules.retain(|(m, _)| m != module);
+                        filter.rules.push((module.to_string(), level));
+                    }
+                }
+            }
+        }
+        filter
+    }
+
+    /// Whether a record at `level` from module `target` passes the filter.
+    pub fn enabled(&self, level: Level, target: &str) -> bool {
+        let mut best: Option<(usize, Option<Level>)> = None;
+        for (module, rule_level) in &self.rules {
+            let exact = target == module;
+            let prefixed = target
+                .strip_prefix(module.as_str())
+                .is_some_and(|rest| rest.starts_with("::"));
+            if (exact || prefixed) && best.is_none_or(|(len, _)| module.len() > len) {
+                best = Some((module.len(), *rule_level));
+            }
+        }
+        let max = best.map_or(self.default, |(_, l)| l);
+        max.is_some_and(|m| level <= m)
+    }
+}
+
+fn filter() -> &'static Mutex<Filter> {
+    static FILTER: OnceLock<Mutex<Filter>> = OnceLock::new();
+    FILTER.get_or_init(|| {
+        let spec = std::env::var("M3D_LOG").unwrap_or_default();
+        Mutex::new(Filter::parse(&spec))
+    })
+}
+
+fn lock_filter() -> std::sync::MutexGuard<'static, Filter> {
+    filter()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Replaces the active filter (tests and programmatic configuration).
+pub fn set_filter(f: Filter) {
+    *lock_filter() = f;
+}
+
+/// Whether a record at `level` for `target` would be emitted.
+pub fn log_enabled(level: Level, target: &str) -> bool {
+    lock_filter().enabled(level, target)
+}
+
+/// Seconds since the process first touched the logger (stable timestamps
+/// for interleaving with span totals).
+pub fn uptime() -> f64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
+/// Emits one log record if the filter passes. Use via the level macros
+/// ([`crate::error!`], [`crate::warn!`], …), which supply the module path.
+#[allow(clippy::print_stderr)]
+pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    if !log_enabled(level, target) {
+        return;
+    }
+    eprintln!(
+        "[{:10.3}s {:5} {}] {}",
+        uptime(),
+        level.name(),
+        target,
+        args
+    );
+}
+
+/// Emits one line of primary program output (tables, figures) on stdout.
+/// This is the sanctioned alternative to `println!`, which the workspace
+/// denies via clippy so diagnostics cannot silently bypass the logger.
+#[allow(clippy::print_stdout)]
+pub fn out_line(args: std::fmt::Arguments<'_>) {
+    println!("{args}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_unset_default_to_warn() {
+        for spec in ["", "   ", ",,,"] {
+            let f = Filter::parse(spec);
+            assert!(f.enabled(Level::Warn, "m3d_sim"), "spec {spec:?}");
+            assert!(f.enabled(Level::Error, "m3d_sim"));
+            assert!(!f.enabled(Level::Info, "m3d_sim"));
+        }
+    }
+
+    #[test]
+    fn bare_level_sets_default() {
+        let f = Filter::parse("debug");
+        assert!(f.enabled(Level::Debug, "anything"));
+        assert!(!f.enabled(Level::Trace, "anything"));
+        let off = Filter::parse("off");
+        assert!(!off.enabled(Level::Error, "anything"));
+    }
+
+    #[test]
+    fn module_rules_match_by_path_prefix() {
+        let f = Filter::parse("warn,m3d_gnn=trace,m3d_sim::atpg=debug");
+        assert!(f.enabled(Level::Trace, "m3d_gnn"));
+        assert!(f.enabled(Level::Trace, "m3d_gnn::model"));
+        assert!(f.enabled(Level::Debug, "m3d_sim::atpg"));
+        assert!(!f.enabled(Level::Debug, "m3d_sim::fsim"), "sibling module");
+        // Prefix match is per path segment, not per character.
+        assert!(!f.enabled(Level::Trace, "m3d_gnn_extra"));
+        assert!(!f.enabled(Level::Info, "m3d_core"));
+    }
+
+    #[test]
+    fn longest_prefix_wins_and_later_duplicates_override() {
+        let f = Filter::parse("m3d_sim=trace,m3d_sim::atpg=off");
+        assert!(f.enabled(Level::Trace, "m3d_sim::fsim"));
+        assert!(!f.enabled(Level::Error, "m3d_sim::atpg"));
+        let g = Filter::parse("m3d_sim=off,m3d_sim=info");
+        assert!(g.enabled(Level::Info, "m3d_sim"));
+    }
+
+    #[test]
+    fn malformed_items_are_ignored() {
+        // Bad level name, missing module, missing level, double '='.
+        for spec in [
+            "m3d_sim=loud",
+            "=debug",
+            "m3d_sim=",
+            "m3d_sim=debug=trace",
+            "notalevel",
+        ] {
+            let f = Filter::parse(spec);
+            assert_eq!(f, Filter::default(), "spec {spec:?} must be ignored");
+        }
+        // A good rule survives surrounding garbage.
+        let f = Filter::parse("bogus=wat,info,also=?");
+        assert!(f.enabled(Level::Info, "m3d_core"));
+        assert!(!f.enabled(Level::Debug, "m3d_core"));
+    }
+}

@@ -1,0 +1,215 @@
+//! The process-wide metrics registry: span statistics, counters, gauges,
+//! and per-epoch training curves, behind one mutex. Recording sites are
+//! coarse (once per pipeline stage / per training epoch / per diagnosis
+//! case), so a mutex is cheap; hot loops accumulate locally and add once.
+
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Aggregated statistics of one named span.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct SpanStat {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    hist: Histogram,
+}
+
+/// One recorded training epoch of one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochPoint {
+    /// Epoch index (0-based).
+    pub epoch: u32,
+    /// Mean training loss of the epoch.
+    pub loss: f64,
+    /// Optional extra metric (e.g. training accuracy).
+    pub metric: Option<f64>,
+    /// Wall time of the epoch in milliseconds.
+    pub wall_ms: f64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    spans: BTreeMap<String, SpanStat>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    curves: BTreeMap<String, Vec<EpochPoint>>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+fn registry() -> &'static Mutex<Inner> {
+    static REG: OnceLock<Mutex<Inner>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Inner::default()))
+}
+
+fn locked() -> std::sync::MutexGuard<'static, Inner> {
+    registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Globally enables or disables metric recording (spans, counters, gauges,
+/// curves). Logging is governed separately by the `M3D_LOG` filter.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether metric recording is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears every recorded metric (used between runs and by tests).
+pub fn reset() {
+    let mut inner = locked();
+    *inner = Inner::default();
+}
+
+/// Records one completed span duration under `name`.
+pub fn record_span(name: &str, duration: Duration) {
+    if !enabled() {
+        return;
+    }
+    let ns = duration.as_nanos().min(u128::from(u64::MAX)) as u64;
+    let mut inner = locked();
+    let stat = inner.spans.entry(name.to_string()).or_default();
+    if stat.count == 0 {
+        stat.min_ns = ns;
+        stat.max_ns = ns;
+    } else {
+        stat.min_ns = stat.min_ns.min(ns);
+        stat.max_ns = stat.max_ns.max(ns);
+    }
+    stat.count += 1;
+    stat.total_ns += ns;
+    stat.hist.record(ns);
+}
+
+/// Adds `delta` to the counter `name` (created at 0 on first use).
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    *locked().counters.entry(name.to_string()).or_insert(0) += delta;
+}
+
+/// Sets the gauge `name` to `value` (last write wins).
+pub fn gauge_set(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    locked().gauges.insert(name.to_string(), value);
+}
+
+/// Appends one epoch record to the training curve of `model`.
+pub fn record_epoch(model: &str, epoch: usize, loss: f64, metric: Option<f64>, wall: Duration) {
+    if !enabled() {
+        return;
+    }
+    locked()
+        .curves
+        .entry(model.to_string())
+        .or_default()
+        .push(EpochPoint {
+            epoch: epoch as u32,
+            loss,
+            metric,
+            wall_ms: wall.as_secs_f64() * 1e3,
+        });
+}
+
+/// Point-in-time aggregate of one span for reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSnapshot {
+    /// Span name.
+    pub name: String,
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total (inclusive) time in milliseconds.
+    pub total_ms: f64,
+    /// Minimum duration in milliseconds.
+    pub min_ms: f64,
+    /// Mean duration in milliseconds.
+    pub mean_ms: f64,
+    /// Median duration in milliseconds (histogram estimate).
+    pub p50_ms: f64,
+    /// 95th-percentile duration in milliseconds (histogram estimate).
+    pub p95_ms: f64,
+    /// Maximum duration in milliseconds.
+    pub max_ms: f64,
+}
+
+/// Point-in-time copy of everything the registry holds.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Span aggregates, name-sorted.
+    pub spans: Vec<SpanSnapshot>,
+    /// Counter values, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Training curves per model, name-sorted.
+    pub curves: Vec<(String, Vec<EpochPoint>)>,
+}
+
+impl Snapshot {
+    /// The span snapshot named `name`, if recorded.
+    pub fn span(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// The counter value of `name`, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The training curve of `model`, if recorded.
+    pub fn curve(&self, model: &str) -> Option<&[EpochPoint]> {
+        self.curves
+            .iter()
+            .find(|(n, _)| n == model)
+            .map(|(_, c)| c.as_slice())
+    }
+}
+
+const NS_PER_MS: f64 = 1e6;
+
+/// Captures a snapshot of the registry.
+pub fn snapshot() -> Snapshot {
+    let inner = locked();
+    Snapshot {
+        spans: inner
+            .spans
+            .iter()
+            .map(|(name, s)| SpanSnapshot {
+                name: name.clone(),
+                count: s.count,
+                total_ms: s.total_ns as f64 / NS_PER_MS,
+                min_ms: s.min_ns as f64 / NS_PER_MS,
+                mean_ms: s.total_ns as f64 / s.count.max(1) as f64 / NS_PER_MS,
+                p50_ms: s.hist.quantile(0.5) as f64 / NS_PER_MS,
+                p95_ms: s.hist.quantile(0.95) as f64 / NS_PER_MS,
+                max_ms: s.max_ns as f64 / NS_PER_MS,
+            })
+            .collect(),
+        counters: inner
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect(),
+        gauges: inner.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        curves: inner
+            .curves
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect(),
+    }
+}

@@ -1,0 +1,204 @@
+//! Machine-readable run reports: an NDJSON serialization of the registry
+//! snapshot plus a config echo, written next to a harness binary's
+//! table/figure output so perf trajectories are diffable across PRs.
+//!
+//! One JSON object per line, discriminated by `"type"`:
+//!
+//! ```text
+//! {"type":"meta","schema":"m3d-obs/1","unix_secs":...,"config":{...}}
+//! {"type":"span","name":"framework.train","count":1,"total_ms":..., ...}
+//! {"type":"counter","name":"policy.candidates_pruned","value":17}
+//! {"type":"gauge","name":"framework.t_p","value":0.93}
+//! {"type":"epoch","model":"tier-predictor","epoch":0,"loss":0.69,"wall_ms":3.1}
+//! ```
+
+use crate::registry::{self, Snapshot};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Environment variable naming the report output path.
+pub const REPORT_ENV: &str = "M3D_OBS_REPORT";
+
+/// Escapes and quotes a JSON string.
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes a finite number, or `null` for NaN/infinity (invalid in JSON).
+fn json_number(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// A captured run report: config echo plus a registry snapshot.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Free-form `(key, value)` configuration echo for the meta line.
+    pub config: Vec<(String, String)>,
+    /// The metrics snapshot.
+    pub snapshot: Snapshot,
+}
+
+impl RunReport {
+    /// Captures the current registry state with a config echo.
+    pub fn capture(config: &[(&str, String)]) -> RunReport {
+        RunReport {
+            config: config
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            snapshot: registry::snapshot(),
+        }
+    }
+
+    /// Serializes the report as NDJSON.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"type\":\"meta\",\"schema\":\"m3d-obs/1\",\"unix_secs\":");
+        let unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        out.push_str(&format!("{unix}"));
+        out.push_str(",\"config\":{");
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(&mut out, k);
+            out.push(':');
+            json_string(&mut out, v);
+        }
+        out.push_str("}}\n");
+
+        for s in &self.snapshot.spans {
+            out.push_str("{\"type\":\"span\",\"name\":");
+            json_string(&mut out, &s.name);
+            out.push_str(&format!(",\"count\":{}", s.count));
+            for (key, v) in [
+                ("total_ms", s.total_ms),
+                ("min_ms", s.min_ms),
+                ("mean_ms", s.mean_ms),
+                ("p50_ms", s.p50_ms),
+                ("p95_ms", s.p95_ms),
+                ("max_ms", s.max_ms),
+            ] {
+                out.push_str(&format!(",\"{key}\":"));
+                json_number(&mut out, v);
+            }
+            out.push_str("}\n");
+        }
+        for (name, value) in &self.snapshot.counters {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            json_string(&mut out, name);
+            out.push_str(&format!(",\"value\":{value}}}\n"));
+        }
+        for (name, value) in &self.snapshot.gauges {
+            out.push_str("{\"type\":\"gauge\",\"name\":");
+            json_string(&mut out, name);
+            out.push_str(",\"value\":");
+            json_number(&mut out, *value);
+            out.push_str("}\n");
+        }
+        for (model, curve) in &self.snapshot.curves {
+            for p in curve {
+                out.push_str("{\"type\":\"epoch\",\"model\":");
+                json_string(&mut out, model);
+                out.push_str(&format!(",\"epoch\":{},\"loss\":", p.epoch));
+                json_number(&mut out, p.loss);
+                if let Some(m) = p.metric {
+                    out.push_str(",\"metric\":");
+                    json_number(&mut out, m);
+                }
+                out.push_str(",\"wall_ms\":");
+                json_number(&mut out, p.wall_ms);
+                out.push_str("}\n");
+            }
+        }
+        out
+    }
+
+    /// Writes the NDJSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation/write errors.
+    pub fn write_ndjson(&self, path: &Path) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_ndjson().as_bytes())
+    }
+}
+
+/// If `M3D_OBS_REPORT` names a path, captures a report with `config` and
+/// writes it there, returning the path written. Call at the end of a
+/// harness binary, after the last instrumented work.
+///
+/// # Errors
+///
+/// Propagates file creation/write errors.
+pub fn write_from_env(config: &[(&str, String)]) -> std::io::Result<Option<PathBuf>> {
+    let Ok(path) = std::env::var(REPORT_ENV) else {
+        return Ok(None);
+    };
+    if path.is_empty() {
+        return Ok(None);
+    }
+    let path = PathBuf::from(path);
+    RunReport::capture(config).write_ndjson(&path)?;
+    crate::info!("run report written to {}", path.display());
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut s = String::new();
+        json_string(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let mut s = String::new();
+        json_number(&mut s, f64::NAN);
+        s.push(' ');
+        json_number(&mut s, f64::INFINITY);
+        s.push(' ');
+        json_number(&mut s, 1.5);
+        assert_eq!(s, "null null 1.5");
+    }
+
+    #[test]
+    fn report_lines_are_json_objects() {
+        let report = RunReport {
+            config: vec![("scale".into(), "quick".into())],
+            snapshot: Snapshot::default(),
+        };
+        let text = report.to_ndjson();
+        let first = text.lines().next().unwrap();
+        assert!(first.starts_with("{\"type\":\"meta\""));
+        assert!(first.contains("\"scale\":\"quick\""));
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! RAII span timers. A [`SpanGuard`] measures from construction to drop
+//! and records into the global registry; guards nest freely (each records
+//! its own inclusive time) and are reentrancy- and thread-safe.
+
+use crate::registry;
+use std::cell::Cell;
+use std::time::Instant;
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Live timer for one span; records on drop.
+#[derive(Debug)]
+#[must_use = "a span guard measures until it is dropped; binding it to `_` drops immediately"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Starts timing `name`. When recording is disabled the guard is inert
+    /// (no clock read, no registry write on drop).
+    pub fn enter(name: &'static str) -> SpanGuard {
+        if !registry::enabled() {
+            return SpanGuard { name, start: None };
+        }
+        DEPTH.with(|d| d.set(d.get() + 1));
+        SpanGuard {
+            name,
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Nesting depth of live spans on the current thread (this guard
+    /// included), for tests and diagnostics.
+    pub fn current_depth() -> usize {
+        DEPTH.with(Cell::get)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            registry::record_span(self.name, start.elapsed());
+        }
+    }
+}
+
+/// Times a closure under `name` and returns its result.
+pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let _guard = SpanGuard::enter(name);
+    f()
+}

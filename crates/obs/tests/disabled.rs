@@ -1,0 +1,28 @@
+//! The global enable flag. Lives in its own test binary (own process):
+//! `set_enabled(false)` would race with the span tests if they shared a
+//! registry.
+
+#[test]
+fn disabled_spans_and_counters_record_nothing() {
+    m3d_obs::set_enabled(false);
+    {
+        let _g = m3d_obs::span!("test.disabled.span");
+        m3d_obs::counter!("test.disabled.counter", 3);
+        m3d_obs::gauge!("test.disabled.gauge", 1.5);
+    }
+    m3d_obs::set_enabled(true);
+
+    let snap = m3d_obs::snapshot();
+    assert!(snap.span("test.disabled.span").is_none());
+    assert!(snap.counter("test.disabled.counter").is_none());
+    assert!(!snap.gauges.iter().any(|(n, _)| n == "test.disabled.gauge"));
+
+    // Re-enabled: everything records again.
+    {
+        let _g = m3d_obs::span!("test.disabled.span");
+        m3d_obs::counter!("test.disabled.counter", 3);
+    }
+    let snap = m3d_obs::snapshot();
+    assert_eq!(snap.span("test.disabled.span").map(|s| s.count), Some(1));
+    assert_eq!(snap.counter("test.disabled.counter"), Some(3));
+}

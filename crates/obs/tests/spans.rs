@@ -1,0 +1,82 @@
+//! Span guard behaviour: nesting, reentrancy across threads, and
+//! aggregation into the global registry.
+//!
+//! The registry is process-global, so every test uses its own span names
+//! instead of calling `reset()` (tests in one binary run concurrently).
+
+use m3d_obs::SpanGuard;
+use std::time::Duration;
+
+#[test]
+fn nested_spans_record_independently() {
+    {
+        let _outer = m3d_obs::span!("test.nest.outer");
+        assert_eq!(SpanGuard::current_depth(), 1);
+        {
+            let _inner = m3d_obs::span!("test.nest.inner");
+            assert_eq!(SpanGuard::current_depth(), 2);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(SpanGuard::current_depth(), 1);
+    }
+    assert_eq!(SpanGuard::current_depth(), 0);
+
+    let snap = m3d_obs::snapshot();
+    let outer = snap.span("test.nest.outer").expect("outer recorded");
+    let inner = snap.span("test.nest.inner").expect("inner recorded");
+    assert_eq!(outer.count, 1);
+    assert_eq!(inner.count, 1);
+    // Inclusive timing: the outer span contains the inner one.
+    assert!(
+        outer.total_ms >= inner.total_ms,
+        "outer {} ms < inner {} ms",
+        outer.total_ms,
+        inner.total_ms
+    );
+}
+
+#[test]
+fn reentrant_same_name_spans_aggregate() {
+    for _ in 0..5 {
+        let _a = m3d_obs::span!("test.reentrant");
+        let _b = m3d_obs::span!("test.reentrant");
+    }
+    let snap = m3d_obs::snapshot();
+    let s = snap.span("test.reentrant").expect("recorded");
+    assert_eq!(s.count, 10, "two guards per iteration, five iterations");
+    assert!(s.min_ms <= s.p50_ms && s.p50_ms <= s.max_ms);
+}
+
+#[test]
+fn spans_on_many_threads_sum_in_one_registry() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 50;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            std::thread::spawn(|| {
+                for _ in 0..PER_THREAD {
+                    let _g = m3d_obs::span!("test.threads");
+                    // Depth is tracked per thread: one live guard here,
+                    // regardless of what the other threads are doing.
+                    assert_eq!(SpanGuard::current_depth(), 1);
+                }
+                assert_eq!(SpanGuard::current_depth(), 0);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    let snap = m3d_obs::snapshot();
+    let s = snap.span("test.threads").expect("recorded");
+    assert_eq!(s.count, (THREADS * PER_THREAD) as u64);
+    assert!(s.total_ms >= 0.0 && s.mean_ms >= 0.0);
+}
+
+#[test]
+fn timed_returns_value_and_records() {
+    let v = m3d_obs::timed("test.timed", || 21 * 2);
+    assert_eq!(v, 42);
+    let snap = m3d_obs::snapshot();
+    assert_eq!(snap.span("test.timed").expect("recorded").count, 1);
+}

@@ -37,6 +37,7 @@ impl Default for MinCutPartitioner {
 
 impl Partitioner for MinCutPartitioner {
     fn partition(&self, nl: &Netlist, n_tiers: usize) -> TierPartition {
+        let _span = m3d_obs::span!("part.partition");
         assert_eq!(n_tiers, 2, "MinCutPartitioner bipartitions (2 tiers)");
         let mut part = crate::random::random_balanced(nl, self.seed);
         let mut fm = FmState::new(nl, &part, self.balance_tolerance);
@@ -130,8 +131,7 @@ impl<'a> FmState<'a> {
         for &i in &movable {
             gain[i] = self.cell_gain(i, &side, &count);
         }
-        let mut heap: BinaryHeap<(i64, usize)> =
-            movable.iter().map(|&i| (gain[i], i)).collect();
+        let mut heap: BinaryHeap<(i64, usize)> = movable.iter().map(|&i| (gain[i], i)).collect();
         let mut locked = vec![false; n];
         let mut side_area = [0f64, 0f64];
         for i in 0..n {

@@ -19,6 +19,7 @@ pub struct LevelDrivenPartitioner;
 
 impl Partitioner for LevelDrivenPartitioner {
     fn partition(&self, nl: &Netlist, n_tiers: usize) -> TierPartition {
+        let _span = m3d_obs::span!("part.partition");
         assert_eq!(n_tiers, 2, "LevelDrivenPartitioner bipartitions (2 tiers)");
         let lvl = topo::levels(nl);
         let depth = lvl.iter().copied().max().unwrap_or(0) as usize;
@@ -125,7 +126,10 @@ mod tests {
             .filter(|(id, g)| g.kind.is_combinational() && lvl[id.index()] == depth)
             .map(|(id, _)| id)
             .collect();
-        let on_top = deepest.iter().filter(|&&g| p.tier_of(g) == Tier::TOP).count();
+        let on_top = deepest
+            .iter()
+            .filter(|&&g| p.tier_of(g) == Tier::TOP)
+            .count();
         assert!(
             on_top * 2 >= deepest.len(),
             "{on_top}/{} deepest gates on top",

@@ -8,7 +8,7 @@
 //! pins on the far side of the boundary.
 
 use crate::partition::{Tier, TierPartition};
-use m3d_netlist::{Netlist, NetId, PinRef};
+use m3d_netlist::{NetId, Netlist, PinRef};
 use std::fmt;
 
 /// Identifier of an MIV within an [`M3dNetlist`].
@@ -269,7 +269,10 @@ mod tests {
         for (nid, net) in m.netlist().iter_nets() {
             let Some(drv) = net.driver else { continue };
             let t = m.partition().tier_of(drv);
-            let same = net.loads.iter().all(|&(g, _)| m.partition().tier_of(g) == t);
+            let same = net
+                .loads
+                .iter()
+                .all(|&(g, _)| m.partition().tier_of(g) == t);
             if same {
                 assert!(m.mivs_of_net(nid).is_empty());
             }
@@ -279,10 +282,7 @@ mod tests {
     #[test]
     fn random_partition_has_more_mivs_than_fm() {
         let nl = generate(&GeneratorConfig::default());
-        let fm = M3dNetlist::build(
-            nl.clone(),
-            MinCutPartitioner::default().partition(&nl, 2),
-        );
+        let fm = M3dNetlist::build(nl.clone(), MinCutPartitioner::default().partition(&nl, 2));
         let rnd = M3dNetlist::build(nl.clone(), RandomPartitioner::new(3).partition(&nl, 2));
         assert!(rnd.miv_count() > fm.miv_count());
     }

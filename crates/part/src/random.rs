@@ -23,6 +23,7 @@ impl RandomPartitioner {
 
 impl Partitioner for RandomPartitioner {
     fn partition(&self, nl: &Netlist, n_tiers: usize) -> TierPartition {
+        let _span = m3d_obs::span!("part.partition");
         assert!((1..=8).contains(&n_tiers), "1..=8 tiers supported");
         if n_tiers == 2 {
             return random_balanced(nl, self.seed);

@@ -1,0 +1,394 @@
+//! Offline in-tree shim for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use — the
+//! [`proptest!`] macro, range/tuple strategies, [`collection::vec`],
+//! `any::<T>()`, `prop_map`, and the `prop_assert*` macros — on top of the
+//! in-tree deterministic [`rand`] shim.
+//!
+//! Differences from upstream: cases are generated from a seed derived from
+//! the test's name (fully deterministic, identical on every run) and
+//! failing cases are **not shrunk** — the panic message instead reports the
+//! case index so the failure can be replayed under a debugger.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! range_inclusive_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($s:ident / $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A / 0);
+    tuple_strategy!(A / 0, B / 1);
+    tuple_strategy!(A / 0, B / 1, C / 2);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+
+    /// A strategy always yielding clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types generatable over their whole domain via [`any`].
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! arbitrary_std {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+
+    arbitrary_std!(u32, u64, bool, f32, f64);
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut StdRng) -> u8 {
+            rng.gen_range(0u8..=u8::MAX)
+        }
+    }
+
+    impl Arbitrary for u16 {
+        fn arbitrary(rng: &mut StdRng) -> u16 {
+            rng.gen_range(0u16..=u16::MAX)
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut StdRng) -> usize {
+            rng.gen::<u64>() as usize
+        }
+    }
+
+    impl Arbitrary for i32 {
+        fn arbitrary(rng: &mut StdRng) -> i32 {
+            rng.gen::<u32>() as i32
+        }
+    }
+
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut StdRng) -> i64 {
+            rng.gen::<u64>() as i64
+        }
+    }
+
+    /// Strategy for the whole domain of `T` (shim for `proptest::arbitrary`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specifications accepted by [`vec`]: a fixed `usize` or a
+    /// half-open `Range<usize>`.
+    pub trait IntoLenRange {
+        /// Draws a concrete length.
+        fn draw_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl IntoLenRange for usize {
+        fn draw_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoLenRange for Range<usize> {
+        fn draw_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: IntoLenRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.draw_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of `len` elements drawn from `element`.
+    pub fn vec<S: Strategy, L: IntoLenRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod test_runner {
+    //! Test execution configuration and seeding.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-block runner configuration (shim: only the case count).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    /// Upstream-compatible alias.
+    pub type ProptestConfig = Config;
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Prints the failing case index before a property panic is re-raised
+    /// (the shim's replacement for upstream's shrunken counterexample).
+    #[allow(clippy::print_stderr)]
+    pub fn report_failure(test_name: &str, case: u32, cases: u32) {
+        eprintln!("proptest shim: property `{test_name}` failed at case {case}/{cases}");
+    }
+
+    /// Deterministic per-test generator, seeded from the test's name (FNV-1a).
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports for property tests.
+
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares a block of property tests.
+///
+/// Supports the upstream surface used in-tree: an optional leading
+/// `#![proptest_config(expr)]`, then `#[test]` functions whose arguments
+/// are drawn from strategies via `name in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::rng_for(stringify!($name));
+            for __case in 0..config.cases {
+                let __run = || {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                };
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run));
+                if let Err(payload) = outcome {
+                    $crate::test_runner::report_failure(
+                        stringify!($name),
+                        __case,
+                        config.cases,
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a property-test condition (shim: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Asserts equality inside a property test (shim: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Asserts inequality inside a property test (shim: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay in bounds; tuple and map strategies compose.
+        #[test]
+        fn ranges_and_maps(x in 3usize..9, y in -1.0f32..1.0, pair in (0u32..5, 10u64..20)) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+            prop_assert!(pair.0 < 5 && (10..20).contains(&pair.1));
+        }
+
+        /// `collection::vec` honours both fixed and ranged lengths.
+        #[test]
+        fn vec_lengths(fixed in collection::vec(0u8..=255, 7usize), ranged in collection::vec(0.0f64..1.0, 2..6)) {
+            prop_assert_eq!(fixed.len(), 7);
+            prop_assert!((2..6).contains(&ranged.len()));
+            prop_assert!(ranged.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+
+        /// `any` and `Just` generate; `prop_map` transforms.
+        #[test]
+        fn any_and_just(word in any::<u64>(), tag in Just(17usize), doubled in (1usize..4).prop_map(|v| v * 2)) {
+            let _ = word;
+            prop_assert_eq!(tag, 17);
+            prop_assert!(doubled % 2 == 0 && doubled < 8);
+            prop_assert_ne!(doubled, 7);
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        let strat = 0u64..1_000_000;
+        let mut a = crate::test_runner::rng_for("some_property");
+        let mut b = crate::test_runner::rng_for("some_property");
+        let mut c = crate::test_runner::rng_for("other_property");
+        let xs: Vec<u64> = (0..16).map(|_| strat.generate(&mut a)).collect();
+        let ys: Vec<u64> = (0..16).map(|_| strat.generate(&mut b)).collect();
+        let zs: Vec<u64> = (0..16).map(|_| strat.generate(&mut c)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+}

@@ -65,6 +65,7 @@ pub struct AtpgResult {
 /// netlists contain a few unobservable sites — mirroring the 97–99% fault
 /// coverage of the paper's Table III.
 pub fn generate_patterns(nl: &Netlist, cfg: &AtpgConfig) -> AtpgResult {
+    let _span = m3d_obs::span!("atpg.generate_patterns");
     let mut faults = tdf_list(nl);
     if let Some(n) = cfg.fault_sample {
         faults = stride_sample(faults, n);
@@ -105,6 +106,11 @@ pub fn generate_patterns(nl: &Netlist, cfg: &AtpgConfig) -> AtpgResult {
         }
     }
 
+    m3d_obs::counter!("atpg.patterns_generated", kept.len() as u64);
+    m3d_obs::debug!(
+        "ATPG: {} patterns, {n_detected}/{total} faults detected in {rounds} rounds",
+        kept.len()
+    );
     AtpgResult {
         patterns: kept,
         coverage: n_detected as f64 / total.max(1) as f64,

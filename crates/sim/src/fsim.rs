@@ -179,7 +179,9 @@ impl<'a> FaultSimulator<'a> {
                     kind,
                     CellKind::ScanDff | CellKind::Dff | CellKind::Output | CellKind::ObsPoint
                 ) {
-                    self.obs.of_gate(g).map(|id| (id, self.nl.gate(g).inputs[0]))
+                    self.obs
+                        .of_gate(g)
+                        .map(|id| (id, self.nl.gate(g).inputs[0]))
                 } else {
                     None
                 }

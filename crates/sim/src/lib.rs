@@ -36,8 +36,8 @@
 #![warn(rust_2018_idioms)]
 
 mod atpg;
-mod fault;
 mod failure;
+mod fault;
 mod fsim;
 mod logfmt;
 mod obs;

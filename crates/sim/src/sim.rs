@@ -74,7 +74,12 @@ impl PatternSim {
             eval_pass(nl, &order, &mut row, &mut in_words);
             v2[w] = row;
         }
-        PatternSim { n_nets, n_words, v1, v2 }
+        PatternSim {
+            n_nets,
+            n_words,
+            v1,
+            v2,
+        }
     }
 
     /// Number of nets simulated.

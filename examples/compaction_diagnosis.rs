@@ -22,7 +22,7 @@ fn main() {
         BenchmarkProfile::TateLike,
         DesignConfig::Syn1,
     ));
-    println!(
+    m3d_obs::out!(
         "design {}: {} chains -> {} channels ({}x compaction)",
         bench.name,
         bench.chains.chain_count(),
@@ -71,17 +71,17 @@ fn main() {
             tier_hits += 1;
         }
     }
-    println!(
+    m3d_obs::out!(
         "bypass:    mean resolution {:.1}, mean back-traced subgraph {:.0} nodes",
         res_b as f64 / bypass_chips.len() as f64,
         sub_b as f64 / bypass_chips.len() as f64,
     );
-    println!(
+    m3d_obs::out!(
         "compacted: mean resolution {:.1}, mean back-traced subgraph {:.0} nodes",
         res_e as f64 / edt_chips.len() as f64,
         sub_e as f64 / edt_chips.len() as f64,
     );
-    println!(
+    m3d_obs::out!(
         "compacted tier localization: {}/{} chips ({:.0}%) — no bypass pins, \
          no extra test data needed",
         tier_hits,

@@ -4,6 +4,10 @@
 //! ```sh
 //! cargo run --release -p m3d-fault-loc --example quickstart
 //! ```
+//!
+//! Doubles as the observability smoke test: the run ends with the
+//! `framework.train` / `framework.diagnose` span totals from `m3d-obs`
+//! (set `M3D_LOG=info` for progress logs along the way).
 
 use m3d_diagnosis::{AtpgDiagnosis, DiagnosisConfig};
 use m3d_fault_loc::{
@@ -20,7 +24,7 @@ fn main() {
         DesignConfig::Syn1,
     ));
     let stats = bench.m3d.stats();
-    println!(
+    m3d_obs::out!(
         "design {}: {} gates, {} MIVs across {} cut nets, {} patterns (FC {:.1}%)",
         bench.name,
         bench.netlist().gate_count(),
@@ -46,7 +50,7 @@ fn main() {
     // 3. Train the framework: Tier-predictor, MIV-pinpointer, PR-curve
     //    threshold T_P, and the prune/reorder Classifier.
     let framework = Framework::train(&ts, &FrameworkConfig::default());
-    println!("trained; T_P = {:.3}", framework.t_p());
+    m3d_obs::out!("trained; T_P = {:.3}", framework.t_p());
 
     // 4. Diagnose fresh failing chips.
     let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
@@ -54,7 +58,7 @@ fn main() {
     for (i, chip) in chips.iter().enumerate() {
         let result = framework.process_case(&ctx, &diag, chip);
         let truth_tier = chip.fault.tier(&bench).expect("single fault");
-        println!(
+        m3d_obs::out!(
             "chip {i}: {} failing observations; predicted {} (conf {:.2}, truth {truth_tier}); \
              report {} -> {} candidates ({:?}); ground truth at rank {:?}",
             chip.log.len(),
@@ -64,6 +68,20 @@ fn main() {
             result.outcome.report.resolution(),
             result.outcome.action,
             result.outcome.report.first_hit_index(&chip.truth),
+        );
+    }
+
+    // 5. Observability smoke test: the spans recorded above must show up
+    //    in the registry snapshot (quick sanity that instrumentation is
+    //    wired end to end).
+    let snap = m3d_obs::snapshot();
+    for name in ["framework.train", "framework.diagnose"] {
+        let span = snap.span(name).expect("span recorded during this run");
+        m3d_obs::out!(
+            "span {name}: {} call(s), total {:.1} ms, mean {:.1} ms",
+            span.count,
+            span.total_ms,
+            span.mean_ms,
         );
     }
 }

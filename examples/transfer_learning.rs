@@ -34,12 +34,21 @@ fn main() {
         let ctx = DesignContext::new(&bench);
         let samples = generate_samples(&ctx, &DatasetConfig::single(120, 10 + i as u64));
         pool.extend(tier_training_set(&bench, &samples));
-        println!("training pool += {} samples from {}", samples.len(), bench.name);
+        m3d_obs::out!(
+            "training pool += {} samples from {}",
+            samples.len(),
+            bench.name
+        );
     }
     let transferred = TierPredictor::train(&pool, &ModelTrainConfig::default());
 
     // --- Evaluate on configurations the model never saw.
-    println!("\n{:<8} {:>12} {:>12}", "config", "dedicated", "transferred");
+    m3d_obs::out!(
+        "\n{:<8} {:>12} {:>12}",
+        "config",
+        "dedicated",
+        "transferred"
+    );
     for dc in DesignConfig::EVAL {
         let bench = build(dc);
         let ctx = DesignContext::new(&bench);
@@ -48,14 +57,14 @@ fn main() {
         let train_set = tier_training_set(&bench, &train);
         let test_set = tier_training_set(&bench, &test);
         let dedicated = TierPredictor::train(&train_set, &ModelTrainConfig::default());
-        println!(
+        m3d_obs::out!(
             "{:<8} {:>11.1}% {:>11.1}%",
             dc.name(),
             100.0 * dedicated.accuracy(&test_set),
             100.0 * transferred.accuracy(&test_set),
         );
     }
-    println!(
+    m3d_obs::out!(
         "\nThe transferred model tracks the dedicated ones without any \
          per-configuration retraining — the property that makes the \
          framework deployable while M3D design flows are still in flux."

@@ -40,7 +40,7 @@ fn main() {
         .filter(|s| s.fault.tier(&bench) == Some(Tier::TOP))
         .take(25)
         .collect();
-    println!(
+    m3d_obs::out!(
         "lot: {} failing chips, all with top-tier defects (foundry does not know this yet)",
         lot.len()
     );
@@ -54,20 +54,26 @@ fn main() {
         votes[result.outcome.predicted_tier.index()] += 1;
         weighted[result.outcome.predicted_tier.index()] += f64::from(result.outcome.confidence);
     }
-    println!("per-chip tier votes: bottom {} / top {}", votes[0], votes[1]);
+    m3d_obs::out!(
+        "per-chip tier votes: bottom {} / top {}",
+        votes[0],
+        votes[1]
+    );
     let verdict = if weighted[1] > weighted[0] {
         Tier::TOP
     } else {
         Tier::BOTTOM
     };
-    println!(
+    m3d_obs::out!(
         "confidence-weighted lot verdict: review the {verdict} process \
          ({:.0}% of confidence mass)",
         100.0 * weighted[verdict.index()] / (weighted[0] + weighted[1]),
     );
     if verdict == Tier::TOP {
-        println!("=> correct: the foundry reviews the top-tier (low-temperature) process first");
+        m3d_obs::out!(
+            "=> correct: the foundry reviews the top-tier (low-temperature) process first"
+        );
     } else {
-        println!("=> incorrect at this miniature scale; rerun with a larger --scale");
+        m3d_obs::out!("=> incorrect at this miniature scale; rerun with a larger --scale");
     }
 }

@@ -1,8 +1,6 @@
 //! Property-based cross-crate invariants (proptest).
 
-use m3d_netlist::{
-    generate, parse_netlist, write_netlist, GeneratorConfig, ScanChains,
-};
+use m3d_netlist::{generate, parse_netlist, write_netlist, GeneratorConfig, ScanChains};
 use m3d_part::{M3dNetlist, MinCutPartitioner, Partitioner, RandomPartitioner};
 use m3d_sim::{source_count_for, FailureLog, ObsPoints, PatternSet, PatternSim};
 use proptest::prelude::*;
@@ -16,8 +14,8 @@ fn small_config() -> impl Strategy<Value = GeneratorConfig> {
         60usize..300,
         4u32..12,
     )
-        .prop_map(|(seed, n_inputs, n_outputs, n_flops, n_comb_gates, target_depth)| {
-            GeneratorConfig {
+        .prop_map(
+            |(seed, n_inputs, n_outputs, n_flops, n_comb_gates, target_depth)| GeneratorConfig {
                 seed,
                 n_inputs,
                 n_outputs,
@@ -27,8 +25,8 @@ fn small_config() -> impl Strategy<Value = GeneratorConfig> {
                 xor_bias: 0.25,
                 mux_bias: 0.05,
                 buffer_high_fanout: seed % 3 == 0,
-            }
-        })
+            },
+        )
 }
 
 proptest! {

@@ -107,8 +107,14 @@ fn framework_diagnoses_through_compactor() {
             tier_hits += 1;
         }
     }
-    assert!(atpg_hits > test.len() / 2, "compacted diagnosis must mostly work");
-    assert!(atpg_hits.saturating_sub(fw_hits) <= 3, "{fw_hits}/{atpg_hits}");
+    assert!(
+        atpg_hits > test.len() / 2,
+        "compacted diagnosis must mostly work"
+    );
+    assert!(
+        atpg_hits.saturating_sub(fw_hits) <= 3,
+        "{fw_hits}/{atpg_hits}"
+    );
     assert!(tier_hits * 2 > test.len(), "{tier_hits}/{}", test.len());
 }
 

@@ -50,7 +50,13 @@ fn policy_never_grows_reports_and_conserves_candidates() {
             saw_reorder = true;
             assert!(r.outcome.pruned.is_empty());
             let mut a: Vec<_> = r.atpg_report.candidates().iter().map(|c| c.fault).collect();
-            let mut b: Vec<_> = r.outcome.report.candidates().iter().map(|c| c.fault).collect();
+            let mut b: Vec<_> = r
+                .outcome
+                .report
+                .candidates()
+                .iter()
+                .map(|c| c.fault)
+                .collect();
             a.sort();
             b.sort();
             assert_eq!(a, b);
@@ -71,7 +77,8 @@ fn t_p_satisfies_training_precision_rule() {
     let curve = PrCurve::from_samples(&scores);
     let at_tp = curve
         .points()
-        .iter().rfind(|p| p.threshold <= fw.t_p())
+        .iter()
+        .rfind(|p| p.threshold <= fw.t_p())
         .or_else(|| curve.points().first())
         .expect("curve non-empty");
     // The framework trains with precision_target = 0.99 by default.
@@ -135,9 +142,7 @@ fn predicted_tier_leads_after_reorder() {
             })
             .map(|c| tb.m3d.tier_of_site(c.fault.site))
             .collect();
-        let first_other = tiers
-            .iter()
-            .position(|&t| t != r.outcome.predicted_tier);
+        let first_other = tiers.iter().position(|&t| t != r.outcome.predicted_tier);
         if let Some(k) = first_other {
             assert!(
                 tiers[k..].iter().all(|&t| t != r.outcome.predicted_tier),
