@@ -1,10 +1,22 @@
 #!/usr/bin/env sh
 # Tier-1 verification: formatting, lints (including the workspace-wide
 # clippy print_stdout/print_stderr deny — diagnostics must go through
-# m3d-obs), release build, and the full test suite.
+# m3d-obs), release build, the full test suite, and the perf-regression
+# gate (run reports -> BENCH_quick.json -> m3d-obsctl compare against the
+# committed baseline in benchmarks/).
 #
-# Usage: ./ci.sh
+# Usage: ./ci.sh [--skip-perf]
+#   --skip-perf   run everything except the perf gate (useful on noisy
+#                 or throttled machines; the gate still runs in real CI)
 set -eu
+
+SKIP_PERF=0
+for arg in "$@"; do
+    case "$arg" in
+        --skip-perf) SKIP_PERF=1 ;;
+        *) echo "ci.sh: unknown argument '$arg'" >&2; exit 2 ;;
+    esac
+done
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check
@@ -12,10 +24,66 @@ cargo fmt --all --check
 echo "== cargo clippy (all targets, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy (alloc-profile feature, -D warnings) =="
+cargo clippy -p m3d-obs -p m3d-bench --features m3d-obs/alloc-profile --all-targets -- -D warnings
+
 echo "== cargo build --release =="
 cargo build --release
 
 echo "== cargo test -q =="
 cargo test -q
+
+echo "== cargo test -q (m3d-obs with alloc-profile) =="
+cargo test -q -p m3d-obs --features alloc-profile
+
+if [ "$SKIP_PERF" = 1 ]; then
+    echo "ci.sh: perf gate skipped (--skip-perf)"
+    echo "ci.sh: all green"
+    exit 0
+fi
+
+echo "== perf gate =="
+# Every harness binary must install the flush-on-unwind report guard;
+# a bin that forgets it would silently drop its run report.
+for bin_src in crates/bench/src/bin/*.rs; do
+    if ! grep -q "ReportGuard::new" "$bin_src"; then
+        echo "ci.sh: $bin_src does not install m3d_bench::ReportGuard — its run report would never be flushed" >&2
+        exit 1
+    fi
+done
+
+GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+PERF_DIR=target/perf
+mkdir -p "$PERF_DIR"
+
+# Best-of-2 quick-scale deployment pipeline (Fig. 9 workload, aes
+# profile): two runs bound the scheduler noise, `m3d-obsctl bench` keeps
+# the per-stage minima.
+for i in 1 2; do
+    report="$PERF_DIR/quick-run$i.ndjson"
+    rm -f "$report"
+    echo "-- perf run $i/2 (fig09_runtime --scale quick --profile aes)"
+    M3D_OBS_REPORT="$report" M3D_GIT_REV="$GIT_REV" \
+        ./target/release/fig09_runtime --scale quick --profile aes >/dev/null
+    if [ ! -s "$report" ]; then
+        echo "ci.sh: fig09_runtime did not flush a run report to $report although M3D_OBS_REPORT was set" >&2
+        exit 1
+    fi
+done
+
+./target/release/m3d-obsctl bench \
+    "$PERF_DIR/quick-run1.ndjson" "$PERF_DIR/quick-run2.ndjson" \
+    -o BENCH_quick.json
+
+BASELINE=benchmarks/BENCH_quick.json
+if [ ! -f "$BASELINE" ]; then
+    # First run on this tree: bootstrap the baseline from the snapshot we
+    # just measured and ask for it to be committed.
+    mkdir -p benchmarks
+    cp BENCH_quick.json "$BASELINE"
+    echo "ci.sh: no committed baseline found — bootstrapped $BASELINE from this run; review and commit it"
+else
+    ./target/release/m3d-obsctl compare "$BASELINE" BENCH_quick.json
+fi
 
 echo "ci.sh: all green"

@@ -2,6 +2,6 @@
 //! data-augmentation ablation).
 fn main() {
     let scale = m3d_bench::Scale::from_args();
+    let _report = m3d_bench::ReportGuard::new(&scale, &[]);
     m3d_bench::experiments::fig06(&scale);
-    m3d_bench::finish_run(&scale, &[]);
 }

@@ -3,6 +3,7 @@
 fn main() {
     let scale = m3d_bench::Scale::from_args();
     let profiles = m3d_bench::profiles_from_args();
+    let _report = m3d_bench::ReportGuard::new(&scale, &profiles);
     let rows = m3d_bench::experiments::table09(&scale, &profiles);
     m3d_obs::out!("== Fig. 9: deployment flow (per test set) ==");
     for r in &rows {
@@ -17,5 +18,4 @@ fn main() {
             if r.t_gnn > 0.0 { r.t_atpg / r.t_gnn } else { f64::INFINITY },
         );
     }
-    m3d_bench::finish_run(&scale, &profiles);
 }

@@ -2,7 +2,7 @@
 fn main() {
     let scale = m3d_bench::Scale::from_args();
     let profiles = m3d_bench::profiles_from_args();
+    let _report = m3d_bench::ReportGuard::new(&scale, &profiles);
     let rows = m3d_bench::experiments::table09(&scale, &profiles);
     m3d_bench::experiments::fig10(&rows);
-    m3d_bench::finish_run(&scale, &profiles);
 }

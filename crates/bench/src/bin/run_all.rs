@@ -3,6 +3,7 @@
 fn main() {
     let scale = m3d_bench::Scale::from_args();
     let profiles = m3d_bench::profiles_from_args();
+    let _report = m3d_bench::ReportGuard::new(&scale, &profiles);
     m3d_bench::experiments::table03(&scale);
     m3d_bench::experiments::table02(&scale);
     m3d_bench::experiments::fig05(&scale);
@@ -15,5 +16,4 @@ fn main() {
     m3d_bench::experiments::fig10(&rows);
     m3d_bench::experiments::table10(&scale, &profiles);
     m3d_bench::experiments::table11(&scale);
-    m3d_bench::finish_run(&scale, &profiles);
 }

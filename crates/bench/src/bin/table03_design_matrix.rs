@@ -1,6 +1,6 @@
 //! Regenerates Table III: the M3D benchmark design matrix.
 fn main() {
     let scale = m3d_bench::Scale::from_args();
+    let _report = m3d_bench::ReportGuard::new(&scale, &[]);
     m3d_bench::experiments::table03(&scale);
-    m3d_bench::finish_run(&scale, &[]);
 }

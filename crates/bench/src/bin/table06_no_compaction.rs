@@ -3,6 +3,6 @@
 fn main() {
     let scale = m3d_bench::Scale::from_args();
     let profiles = m3d_bench::profiles_from_args();
+    let _report = m3d_bench::ReportGuard::new(&scale, &profiles);
     m3d_bench::experiments::table_localization(&scale, false, &profiles);
-    m3d_bench::finish_run(&scale, &profiles);
 }

@@ -2,6 +2,6 @@
 //! ablation on AES Syn-1 with 10% MIV-fault test augmentation.
 fn main() {
     let scale = m3d_bench::Scale::from_args();
+    let _report = m3d_bench::ReportGuard::new(&scale, &[]);
     m3d_bench::experiments::table11(&scale);
-    m3d_bench::finish_run(&scale, &[]);
 }

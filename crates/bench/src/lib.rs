@@ -21,5 +21,13 @@ pub use pipeline::{
     build_bench, evaluate_config, fmt_quality, fmt_quality_vs, fmt_tier_loc, profiles_from_args,
     run_profile, train_framework, ConfigEval, ExperimentConfig, MethodResult, Trained,
 };
-pub use report::finish_run;
+pub use report::ReportGuard;
 pub use scale::Scale;
+
+/// Route every allocation through the counting allocator so run reports
+/// carry `alloc.*` counters and per-span allocation attribution. Enabled
+/// by the off-by-default `alloc-profile` feature
+/// (`cargo run -p m3d-bench --features alloc-profile --bin ...`).
+#[cfg(feature = "alloc-profile")]
+#[global_allocator]
+static COUNTING_ALLOC: m3d_obs::alloc::CountingAllocator = m3d_obs::alloc::CountingAllocator::new();

@@ -1,0 +1,53 @@
+//! Panic-safety of the run-report flush: a harness binary that dies
+//! mid-experiment must still write its partial NDJSON report during
+//! unwinding, marked `"status":"panicked"`.
+//!
+//! Single test function: `M3D_OBS_REPORT` is process-global state, so the
+//! normal-exit and panic cases share one body instead of racing on the
+//! environment.
+
+use m3d_bench::{ReportGuard, Scale};
+
+#[test]
+fn report_guard_flushes_on_normal_exit_and_on_panic() {
+    let dir = std::env::temp_dir();
+    let ok_path = dir.join(format!("m3d-guard-ok-{}.ndjson", std::process::id()));
+    let panic_path = dir.join(format!("m3d-guard-panic-{}.ndjson", std::process::id()));
+
+    std::env::set_var("M3D_OBS_REPORT", &ok_path);
+    {
+        let _report = ReportGuard::new(&Scale::quick(), &[]);
+        let _g = m3d_obs::span!("test.guard.ok_stage");
+    }
+    let ok_text = std::fs::read_to_string(&ok_path).expect("report written on normal drop");
+    assert!(ok_text.contains("\"schema\":\"m3d-obs/1\""));
+    assert!(ok_text.contains("\"status\":\"ok\""), "{ok_text}");
+    assert!(ok_text.contains("\"scale\":\"quick\""));
+    assert!(
+        ok_text.contains("\"git_rev\":"),
+        "git revision echoed: {ok_text}"
+    );
+    assert!(ok_text.contains("test.guard.ok_stage"));
+
+    std::env::set_var("M3D_OBS_REPORT", &panic_path);
+    let outcome = std::panic::catch_unwind(|| {
+        let _report = ReportGuard::new(&Scale::quick(), &[]);
+        let _g = m3d_obs::span!("test.guard.doomed_stage");
+        panic!("experiment exploded mid-flight");
+    });
+    assert!(outcome.is_err(), "the panic must propagate");
+    let panic_text =
+        std::fs::read_to_string(&panic_path).expect("partial report flushed during unwind");
+    assert!(
+        panic_text.contains("\"status\":\"panicked\""),
+        "{panic_text}"
+    );
+    assert!(
+        panic_text.contains("test.guard.doomed_stage"),
+        "the span completed by unwinding is in the partial report: {panic_text}"
+    );
+
+    std::env::remove_var("M3D_OBS_REPORT");
+    let _ = std::fs::remove_file(&ok_path);
+    let _ = std::fs::remove_file(&panic_path);
+}

@@ -1,0 +1,103 @@
+//! Allocation profiling (feature `alloc-profile`, off by default): a
+//! counting [`GlobalAlloc`] wrapper around the system allocator that
+//! tracks total bytes allocated, currently-live bytes, and the peak of
+//! live bytes. Span guards read the total to attribute allocation volume
+//! to pipeline stages, and run reports surface the globals as
+//! `alloc.total_bytes` / `alloc.peak_live_bytes` counters.
+//!
+//! The allocator must be installed by the *binary* crate:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: m3d_obs::alloc::CountingAllocator = m3d_obs::alloc::CountingAllocator::new();
+//! ```
+//!
+//! Without that declaration the feature compiles but every reading stays
+//! zero and nothing is reported ([`installed`] returns `false`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts bytes. All bookkeeping is
+/// relaxed atomics — allocation-rate counters, not a synchronization
+/// mechanism.
+#[derive(Debug, Default)]
+pub struct CountingAllocator;
+
+impl CountingAllocator {
+    /// A new counting allocator (use in a `#[global_allocator]` static).
+    pub const fn new() -> CountingAllocator {
+        CountingAllocator
+    }
+}
+
+fn on_alloc(bytes: u64) {
+    TOTAL.fetch_add(bytes, Ordering::Relaxed);
+    let live = LIVE.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+fn on_dealloc(bytes: u64) {
+    LIVE.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+// SAFETY: delegates every operation verbatim to `System`; the wrapper
+// only updates atomic counters and never touches the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size() as u64);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            // Accounted as free(old) + alloc(new), like the two-call path.
+            on_dealloc(layout.size() as u64);
+            on_alloc(new_size as u64);
+        }
+        p
+    }
+}
+
+/// Whether the counting allocator is actually routing allocations (true
+/// once any allocation has been observed; a process that reached user
+/// code has allocated).
+pub fn installed() -> bool {
+    TOTAL.load(Ordering::Relaxed) > 0
+}
+
+/// Total bytes allocated since process start (monotonic).
+pub fn total_allocated() -> u64 {
+    TOTAL.load(Ordering::Relaxed)
+}
+
+/// Bytes currently allocated and not yet freed.
+pub fn live_bytes() -> u64 {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`live_bytes`].
+pub fn peak_live_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}

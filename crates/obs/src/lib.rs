@@ -18,8 +18,14 @@
 //! - **Training metrics** — [`registry::record_epoch`] collects per-epoch
 //!   loss / metric / wall-time curves per model.
 //! - **Run reports** — [`report::write_from_env`] dumps spans, counters,
-//!   gauges, curves, and a config echo as NDJSON to the path in
-//!   `M3D_OBS_REPORT`.
+//!   gauges, curves, span events, and a config echo as NDJSON to the path
+//!   in `M3D_OBS_REPORT`. The `m3d-obsctl` binary (crate `obsctl`)
+//!   consumes these: Chrome-trace export, stage summaries, `BENCH_*.json`
+//!   snapshots, and the perf-regression gate.
+//! - **Allocation profiling** — with the off-by-default `alloc-profile`
+//!   feature, [`mod@alloc`] provides a counting global allocator; spans
+//!   then attribute allocated bytes per stage and reports carry
+//!   `alloc.*` counters.
 //!
 //! ```
 //! let report = {
@@ -39,6 +45,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+#[cfg(feature = "alloc-profile")]
+pub mod alloc;
 mod hist;
 pub mod logger;
 pub mod registry;
@@ -47,7 +55,9 @@ mod span;
 
 pub use hist::Histogram;
 pub use logger::{set_filter, Filter, Level};
-pub use registry::{reset, set_enabled, snapshot, EpochPoint, Snapshot, SpanSnapshot};
+pub use registry::{
+    current_tid, reset, set_enabled, snapshot, EpochPoint, Snapshot, SpanEvent, SpanSnapshot,
+};
 pub use report::{write_from_env, RunReport};
 pub use span::{timed, SpanGuard};
 

@@ -5,9 +5,9 @@
 
 use crate::hist::Histogram;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Aggregated statistics of one named span.
 #[derive(Debug, Default, Clone)]
@@ -32,12 +32,34 @@ pub struct EpochPoint {
     pub wall_ms: f64,
 }
 
+/// One completed span occurrence on the process timeline, for trace
+/// export (Chrome Trace Event / Perfetto).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name.
+    pub name: String,
+    /// Small per-process thread id (1-based, assigned on first span).
+    pub tid: u32,
+    /// Begin offset from the process epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Events kept per run before new ones are dropped (the count of drops is
+/// still tracked). Spans are recorded at pipeline-stage granularity, so
+/// this bound is generous; it exists to keep a runaway hot-loop span from
+/// exhausting memory.
+const EVENT_CAP: usize = 1 << 16;
+
 #[derive(Debug, Default)]
 struct Inner {
     spans: BTreeMap<String, SpanStat>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     curves: BTreeMap<String, Vec<EpochPoint>>,
+    events: Vec<SpanEvent>,
+    events_dropped: u64,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
@@ -70,13 +92,39 @@ pub fn reset() {
     *inner = Inner::default();
 }
 
+/// The process-wide time origin for span events. First call pins it;
+/// spans record begin offsets relative to this instant so events from all
+/// threads share one timeline.
+pub(crate) fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds elapsed since the process epoch.
+pub(crate) fn epoch_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// Small integer id of the calling thread, assigned on first use (the
+/// standard `ThreadId` has no stable integer form). Ids start at 1.
+pub fn current_tid() -> u32 {
+    static NEXT: AtomicU32 = AtomicU32::new(1);
+    thread_local! {
+        static TID: u32 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
 /// Records one completed span duration under `name`.
 pub fn record_span(name: &str, duration: Duration) {
     if !enabled() {
         return;
     }
     let ns = duration.as_nanos().min(u128::from(u64::MAX)) as u64;
-    let mut inner = locked();
+    record_stat(&mut locked(), name, ns);
+}
+
+fn record_stat(inner: &mut Inner, name: &str, ns: u64) {
     let stat = inner.spans.entry(name.to_string()).or_default();
     if stat.count == 0 {
         stat.min_ns = ns;
@@ -88,6 +136,27 @@ pub fn record_span(name: &str, duration: Duration) {
     stat.count += 1;
     stat.total_ns += ns;
     stat.hist.record(ns);
+}
+
+/// Records one completed span occurrence with its position on the process
+/// timeline: aggregate statistics plus a [`SpanEvent`] for trace export.
+pub fn record_span_event(name: &str, start_ns: u64, dur_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    let tid = current_tid();
+    let mut inner = locked();
+    record_stat(&mut inner, name, dur_ns);
+    if inner.events.len() < EVENT_CAP {
+        inner.events.push(SpanEvent {
+            name: name.to_string(),
+            tid,
+            start_ns,
+            dur_ns,
+        });
+    } else {
+        inner.events_dropped += 1;
+    }
 }
 
 /// Adds `delta` to the counter `name` (created at 0 on first use).
@@ -155,6 +224,10 @@ pub struct Snapshot {
     pub gauges: Vec<(String, f64)>,
     /// Training curves per model, name-sorted.
     pub curves: Vec<(String, Vec<EpochPoint>)>,
+    /// Individual span occurrences in recording order (trace export).
+    pub events: Vec<SpanEvent>,
+    /// Span events discarded after the in-memory cap was reached.
+    pub events_dropped: u64,
 }
 
 impl Snapshot {
@@ -211,5 +284,7 @@ pub fn snapshot() -> Snapshot {
             .iter()
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect(),
+        events: inner.events.clone(),
+        events_dropped: inner.events_dropped,
     }
 }

@@ -10,7 +10,14 @@
 //! {"type":"counter","name":"policy.candidates_pruned","value":17}
 //! {"type":"gauge","name":"framework.t_p","value":0.93}
 //! {"type":"epoch","model":"tier-predictor","epoch":0,"loss":0.69,"wall_ms":3.1}
+//! {"type":"span_event","name":"framework.train","tid":1,"start_ns":120,"dur_ns":4500}
 //! ```
+//!
+//! `span_event` lines carry each span occurrence's begin offset on the
+//! process timeline plus the recording thread, which is what
+//! `m3d-obsctl trace` converts to Chrome Trace Event JSON. Consumers must
+//! ignore record types they do not know (forward compatibility within
+//! schema `m3d-obs/1`).
 
 use crate::registry::{self, Snapshot};
 use std::io::Write;
@@ -57,14 +64,33 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    /// Captures the current registry state with a config echo.
+    /// Captures the current registry state with a config echo. With the
+    /// `alloc-profile` feature active and the counting allocator
+    /// installed, global allocation totals are folded in as counters.
     pub fn capture(config: &[(&str, String)]) -> RunReport {
+        #[allow(unused_mut)]
+        let mut snapshot = registry::snapshot();
+        #[cfg(feature = "alloc-profile")]
+        if crate::alloc::installed() {
+            snapshot.counters.push((
+                "alloc.total_bytes".to_string(),
+                crate::alloc::total_allocated(),
+            ));
+            snapshot
+                .counters
+                .push(("alloc.live_bytes".to_string(), crate::alloc::live_bytes()));
+            snapshot.counters.push((
+                "alloc.peak_live_bytes".to_string(),
+                crate::alloc::peak_live_bytes(),
+            ));
+            snapshot.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        }
         RunReport {
             config: config
                 .iter()
                 .map(|(k, v)| (k.to_string(), v.clone()))
                 .collect(),
-            snapshot: registry::snapshot(),
+            snapshot,
         }
     }
 
@@ -130,6 +156,20 @@ impl RunReport {
                 json_number(&mut out, p.wall_ms);
                 out.push_str("}\n");
             }
+        }
+        for e in &self.snapshot.events {
+            out.push_str("{\"type\":\"span_event\",\"name\":");
+            json_string(&mut out, &e.name);
+            out.push_str(&format!(
+                ",\"tid\":{},\"start_ns\":{},\"dur_ns\":{}}}\n",
+                e.tid, e.start_ns, e.dur_ns
+            ));
+        }
+        if self.snapshot.events_dropped > 0 {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":\"obs.span_events_dropped\",\"value\":{}}}\n",
+                self.snapshot.events_dropped
+            ));
         }
         out
     }

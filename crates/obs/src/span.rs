@@ -1,10 +1,17 @@
 //! RAII span timers. A [`SpanGuard`] measures from construction to drop
 //! and records into the global registry; guards nest freely (each records
 //! its own inclusive time) and are reentrancy- and thread-safe.
+//!
+//! Besides the aggregate statistics, every completed guard leaves a
+//! [`crate::registry::SpanEvent`] carrying its begin offset on the shared
+//! process timeline and the recording thread's id, which is what
+//! `m3d-obsctl trace` turns into a Chrome Trace Event file. With the
+//! `alloc-profile` feature (and [`crate::alloc::CountingAllocator`]
+//! installed), each span additionally accumulates the bytes allocated
+//! while it was live into an `alloc.span.<name>.bytes` counter.
 
 use crate::registry;
 use std::cell::Cell;
-use std::time::Instant;
 
 thread_local! {
     static DEPTH: Cell<usize> = const { Cell::new(0) };
@@ -15,7 +22,11 @@ thread_local! {
 #[must_use = "a span guard measures until it is dropped; binding it to `_` drops immediately"]
 pub struct SpanGuard {
     name: &'static str,
-    start: Option<Instant>,
+    /// Begin offset from the process epoch; `None` when recording was
+    /// disabled at entry (the guard is inert).
+    start_ns: Option<u64>,
+    #[cfg(feature = "alloc-profile")]
+    allocated_at_enter: u64,
 }
 
 impl SpanGuard {
@@ -23,12 +34,19 @@ impl SpanGuard {
     /// (no clock read, no registry write on drop).
     pub fn enter(name: &'static str) -> SpanGuard {
         if !registry::enabled() {
-            return SpanGuard { name, start: None };
+            return SpanGuard {
+                name,
+                start_ns: None,
+                #[cfg(feature = "alloc-profile")]
+                allocated_at_enter: 0,
+            };
         }
         DEPTH.with(|d| d.set(d.get() + 1));
         SpanGuard {
             name,
-            start: Some(Instant::now()),
+            start_ns: Some(registry::epoch_ns()),
+            #[cfg(feature = "alloc-profile")]
+            allocated_at_enter: crate::alloc::total_allocated(),
         }
     }
 
@@ -46,9 +64,17 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some(start) = self.start {
+        if let Some(start_ns) = self.start_ns {
             DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
-            registry::record_span(self.name, start.elapsed());
+            let dur_ns = registry::epoch_ns().saturating_sub(start_ns);
+            registry::record_span_event(self.name, start_ns, dur_ns);
+            #[cfg(feature = "alloc-profile")]
+            {
+                let delta = crate::alloc::total_allocated().saturating_sub(self.allocated_at_enter);
+                if crate::alloc::installed() {
+                    registry::counter_add(&format!("alloc.span.{}.bytes", self.name), delta);
+                }
+            }
         }
     }
 }

@@ -1,0 +1,61 @@
+//! Allocation-profiling behaviour under the `alloc-profile` feature: the
+//! counting allocator tracks totals/live/peak, spans attribute allocated
+//! bytes, and run reports surface the `alloc.*` counters.
+//!
+//! Only compiled with `--features alloc-profile`; the global allocator is
+//! installed for this whole test binary.
+
+#![cfg(feature = "alloc-profile")]
+
+#[global_allocator]
+static ALLOC: m3d_obs::alloc::CountingAllocator = m3d_obs::alloc::CountingAllocator::new();
+
+#[test]
+fn counters_track_alloc_and_free() {
+    let before_total = m3d_obs::alloc::total_allocated();
+    assert!(before_total > 0, "reaching a test has allocated");
+    assert!(m3d_obs::alloc::installed());
+
+    let v: Vec<u8> = Vec::with_capacity(1 << 20);
+    let after_alloc = m3d_obs::alloc::total_allocated();
+    assert!(
+        after_alloc >= before_total + (1 << 20),
+        "1 MiB allocation must appear in the total: {before_total} -> {after_alloc}"
+    );
+    assert!(m3d_obs::alloc::peak_live_bytes() >= 1 << 20);
+
+    let live_with_v = m3d_obs::alloc::live_bytes();
+    drop(v);
+    assert!(
+        m3d_obs::alloc::live_bytes() < live_with_v,
+        "freeing must reduce live bytes"
+    );
+    // Total is monotonic: freeing never decreases it.
+    assert!(m3d_obs::alloc::total_allocated() >= after_alloc);
+}
+
+#[test]
+fn spans_attribute_allocated_bytes_and_reports_carry_alloc_counters() {
+    {
+        let _g = m3d_obs::span!("test.alloc.stage");
+        std::hint::black_box(vec![0u8; 1 << 16]);
+    }
+    let snap = m3d_obs::snapshot();
+    let per_span = snap
+        .counter("alloc.span.test.alloc.stage.bytes")
+        .expect("span allocation counter recorded");
+    assert!(
+        per_span >= 1 << 16,
+        "span allocated {per_span} bytes, expected >= 64 KiB"
+    );
+
+    let report = m3d_obs::RunReport::capture(&[]);
+    let text = report.to_ndjson();
+    for name in [
+        "alloc.total_bytes",
+        "alloc.live_bytes",
+        "alloc.peak_live_bytes",
+    ] {
+        assert!(text.contains(name), "report missing {name}:\n{text}");
+    }
+}

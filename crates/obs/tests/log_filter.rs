@@ -1,0 +1,86 @@
+//! `M3D_LOG` filter-parsing edge cases: empty specs, unknown levels,
+//! per-target overrides, and trailing/odd separators. The filter must
+//! never fail to parse — worst case it behaves like the default
+//! (warnings and errors only).
+
+use m3d_obs::{Filter, Level};
+
+#[test]
+fn empty_spec_is_the_default_filter() {
+    for spec in ["", " ", "\t", ",", ",,,", " , , "] {
+        let f = Filter::parse(spec);
+        assert_eq!(f, Filter::default(), "spec {spec:?}");
+        assert!(f.enabled(Level::Error, "m3d_sim"));
+        assert!(f.enabled(Level::Warn, "m3d_sim"));
+        assert!(!f.enabled(Level::Info, "m3d_sim"));
+    }
+}
+
+#[test]
+fn unknown_level_names_are_ignored_not_fatal() {
+    for spec in ["verbose", "m3d_sim=verbose", "warning2", "m3d_sim=LOUD"] {
+        assert_eq!(Filter::parse(spec), Filter::default(), "spec {spec:?}");
+    }
+    // Case-insensitive accepted spellings still work.
+    let f = Filter::parse("INFO,m3d_gnn=Trace");
+    assert!(f.enabled(Level::Info, "m3d_core"));
+    assert!(f.enabled(Level::Trace, "m3d_gnn::model"));
+}
+
+#[test]
+fn trailing_commas_and_whitespace_do_not_change_meaning() {
+    let canonical = Filter::parse("info,m3d_sim=debug");
+    for spec in [
+        "info,m3d_sim=debug,",
+        "info, m3d_sim=debug ,,",
+        " info ,\tm3d_sim = debug ",
+    ] {
+        let f = Filter::parse(spec);
+        assert_eq!(
+            f.enabled(Level::Debug, "m3d_sim"),
+            canonical.enabled(Level::Debug, "m3d_sim"),
+            "spec {spec:?}"
+        );
+        assert_eq!(
+            f.enabled(Level::Info, "elsewhere"),
+            canonical.enabled(Level::Info, "elsewhere"),
+            "spec {spec:?}"
+        );
+    }
+}
+
+#[test]
+fn per_target_overrides_beat_the_default_in_both_directions() {
+    // Quieter default, louder module.
+    let f = Filter::parse("warn,m3d_gnn=trace");
+    assert!(f.enabled(Level::Trace, "m3d_gnn"));
+    assert!(!f.enabled(Level::Info, "m3d_sim"));
+    // Louder default, silenced module.
+    let g = Filter::parse("debug,m3d_sim::fsim=off");
+    assert!(g.enabled(Level::Debug, "m3d_sim"));
+    assert!(!g.enabled(Level::Error, "m3d_sim::fsim"));
+    // Nested override: the deepest matching prefix wins regardless of
+    // rule order.
+    let h = Filter::parse("m3d_sim::atpg=error,m3d_sim=trace");
+    assert!(h.enabled(Level::Trace, "m3d_sim::fsim"));
+    assert!(!h.enabled(Level::Warn, "m3d_sim::atpg"));
+    assert!(h.enabled(Level::Error, "m3d_sim::atpg"));
+}
+
+#[test]
+fn later_duplicate_rules_replace_earlier_ones() {
+    let f = Filter::parse("m3d_part=trace,m3d_part=warn");
+    assert!(!f.enabled(Level::Info, "m3d_part"));
+    assert!(f.enabled(Level::Warn, "m3d_part"));
+    let g = Filter::parse("info,off");
+    assert!(!g.enabled(Level::Error, "anything"), "last default wins");
+}
+
+#[test]
+fn prefix_matching_is_per_path_segment() {
+    let f = Filter::parse("m3d_sim=debug");
+    assert!(f.enabled(Level::Debug, "m3d_sim"));
+    assert!(f.enabled(Level::Debug, "m3d_sim::atpg::order"));
+    // A textual prefix that is not a module-path prefix must not match.
+    assert!(!f.enabled(Level::Debug, "m3d_simulator"));
+}

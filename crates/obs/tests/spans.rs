@@ -80,3 +80,46 @@ fn timed_returns_value_and_records() {
     let snap = m3d_obs::snapshot();
     assert_eq!(snap.span("test.timed").expect("recorded").count, 1);
 }
+
+#[test]
+fn span_events_carry_timeline_offsets_and_thread_ids() {
+    let t0 = {
+        let _outer = m3d_obs::span!("test.events.outer");
+        std::thread::sleep(Duration::from_millis(2));
+        let _inner = m3d_obs::span!("test.events.inner");
+        std::thread::sleep(Duration::from_millis(1));
+        m3d_obs::current_tid()
+    };
+    let other = std::thread::spawn(|| {
+        let _g = m3d_obs::span!("test.events.worker");
+        m3d_obs::current_tid()
+    })
+    .join()
+    .expect("worker panicked");
+    assert_ne!(t0, other, "threads get distinct tids");
+
+    let snap = m3d_obs::snapshot();
+    let find = |name: &str| {
+        snap.events
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("{name} event recorded"))
+    };
+    let outer = find("test.events.outer");
+    let inner = find("test.events.inner");
+    let worker = find("test.events.worker");
+    assert_eq!(outer.tid, t0);
+    assert_eq!(worker.tid, other);
+    // The inner span begins after the outer and ends no later: offsets
+    // place both on one shared process timeline.
+    assert!(inner.start_ns >= outer.start_ns);
+    assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+    assert!(outer.dur_ns >= 2_000_000, "outer slept 2 ms");
+
+    // And the run report serializes them as span_event records.
+    let text = m3d_obs::RunReport::capture(&[]).to_ndjson();
+    assert!(
+        text.contains("{\"type\":\"span_event\",\"name\":\"test.events.outer\""),
+        "report missing span_event line:\n{text}"
+    );
+}

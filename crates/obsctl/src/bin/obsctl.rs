@@ -1,0 +1,177 @@
+//! `m3d-obsctl` — command-line consumer for `m3d-obs/1` run reports.
+//!
+//! ```text
+//! m3d-obsctl trace <report.ndjson> [-o trace.json]
+//! m3d-obsctl summarize <report.ndjson>...
+//! m3d-obsctl bench <report.ndjson>... [--scale <name>] [-o BENCH_<scale>.json]
+//! m3d-obsctl compare <baseline.json> <current.json> [--tol-rel <f>] [--tol-abs-ms <f>]
+//! ```
+//!
+//! Exit codes: 0 success / within tolerance, 1 perf regression, 2 usage
+//! or I/O error.
+
+use m3d_obsctl::bench::{self, Tolerance};
+use m3d_obsctl::{chrome_trace, report, summarize};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  m3d-obsctl trace <report.ndjson> [-o trace.json]
+  m3d-obsctl summarize <report.ndjson>...
+  m3d-obsctl bench <report.ndjson>... [--scale <name>] [-o <BENCH.json>]
+  m3d-obsctl compare <baseline.json> <current.json> [--tol-rel <f>] [--tol-abs-ms <f>]";
+
+fn usage_error(message: &str) -> ExitCode {
+    m3d_obs::error!("{message}");
+    m3d_obs::out!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Splits `-o <path>` / `--scale <name>` style options out of `args`,
+/// returning the positional remainder.
+fn take_option(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        let value = args.remove(i + 1);
+        args.remove(i);
+        return Ok(Some(value));
+    }
+    Ok(None)
+}
+
+fn write_or_print(out_path: Option<&str>, content: &str, what: &str) -> Result<(), String> {
+    match out_path {
+        Some(p) => {
+            std::fs::write(p, content).map_err(|e| format!("{p}: cannot write: {e}"))?;
+            m3d_obs::info!("{what} written to {p}");
+            Ok(())
+        }
+        None => {
+            m3d_obs::out!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_trace(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let out = take_option(&mut args, "-o")?;
+    let [path] = args.as_slice() else {
+        return Err("trace takes exactly one report".to_string());
+    };
+    let report = report::load(Path::new(path))?;
+    if report.events.is_empty() {
+        m3d_obs::warn!("{path}: no span_event records (old producer?); trace will be empty");
+    }
+    write_or_print(out.as_deref(), &chrome_trace(&report), "chrome trace")?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_summarize(args: Vec<String>) -> Result<ExitCode, String> {
+    if args.is_empty() {
+        return Err("summarize takes at least one report".to_string());
+    }
+    for path in &args {
+        let report = report::load(Path::new(path))?;
+        m3d_obs::out!("{}", summarize(&report).trim_end());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_bench(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let out = take_option(&mut args, "-o")?;
+    let scale = take_option(&mut args, "--scale")?;
+    if args.is_empty() {
+        return Err("bench takes at least one report".to_string());
+    }
+    let reports = args
+        .iter()
+        .map(|p| report::load(Path::new(p)))
+        .collect::<Result<Vec<_>, _>>()?;
+    let snapshot = bench::aggregate(&reports, scale.as_deref())?;
+    let out_path = out.unwrap_or_else(|| format!("BENCH_{}.json", snapshot.scale));
+    std::fs::write(&out_path, bench::to_json(&snapshot))
+        .map_err(|e| format!("{out_path}: cannot write: {e}"))?;
+    m3d_obs::out!(
+        "wrote {out_path}: {} run(s), {} stage(s), rev {}",
+        snapshot.runs,
+        snapshot.stages.len(),
+        snapshot.git_rev
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_compare(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let mut tol = Tolerance::default();
+    if let Some(rel) = take_option(&mut args, "--tol-rel")? {
+        tol.rel = rel
+            .parse()
+            .map_err(|_| format!("--tol-rel `{rel}` is not a number"))?;
+    }
+    if let Some(abs) = take_option(&mut args, "--tol-abs-ms")? {
+        tol.abs_ms = abs
+            .parse()
+            .map_err(|_| format!("--tol-abs-ms `{abs}` is not a number"))?;
+    }
+    let [base_path, cur_path] = args.as_slice() else {
+        return Err("compare takes exactly two snapshots".to_string());
+    };
+    let load = |p: &str| -> Result<bench::BenchSnapshot, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: cannot read: {e}"))?;
+        bench::parse_json(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    let baseline = load(base_path)?;
+    let current = load(cur_path)?;
+    if baseline.scale != current.scale {
+        return Err(format!(
+            "scale mismatch: baseline `{}` vs current `{}`",
+            baseline.scale, current.scale
+        ));
+    }
+    let cmp = bench::compare(&baseline, &current, tol);
+    let rendered = bench::render(&cmp);
+    if !rendered.is_empty() {
+        m3d_obs::out!("{}", rendered.trim_end());
+    }
+    if cmp.regressed() {
+        m3d_obs::error!(
+            "perf gate FAILED against {base_path} (tol: +{:.0}% / {:.1}ms)",
+            tol.rel * 100.0,
+            tol.abs_ms
+        );
+        Ok(ExitCode::from(1))
+    } else {
+        m3d_obs::out!(
+            "perf gate OK: {} stage(s) within +{:.0}% / {:.1}ms of {base_path} (rev {})",
+            baseline.stages.len(),
+            tol.rel * 100.0,
+            tol.abs_ms,
+            baseline.git_rev
+        );
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage_error("missing command");
+    }
+    let cmd = args.remove(0);
+    let result = match cmd.as_str() {
+        "trace" => cmd_trace(args),
+        "summarize" => cmd_summarize(args),
+        "bench" => cmd_bench(args),
+        "compare" => cmd_compare(args),
+        "-h" | "--help" | "help" => {
+            m3d_obs::out!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => return usage_error(&format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => usage_error(&message),
+    }
+}

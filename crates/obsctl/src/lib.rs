@@ -1,0 +1,30 @@
+//! # m3d-obsctl
+//!
+//! Consumer half of the m3d observability stack. `m3d-obs` produces
+//! `m3d-obs/1` NDJSON run reports; this crate parses them and turns them
+//! into things people and CI can act on:
+//!
+//! - [`trace`] — Chrome Trace Event JSON from `span_event` records, for
+//!   `chrome://tracing` / Perfetto.
+//! - [`summarize`] — per-stage count/p50/p95/max tables, counters,
+//!   gauges, and training-curve digests.
+//! - [`bench`] — aggregation of runs into canonical `BENCH_<scale>.json`
+//!   snapshots, plus the noise-aware [`bench::compare`] regression gate
+//!   that `ci.sh` runs on every build.
+//!
+//! The `m3d-obsctl` binary exposes all of it on the command line; see
+//! EXPERIMENTS.md § "Profiling & perf gate".
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bench;
+pub mod json;
+pub mod report;
+pub mod summarize;
+pub mod trace;
+
+pub use bench::{aggregate, compare, BenchSnapshot, Comparison, Tolerance};
+pub use report::RunReport;
+pub use summarize::summarize;
+pub use trace::chrome_trace;

@@ -1,0 +1,115 @@
+//! Human-readable summary of one run report: a per-stage timing table,
+//! counters, gauges, and a digest of each model's training curve.
+
+use crate::report::RunReport;
+use std::fmt::Write as _;
+
+fn fmt_ms(ms: f64) -> String {
+    if !ms.is_finite() {
+        "n/a".to_string()
+    } else if ms >= 10_000.0 {
+        format!("{:.1}s", ms / 1e3)
+    } else if ms >= 1.0 {
+        format!("{ms:.2}ms")
+    } else {
+        format!("{:.1}us", ms * 1e3)
+    }
+}
+
+/// Renders the summary as plain text (one table per section).
+pub fn summarize(report: &RunReport) -> String {
+    let mut out = String::new();
+    let bin = report.meta.config_get("bin").unwrap_or("?");
+    let scale = report.meta.config_get("scale").unwrap_or("?");
+    let rev = report.meta.config_get("git_rev").unwrap_or("?");
+    let _ = writeln!(out, "run report: bin={bin} scale={scale} git_rev={rev}");
+    for (k, v) in &report.meta.config {
+        if !matches!(k.as_str(), "bin" | "scale" | "git_rev") {
+            let _ = writeln!(out, "  config {k}={v}");
+        }
+    }
+
+    if !report.spans.is_empty() {
+        let name_w = report
+            .spans
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(0)
+            .max("stage".len());
+        let _ = writeln!(
+            out,
+            "\n{:<name_w$} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "stage", "count", "p50", "p95", "max", "total"
+        );
+        for s in &report.spans {
+            let _ = writeln!(
+                out,
+                "{:<name_w$} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                s.name,
+                s.count,
+                fmt_ms(s.p50_ms),
+                fmt_ms(s.p95_ms),
+                fmt_ms(s.max_ms),
+                fmt_ms(s.total_ms),
+            );
+        }
+    }
+
+    if !report.counters.is_empty() {
+        let _ = writeln!(out, "\ncounters:");
+        for (name, value) in &report.counters {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+    }
+    if !report.gauges.is_empty() {
+        let _ = writeln!(out, "\ngauges:");
+        for (name, value) in &report.gauges {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+    }
+
+    // One digest line per model: epochs, first/last loss, total wall.
+    let mut models: Vec<&str> = Vec::new();
+    for e in &report.epochs {
+        if !models.contains(&e.model.as_str()) {
+            models.push(&e.model);
+        }
+    }
+    if !models.is_empty() {
+        let _ = writeln!(out, "\ntraining curves:");
+        for model in models {
+            let pts: Vec<_> = report.epochs.iter().filter(|e| e.model == model).collect();
+            let wall: f64 = pts.iter().map(|e| e.wall_ms).sum();
+            let first = pts.first().expect("non-empty by construction");
+            let last = pts.last().expect("non-empty by construction");
+            let _ = writeln!(
+                out,
+                "  {model}: {} epochs, loss {:.4} -> {:.4}, wall {}",
+                pts.len(),
+                first.loss,
+                last.loss,
+                fmt_ms(wall),
+            );
+        }
+    }
+
+    if !report.events.is_empty() {
+        let threads: std::collections::BTreeSet<u32> =
+            report.events.iter().map(|e| e.tid).collect();
+        let _ = writeln!(
+            out,
+            "\nspan events: {} across {} thread(s) (use `m3d-obsctl trace` for the timeline)",
+            report.events.len(),
+            threads.len(),
+        );
+    }
+    if report.unknown_records > 0 {
+        let _ = writeln!(
+            out,
+            "({} unknown record(s) skipped — newer producer?)",
+            report.unknown_records
+        );
+    }
+    out
+}
