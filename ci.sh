@@ -30,8 +30,15 @@ cargo clippy -p m3d-obs -p m3d-bench --features m3d-obs/alloc-profile --all-targ
 echo "== cargo build --release =="
 cargo build --release
 
-echo "== cargo test -q =="
+echo "== cargo test -q (default thread budget) =="
 cargo test -q
+
+echo "== cargo test -q (M3D_THREADS=1, serial pool) =="
+# The exec-pool determinism contract says results are bit-identical at any
+# thread count; running the whole suite serially exercises every inline
+# fast path and would surface any test that silently depends on the
+# parallel schedule.
+M3D_THREADS=1 cargo test -q
 
 echo "== cargo test -q (m3d-obs with alloc-profile) =="
 cargo test -q -p m3d-obs --features alloc-profile

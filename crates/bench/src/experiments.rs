@@ -8,10 +8,11 @@ use crate::pipeline::{
 };
 use crate::scale::Scale;
 use m3d_diagnosis::{report_quality, AtpgDiagnosis, DiagnosisConfig, ReportQuality};
+use m3d_exec::ExecPool;
 use m3d_fault_loc::{
     generate_samples, pfa_time_saved, single_tier_of, tier_training_set, BacktraceConfig,
-    DatasetConfig, DesignConfig, DesignContext, Framework, FrameworkConfig, MivPinpointer,
-    ModelTrainConfig, TierLocalization, TierPredictor, TrainingSet,
+    DatasetConfig, DesignConfig, DesignContext, FrameworkConfig, MivPinpointer, ModelTrainConfig,
+    PipelineBuilder, TierLocalization, TierPredictor, TrainingSet,
 };
 use m3d_gnn::{permutation_significance, Matrix, Pca};
 use m3d_netlist::BenchmarkProfile;
@@ -536,27 +537,31 @@ pub fn table10(scale: &Scale, profiles: &[BenchmarkProfile]) -> Vec<MultiFaultRo
             let samples = generate_samples(&ctx, &multi_cfg(scale.n_train, 5_100));
             ts.add(&train_bench, &samples);
         }
-        let fw = Framework::train(
-            &ts,
-            &FrameworkConfig {
+        let pipeline = PipelineBuilder::new()
+            .framework_config(FrameworkConfig {
                 model: ModelTrainConfig {
                     epochs: scale.epochs,
                     ..ModelTrainConfig::default()
                 },
                 use_classifier: false, // multi-fault study: tier + reorder focus
                 ..FrameworkConfig::default()
-            },
-        );
+            })
+            .build();
+        let fw = pipeline
+            .train(&ts)
+            .expect("multi-fault training set is non-empty");
         // Test on Syn-2.
         let bench = build_bench(profile, DesignConfig::Syn2, &cfg);
         let ctx = DesignContext::new(&bench);
         let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
         let samples = generate_samples(&ctx, &multi_cfg(scale.n_test, 6_200));
+        let case_results = pipeline
+            .pool()
+            .map(&samples, |_, s| fw.process_case(&ctx, &diag, s));
         let mut atpg_cases = Vec::new();
         let mut fw_cases = Vec::new();
         let mut tl = TierLocalization::new();
-        for s in &samples {
-            let r = fw.process_case(&ctx, &diag, s);
+        for (s, r) in samples.iter().zip(case_results) {
             let truth_tier = s.fault.tier(&bench).expect("multi-tier faults have a tier");
             tl.add(
                 single_tier_of(&r.atpg_report, &bench.m3d).is_some(),
@@ -638,29 +643,29 @@ pub fn table11(scale: &Scale) -> Vec<AblationRow> {
         epochs: scale.epochs,
         ..ModelTrainConfig::default()
     };
+    let pool = ExecPool::default();
     for (name, use_tier, use_miv) in modes {
-        let fw = Framework::train(
-            &ts,
-            &FrameworkConfig {
+        let pipeline = PipelineBuilder::new()
+            .framework_config(FrameworkConfig {
                 model: mcfg.clone(),
                 use_tier,
                 use_miv,
                 use_classifier: use_tier,
                 ..FrameworkConfig::default()
-            },
-        );
-        let cases: Vec<_> = test
-            .iter()
-            .map(|s| {
-                let r = fw.process_case(&ctx, &diag, s);
-                let report = if name == "ATPG only" {
-                    r.atpg_report
-                } else {
-                    r.outcome.report
-                };
-                (report, s.truth.clone())
             })
-            .collect();
+            .build();
+        let fw = pipeline
+            .train(&ts)
+            .expect("ablation training set is non-empty");
+        let cases: Vec<_> = pool.map(&test, |_, s| {
+            let r = fw.process_case(&ctx, &diag, s);
+            let report = if name == "ATPG only" {
+                r.atpg_report
+            } else {
+                r.outcome.report
+            };
+            (report, s.truth.clone())
+        });
         let quality = report_quality(&cases, false);
         m3d_obs::out!("{:<16} {}", name, fmt_quality(&quality));
         rows.push(AblationRow {

@@ -8,9 +8,10 @@ use m3d_diagnosis::{
     candidate_levels, report_quality, training_rows, AtpgDiagnosis, DiagnosisConfig,
     DiagnosisReport, PadreFilter, ReportQuality,
 };
+use m3d_exec::ExecPool;
 use m3d_fault_loc::{
-    generate_samples, single_tier_of, DatasetConfig, DesignConfig, DesignContext, Framework,
-    FrameworkConfig, ModelTrainConfig, TestBench, TestBenchConfig, TierLocalization, TrainingSet,
+    single_tier_of, DatasetConfig, DesignConfig, DesignContext, Framework, FrameworkConfig,
+    ModelTrainConfig, PipelineBuilder, TestBench, TestBenchConfig, TierLocalization, TrainingSet,
 };
 use m3d_netlist::BenchmarkProfile;
 use std::time::{Duration, Instant};
@@ -71,6 +72,16 @@ pub struct Trained {
 pub fn train_framework(profile: BenchmarkProfile, cfg: &ExperimentConfig) -> Trained {
     let _span = m3d_obs::span!("pipeline.train_framework");
     m3d_obs::info!("training on profile {}", profile.name());
+    let pipeline = PipelineBuilder::new()
+        .framework_config(FrameworkConfig {
+            model: ModelTrainConfig {
+                epochs: cfg.scale.epochs,
+                ..ModelTrainConfig::default()
+            },
+            precision_target: cfg.scale.precision_target,
+            ..FrameworkConfig::default()
+        })
+        .build();
     let mut ts = TrainingSet::new();
     let mut t_features = Duration::ZERO;
     let mut padre_rows = Vec::new();
@@ -91,7 +102,7 @@ pub fn train_framework(profile: BenchmarkProfile, cfg: &ExperimentConfig) -> Tra
         let t0 = Instant::now();
         let ctx = m3d_obs::timed("pipeline.features", || DesignContext::new(&bench));
         t_features += t0.elapsed();
-        let samples = generate_samples(
+        let samples = pipeline.generate_samples(
             &ctx,
             &DatasetConfig {
                 miv_fraction: cfg.miv_fraction_train,
@@ -101,35 +112,26 @@ pub fn train_framework(profile: BenchmarkProfile, cfg: &ExperimentConfig) -> Tra
         );
         ts.add(&bench, &samples);
 
-        // PADRE training data comes from the Syn-1 configuration.
+        // PADRE training data comes from the Syn-1 configuration. Each
+        // row batch depends only on its own sample's diagnosis, so the
+        // cases fan out; extending in sample order keeps the row list
+        // identical to the serial loop's.
         if i == 0 {
             let diag = make_diag(&ctx, cfg.compacted);
             let levels = candidate_levels(bench.netlist());
-            for s in samples.iter().take(cfg.scale.n_padre_train) {
+            let padre_samples = &samples[..samples.len().min(cfg.scale.n_padre_train)];
+            let row_batches = pipeline.pool().map(padre_samples, |_, s| {
                 let report = diag.diagnose(&s.log);
-                padre_rows.extend(training_rows(
-                    &report,
-                    &s.truth,
-                    bench.netlist(),
-                    &levels,
-                    s.log.len(),
-                ));
-            }
+                training_rows(&report, &s.truth, bench.netlist(), &levels, s.log.len())
+            });
+            padre_rows.extend(row_batches.into_iter().flatten());
         }
     }
 
     let t1 = Instant::now();
-    let framework = Framework::train(
-        &ts,
-        &FrameworkConfig {
-            model: ModelTrainConfig {
-                epochs: cfg.scale.epochs,
-                ..ModelTrainConfig::default()
-            },
-            precision_target: cfg.scale.precision_target,
-            ..FrameworkConfig::default()
-        },
-    );
+    let framework = pipeline
+        .train(&ts)
+        .expect("training configs produce tier samples");
     let t_training = t1.elapsed();
     let padre = PadreFilter::train(&padre_rows, 0.99, 7);
     Trained {
@@ -193,12 +195,14 @@ pub fn evaluate_config(
     let ctx = DesignContext::new(&bench);
     let diag = make_diag(&ctx, cfg.compacted);
     let levels = candidate_levels(bench.netlist());
-    let samples = generate_samples(
+    let pool = ExecPool::default();
+    let samples = m3d_fault_loc::generate_samples_with_pool(
         &ctx,
         &DatasetConfig {
             compacted: cfg.compacted,
             ..DatasetConfig::single(cfg.scale.n_test, seed)
         },
+        &pool,
     );
 
     let mut atpg_cases = Vec::new();
@@ -213,12 +217,11 @@ pub fn evaluate_config(
     let mut backup_bytes = 0usize;
     let mut pruned_cases = 0usize;
 
-    for s in &samples {
+    // The diagnosis sweep: every chip is processed independently against
+    // the shared read-only framework/diagnosis state, so the cases fan
+    // out; the aggregation below folds in sample order.
+    let case_results = pool.map(&samples, |_, s| {
         let r = trained.framework.process_case(&ctx, &diag, s);
-        t_atpg += r.t_atpg;
-        t_gnn += r.t_gnn;
-        t_update += r.t_update;
-
         let filtered = trained
             .padre
             .filter(&r.atpg_report, bench.netlist(), &levels, s.log.len());
@@ -257,6 +260,13 @@ pub fn evaluate_config(
         } else {
             DiagnosisReport::new(plus_list)
         };
+        (r, filtered, plus)
+    });
+
+    for (s, (r, filtered, plus)) in samples.iter().zip(case_results) {
+        t_atpg += r.t_atpg;
+        t_gnn += r.t_gnn;
+        t_update += r.t_update;
 
         let truth_tier = s.fault.tier(&bench).expect("single-fault samples");
         let pre_localized = single_tier_of(&r.atpg_report, &bench.m3d).is_some();

@@ -10,6 +10,7 @@ use crate::backtrace::{backtrace, BacktraceConfig, Subgraph};
 use crate::design::TestBench;
 use crate::features::FeatureExtractor;
 use crate::hetero::HeteroGraph;
+use m3d_exec::ExecPool;
 use m3d_gnn::GraphSample;
 use m3d_netlist::{PinRef, ScanChains};
 use m3d_part::{MivId, Tier};
@@ -255,39 +256,73 @@ impl DatasetConfig {
 
 /// Generates a dataset on `ctx` per `cfg`. Undetectable draws are
 /// discarded and redrawn (bounded retries), so every sample has a
-/// non-empty failure log and subgraph.
+/// non-empty failure log and subgraph. Runs on the environment-resolved
+/// [`ExecPool`]; see [`generate_samples_with_pool`].
 pub fn generate_samples(ctx: &DesignContext<'_>, cfg: &DatasetConfig) -> Vec<Sample> {
+    generate_samples_with_pool(ctx, cfg, &ExecPool::default())
+}
+
+/// [`generate_samples`] with per-chip fan-out on `pool`.
+///
+/// Fault candidates are drawn serially (the draw sequence consumes the
+/// RNG identically whether or not a candidate later survives, and the
+/// per-attempt masking seed depends only on the attempt number), then
+/// each batch simulates and back-traces in parallel; the first
+/// `n_samples` survivors in attempt order are kept. The output is
+/// therefore identical to the serial generator at any thread count.
+pub fn generate_samples_with_pool(
+    ctx: &DesignContext<'_>,
+    cfg: &DatasetConfig,
+    pool: &ExecPool,
+) -> Vec<Sample> {
+    let _span = m3d_obs::span!("dataset.generate");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let sites: Vec<PinRef> = ctx.bench.netlist().fault_sites().collect();
     let n_mivs = ctx.bench.m3d.miv_count();
     let mut out = Vec::with_capacity(cfg.n_samples);
     let mut attempts = 0usize;
     let max_attempts = cfg.n_samples * 60 + 100;
+    // Batch enough candidates to keep every worker busy, padded for the
+    // expected discard rate; overshoot is truncated below, which cannot
+    // change the kept prefix.
+    let batch = (pool.threads() * 2).max(cfg.n_samples.min(16));
     while out.len() < cfg.n_samples && attempts < max_attempts {
-        attempts += 1;
-        let fault = draw_fault(ctx, cfg, &mut rng, &sites, n_mivs);
-        let log = ctx.masked_failure_log(
-            &fault,
-            cfg.compacted,
-            cfg.detect_prob,
-            cfg.seed
-                .wrapping_mul(0x9E37_79B9)
-                .wrapping_add(attempts as u64),
-        );
-        if log.is_empty() {
-            continue;
-        }
-        let subgraph = ctx.backtrace(&log, cfg.compacted, &cfg.backtrace);
-        if subgraph.is_empty() {
-            continue;
-        }
-        let truth = fault.truth_sites(ctx.bench);
-        out.push(Sample {
-            fault,
-            log,
-            subgraph,
-            truth,
+        let k = batch.min(max_attempts - attempts);
+        let candidates: Vec<(usize, InjectedFault)> = (0..k)
+            .map(|_| {
+                attempts += 1;
+                (attempts, draw_fault(ctx, cfg, &mut rng, &sites, n_mivs))
+            })
+            .collect();
+        let simulated = pool.map(&candidates, |_, (attempt, fault)| {
+            let log = ctx.masked_failure_log(
+                fault,
+                cfg.compacted,
+                cfg.detect_prob,
+                cfg.seed
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(*attempt as u64),
+            );
+            if log.is_empty() {
+                return None;
+            }
+            let subgraph = ctx.backtrace(&log, cfg.compacted, &cfg.backtrace);
+            if subgraph.is_empty() {
+                return None;
+            }
+            let truth = fault.truth_sites(ctx.bench);
+            Some(Sample {
+                fault: fault.clone(),
+                log,
+                subgraph,
+                truth,
+            })
         });
+        for sample in simulated.into_iter().flatten() {
+            if out.len() < cfg.n_samples {
+                out.push(sample);
+            }
+        }
     }
     out
 }
@@ -373,6 +408,27 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.fault, y.fault);
             assert_eq!(x.log, y.log);
+        }
+    }
+
+    #[test]
+    fn parallel_generation_matches_serial() {
+        let tb = bench();
+        let ctx = DesignContext::new(&tb);
+        let cfg = DatasetConfig {
+            miv_fraction: 0.3,
+            ..DatasetConfig::single(8, 9)
+        };
+        let serial = generate_samples_with_pool(&ctx, &cfg, &ExecPool::serial());
+        for threads in [2, 4] {
+            let par = generate_samples_with_pool(&ctx, &cfg, &ExecPool::with_threads(threads));
+            assert_eq!(par.len(), serial.len());
+            for (a, b) in par.iter().zip(&serial) {
+                assert_eq!(a.fault, b.fault);
+                assert_eq!(a.log, b.log);
+                assert_eq!(a.truth, b.truth);
+                assert_eq!(a.subgraph.x.as_slice(), b.subgraph.x.as_slice());
+            }
         }
     }
 

@@ -1,0 +1,74 @@
+//! Workspace-level error type for the fallible pipeline entry points.
+
+use m3d_gnn::ShapeError;
+use std::fmt;
+
+/// Errors from training and inference entry points.
+///
+/// Historically these conditions panicked deep inside the call tree; the
+/// [`Pipeline`](crate::Pipeline) API surfaces them as values instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The training set has no graph-level tier samples — nothing for the
+    /// Tier-predictor (and everything downstream of it) to learn from.
+    EmptyTrainingSet,
+    /// Inference was requested on an empty subgraph (an empty failure log
+    /// back-traces to nothing; there is no graph to run the GCN on).
+    EmptySubgraph,
+    /// A matrix was constructed from a buffer whose length does not match
+    /// the requested shape.
+    Shape(ShapeError),
+}
+
+/// The error type of [`Pipeline::train`](crate::Pipeline::train).
+pub type TrainError = Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyTrainingSet => {
+                write!(f, "training set has no tier samples")
+            }
+            Error::EmptySubgraph => {
+                write!(f, "cannot run inference on an empty subgraph")
+            }
+            Error::Shape(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for Error {
+    fn from(e: ShapeError) -> Self {
+        Error::Shape(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(Error::EmptyTrainingSet.to_string().contains("tier samples"));
+        assert!(Error::EmptySubgraph.to_string().contains("empty subgraph"));
+        let shape: Error = ShapeError {
+            rows: 2,
+            cols: 2,
+            len: 3,
+        }
+        .into();
+        assert!(shape.to_string().contains("buffer length mismatch"));
+        assert!(std::error::Error::source(&shape).is_some());
+        assert!(std::error::Error::source(&Error::EmptySubgraph).is_none());
+    }
+}

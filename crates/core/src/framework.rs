@@ -6,11 +6,13 @@ use crate::backtrace::Subgraph;
 use crate::classifier::{ClassifierConfig, PruneClassifier};
 use crate::dataset::{DesignContext, Sample};
 use crate::design::TestBench;
+use crate::error::Error;
 use crate::models::{
     miv_training_set, tier_training_set, MivPinpointer, ModelTrainConfig, TierPredictor,
 };
 use crate::policy::{apply_policy, PolicyConfig, PolicyOutcome};
 use m3d_diagnosis::{AtpgDiagnosis, DiagnosisReport};
+use m3d_exec::ExecPool;
 use m3d_gnn::{GraphSample, PrCurve};
 use m3d_part::Tier;
 use std::time::{Duration, Instant};
@@ -89,6 +91,10 @@ pub struct FrameworkResult {
     pub atpg_report: DiagnosisReport,
     /// The policy outcome (final report, prunes, action).
     pub outcome: PolicyOutcome,
+    /// `true` when the framework's `T_P` threshold is the unreachable-
+    /// precision fallback of 1.0 — the pruning rule never fires, so this
+    /// case could only have been reordered (see [`Framework::t_p_is_fallback`]).
+    pub t_p_fallback: bool,
     /// Wall time of the ATPG diagnosis stage.
     pub t_atpg: Duration,
     /// Wall time of GNN inference (back-trace inputs assumed ready).
@@ -106,16 +112,44 @@ pub struct Framework {
     policy: PolicyConfig,
     use_tier: bool,
     use_miv: bool,
+    t_p_fallback: bool,
 }
 
 impl Framework {
     /// Trains Tier-predictor, MIV-pinpointer, derives `T_P` from the
     /// training PR curve, and (optionally) trains the Classifier.
     ///
+    /// Thin wrapper over [`Framework::try_train`] with the environment-
+    /// resolved [`ExecPool`]; kept for incremental migration — new code
+    /// should configure a [`crate::PipelineBuilder`] and call
+    /// [`crate::Pipeline::train`], which reports failure as a value
+    /// instead of panicking.
+    ///
     /// # Panics
     ///
     /// Panics if `ts.tier_samples` is empty.
     pub fn train(ts: &TrainingSet, cfg: &FrameworkConfig) -> Self {
+        match Self::try_train(ts, cfg, &ExecPool::default()) {
+            Ok(fw) => fw,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Trains Tier-predictor, MIV-pinpointer, derives `T_P` from the
+    /// training PR curve, and (optionally) trains the Classifier, running
+    /// every parallelizable stage on `pool`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyTrainingSet`] when `ts.tier_samples` is empty.
+    pub fn try_train(
+        ts: &TrainingSet,
+        cfg: &FrameworkConfig,
+        pool: &ExecPool,
+    ) -> Result<Self, Error> {
+        if ts.tier_samples.is_empty() {
+            return Err(Error::EmptyTrainingSet);
+        }
         let _span = m3d_obs::span!("framework.train");
         m3d_obs::info!(
             "training framework: {} tier samples, {} MIV samples, {} labelled subgraphs",
@@ -123,13 +157,21 @@ impl Framework {
             ts.miv_samples.len(),
             ts.labelled_subgraphs.len()
         );
-        let tier = TierPredictor::train(&ts.tier_samples, &cfg.model);
+        let tier = TierPredictor::train_with_pool(&ts.tier_samples, &cfg.model, pool);
         let curve = PrCurve::from_samples(&tier.confidence_scores(&ts.tier_samples));
-        let t_p = curve
-            .min_threshold_for_precision(cfg.precision_target)
-            .unwrap_or(1.0);
+        let (t_p, t_p_fallback) = match curve.min_threshold_for_precision(cfg.precision_target) {
+            Some(t) => (t, false),
+            None => {
+                m3d_obs::warn!(
+                    "precision target {:.4} unreachable on the training PR curve; \
+                     falling back to T_P = 1.0 (pruning disabled)",
+                    cfg.precision_target
+                );
+                (1.0, true)
+            }
+        };
         let miv = (!ts.miv_samples.is_empty() && cfg.use_miv)
-            .then(|| MivPinpointer::train(&ts.miv_samples, &cfg.model));
+            .then(|| MivPinpointer::train_with_pool(&ts.miv_samples, &cfg.model, pool));
         let classifier = cfg
             .use_classifier
             .then(|| PruneClassifier::train(&tier, &ts.labelled_subgraphs, t_p, &cfg.classifier))
@@ -140,7 +182,7 @@ impl Framework {
             miv.is_some(),
             classifier.is_some()
         );
-        Framework {
+        Ok(Framework {
             tier,
             miv,
             classifier,
@@ -151,12 +193,20 @@ impl Framework {
             },
             use_tier: cfg.use_tier,
             use_miv: cfg.use_miv,
-        }
+            t_p_fallback,
+        })
     }
 
     /// The derived confidence threshold `T_P`.
     pub fn t_p(&self) -> f32 {
         self.policy.t_p
+    }
+
+    /// `true` when the precision target was unreachable on the training
+    /// PR curve and `T_P` was pinned to the 1.0 fallback, which disables
+    /// the pruning half of the policy.
+    pub fn t_p_is_fallback(&self) -> bool {
+        self.t_p_fallback
     }
 
     /// The trained Tier-predictor.
@@ -171,13 +221,17 @@ impl Framework {
 
     /// Predicts the faulty tier of a subgraph: `(tier, confidence)`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the subgraph is empty.
-    pub fn predict_tier(&self, sub: &Subgraph) -> (Tier, f32) {
+    /// [`Error::EmptySubgraph`] when the subgraph is empty (there is no
+    /// graph to run the GCN on).
+    pub fn predict_tier(&self, sub: &Subgraph) -> Result<(Tier, f32), Error> {
+        if sub.is_empty() {
+            return Err(Error::EmptySubgraph);
+        }
         let p = self.tier.predict(sub);
         let t = usize::from(p[1] > p[0]);
-        (Tier(t as u8), p[t])
+        Ok((Tier(t as u8), p[t]))
     }
 
     /// Runs the full per-chip flow: ATPG diagnosis, GNN inference, and the
@@ -226,6 +280,7 @@ impl Framework {
         FrameworkResult {
             atpg_report,
             outcome,
+            t_p_fallback: self.t_p_fallback,
             t_atpg,
             t_gnn,
             t_update,

@@ -22,8 +22,8 @@
 //!
 //! ```no_run
 //! use m3d_fault_loc::{
-//!     generate_samples, DatasetConfig, DesignConfig, DesignContext, Framework,
-//!     FrameworkConfig, TestBench, TestBenchConfig, TrainingSet,
+//!     DatasetConfig, DesignConfig, DesignContext, PipelineBuilder, TestBench,
+//!     TestBenchConfig, TrainingSet,
 //! };
 //! use m3d_diagnosis::{AtpgDiagnosis, DiagnosisConfig};
 //! use m3d_netlist::BenchmarkProfile;
@@ -35,14 +35,17 @@
 //! ));
 //! let ctx = DesignContext::new(&bench);
 //!
-//! // Generate labelled failure-log samples, train, and diagnose.
-//! let train = generate_samples(&ctx, &DatasetConfig::single(200, 1));
+//! // Configure the pipeline (paper defaults + a worker-pool budget),
+//! // generate labelled failure-log samples, train, and diagnose.
+//! // Results are bit-identical at any thread count.
+//! let pipeline = PipelineBuilder::new().threads(4).build();
+//! let train = pipeline.generate_samples(&ctx, &DatasetConfig::single(200, 1));
 //! let mut ts = TrainingSet::new();
 //! ts.add(&bench, &train);
-//! let framework = Framework::train(&ts, &FrameworkConfig::default());
+//! let framework = pipeline.train(&ts).expect("training set is non-empty");
 //!
 //! let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
-//! let test = generate_samples(&ctx, &DatasetConfig::single(10, 2));
+//! let test = pipeline.generate_samples(&ctx, &DatasetConfig::single(10, 2));
 //! for sample in &test {
 //!     let result = framework.process_case(&ctx, &diag, sample);
 //!     m3d_obs::out!(
@@ -62,18 +65,24 @@ mod backtrace;
 mod classifier;
 mod dataset;
 mod design;
+mod error;
 mod features;
 mod framework;
 mod hetero;
 mod metrics;
 mod models;
 mod oversample;
+mod pipeline;
 mod policy;
 
 pub use backtrace::{backtrace, build_subgraph, BacktraceConfig, Subgraph};
 pub use classifier::{ClassifierConfig, PruneClassifier, CLASS_PRUNE, CLASS_REORDER};
-pub use dataset::{generate_samples, DatasetConfig, DesignContext, InjectedFault, Sample};
+pub use dataset::{
+    generate_samples, generate_samples_with_pool, DatasetConfig, DesignContext, InjectedFault,
+    Sample,
+};
 pub use design::{DesignConfig, TestBench, TestBenchConfig};
+pub use error::{Error, TrainError};
 pub use features::{
     feature_names, local_degree_feature, FeatureExtractor, F_DTOP_MEAN, F_DTOP_STD,
     F_FANIN_CIRCUIT, F_FANIN_SUB, F_FANOUT_CIRCUIT, F_FANOUT_SUB, F_LOC, F_LVL, F_MIV, F_NMIV_MEAN,
@@ -86,4 +95,5 @@ pub use models::{
     miv_training_set, tier_training_set, MivPinpointer, ModelTrainConfig, TierPredictor,
 };
 pub use oversample::{balance_with_buffers, with_dummy_buffers};
+pub use pipeline::{Pipeline, PipelineBuilder};
 pub use policy::{apply_policy, BackupDictionary, PolicyAction, PolicyConfig, PolicyOutcome};

@@ -5,6 +5,7 @@ use crate::backtrace::Subgraph;
 use crate::dataset::Sample;
 use crate::design::TestBench;
 use crate::features::N_FEATURES;
+use m3d_exec::ExecPool;
 use m3d_gnn::{GcnConfig, GcnModel, GraphSample, ScoredSample, Task, TrainConfig};
 use m3d_part::MivId;
 
@@ -19,7 +20,15 @@ pub struct ModelTrainConfig {
     pub hidden: Vec<usize>,
     /// Independent restarts; the run with the best training accuracy wins
     /// (single-sample Adam on small graph datasets is seed-sensitive).
+    /// Restarts train concurrently when the driving pool has spare
+    /// threads — the winner is identical either way.
     pub restarts: usize,
+    /// Gradient-accumulation minibatch size (see
+    /// [`TrainConfig::batch_size`]). The default of 1 keeps the paper's
+    /// per-sample Adam stepping; larger batches let leftover pool threads
+    /// parallelize within each restart at the cost of fewer optimizer
+    /// steps per epoch.
+    pub batch_size: usize,
 }
 
 impl Default for ModelTrainConfig {
@@ -29,6 +38,7 @@ impl Default for ModelTrainConfig {
             seed: 0xD1A6,
             hidden: vec![64, 32],
             restarts: 3,
+            batch_size: 1,
         }
     }
 }
@@ -40,9 +50,15 @@ fn best_of_restarts(
     n_classes: usize,
     class_weights: Option<Vec<f32>>,
     curve_label: &str,
+    pool: &ExecPool,
 ) -> GcnModel {
-    let mut best: Option<(f64, GcnModel)> = None;
-    for r in 0..cfg.restarts.max(1) {
+    let restarts = cfg.restarts.max(1);
+    // Restarts are fully independent, so they fan out across the pool;
+    // each restart trains on an even share of the remaining threads
+    // (usually 1, i.e. inline). `map_indices` returns in restart order,
+    // so the best-accuracy tie-break (first wins) matches a serial loop.
+    let inner = pool.split(restarts.min(pool.threads()));
+    let runs = pool.map_indices(restarts, |r| {
         let seed = cfg.seed.wrapping_add(0x9E37 * r as u64);
         let mut model = GcnModel::new(&GcnConfig {
             input_dim: N_FEATURES,
@@ -59,20 +75,26 @@ fn best_of_restarts(
         } else {
             format!("{curve_label}/r{r}")
         };
-        model.train(
+        model.train_with_pool(
             samples,
             &TrainConfig {
                 epochs: cfg.epochs,
                 seed: seed ^ 0xA5A5,
+                batch_size: cfg.batch_size,
                 class_weights: class_weights.clone(),
                 label: Some(label),
                 ..TrainConfig::default()
             },
+            &inner,
         );
         let acc = match &class_weights {
             Some(w) => weighted_accuracy(&model, samples, w),
             None => model.accuracy(samples),
         };
+        (acc, model)
+    });
+    let mut best: Option<(f64, GcnModel)> = None;
+    for (acc, model) in runs {
         if best.as_ref().is_none_or(|(b, _)| acc > *b) {
             best = Some((acc, model));
         }
@@ -129,6 +151,20 @@ impl TierPredictor {
         Self::train_multi(samples, 2, cfg)
     }
 
+    /// [`TierPredictor::train`] on an explicit [`ExecPool`] (restarts and
+    /// minibatches fan out; the result is identical at any thread count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn train_with_pool(
+        samples: &[GraphSample],
+        cfg: &ModelTrainConfig,
+        pool: &ExecPool,
+    ) -> Self {
+        Self::train_multi_with_pool(samples, 2, cfg, pool)
+    }
+
     /// Trains an `n_tiers`-way tier classifier (the paper's stated
     /// extension: "the dimension of the graph representation vector
     /// \[extends\] to the number of tiers in the CUDs").
@@ -138,6 +174,21 @@ impl TierPredictor {
     /// Panics if `samples` is empty, `n_tiers < 2`, or a label is out of
     /// range.
     pub fn train_multi(samples: &[GraphSample], n_tiers: usize, cfg: &ModelTrainConfig) -> Self {
+        Self::train_multi_with_pool(samples, n_tiers, cfg, &ExecPool::default())
+    }
+
+    /// [`TierPredictor::train_multi`] on an explicit [`ExecPool`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty, `n_tiers < 2`, or a label is out of
+    /// range.
+    pub fn train_multi_with_pool(
+        samples: &[GraphSample],
+        n_tiers: usize,
+        cfg: &ModelTrainConfig,
+        pool: &ExecPool,
+    ) -> Self {
         assert!(!samples.is_empty(), "need training samples");
         assert!(n_tiers >= 2, "need at least two tiers");
         // Balanced class weights: tier labels skew toward the bottom tier
@@ -161,6 +212,7 @@ impl TierPredictor {
             n_tiers,
             Some(weights),
             "tier-predictor",
+            pool,
         );
         TierPredictor { model }
     }
@@ -254,6 +306,19 @@ impl MivPinpointer {
     ///
     /// Panics if `samples` is empty.
     pub fn train(samples: &[GraphSample], cfg: &ModelTrainConfig) -> Self {
+        Self::train_with_pool(samples, cfg, &ExecPool::default())
+    }
+
+    /// [`MivPinpointer::train`] on an explicit [`ExecPool`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn train_with_pool(
+        samples: &[GraphSample],
+        cfg: &ModelTrainConfig,
+        pool: &ExecPool,
+    ) -> Self {
         assert!(!samples.is_empty(), "need training samples");
         let mut pos = 0f32;
         let mut neg = 0f32;
@@ -278,6 +343,7 @@ impl MivPinpointer {
             2,
             Some(vec![1.0, w_pos]),
             "miv-pinpointer",
+            pool,
         );
         MivPinpointer { model }
     }

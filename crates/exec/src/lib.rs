@@ -1,0 +1,226 @@
+//! # m3d-exec
+//!
+//! A zero-dependency scoped worker pool for the embarrassingly-parallel
+//! hot paths of the pipeline: per-sample gradient computation, per-chip
+//! fault simulation / back-tracing, and the per-case diagnosis sweep.
+//!
+//! The workspace builds offline (no crates.io), so the pool is
+//! hand-rolled on `std` alone: [`ExecPool::map`] opens a
+//! [`std::thread::scope`], workers claim chunks of the index space from a
+//! shared atomic cursor (chunked work stealing), and results are stitched
+//! back into **input order** before returning. Because every item is
+//! computed independently and the caller consumes results in a fixed
+//! order, a parallel run is bit-identical to a serial one — the
+//! determinism contract the training loops rely on (see DESIGN.md
+//! "Threading model").
+//!
+//! Thread budget resolution, in priority order:
+//!
+//! 1. an explicit [`ExecPool::with_threads`] argument,
+//! 2. the `M3D_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! A pool is a tiny value (a resolved thread count); build it once and
+//! reuse it across epochs/stages so the budget is resolved a single time.
+//! With a budget of 1 — or a single item — `map` runs inline on the
+//! caller's thread: no threads are spawned and no obs spans are recorded,
+//! so single-core hosts pay nothing for the parallel plumbing.
+//!
+//! Each worker of a parallel region runs under an `exec.worker` obs span,
+//! so `m3d-obsctl trace` renders the fan-out as parallel tracks in
+//! Perfetto.
+//!
+//! ```
+//! let pool = m3d_exec::ExecPool::with_threads(4);
+//! let squares = pool.map(&[1u64, 2, 3, 4, 5], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the worker-thread budget.
+pub const THREADS_ENV: &str = "M3D_THREADS";
+
+/// A reusable handle on a worker-thread budget.
+///
+/// Cloning is free; the pool carries no OS resources between calls —
+/// workers are scoped to each [`ExecPool::map`] region, which lets them
+/// borrow the caller's data without `'static` bounds.
+#[derive(Debug, Clone)]
+pub struct ExecPool {
+    threads: usize,
+}
+
+impl Default for ExecPool {
+    fn default() -> Self {
+        ExecPool::from_env()
+    }
+}
+
+impl ExecPool {
+    /// A pool with the budget from `M3D_THREADS`, falling back to the
+    /// host's available parallelism. Unparsable or zero values of the
+    /// variable fall back too (with a warning).
+    pub fn from_env() -> Self {
+        let threads = match std::env::var(THREADS_ENV) {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => Some(n),
+                _ => {
+                    m3d_obs::warn!("ignoring {THREADS_ENV}={v:?}: expected a positive integer");
+                    None
+                }
+            },
+            Err(_) => None,
+        };
+        let threads = threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        ExecPool::with_threads(threads)
+    }
+
+    /// A pool with an explicit budget (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        ExecPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A serial pool: every `map` runs inline on the caller's thread.
+    pub fn serial() -> Self {
+        ExecPool::with_threads(1)
+    }
+
+    /// The resolved worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Splits the budget across `n` concurrent consumers: a pool each
+    /// consumer can use for its own nested `map` calls without
+    /// oversubscribing the host (e.g. parallel training restarts that
+    /// each run batch-parallel epochs).
+    pub fn split(&self, n: usize) -> ExecPool {
+        ExecPool::with_threads(self.threads / n.max(1))
+    }
+
+    /// Applies `f` to every item and returns the results **in input
+    /// order**. `f` receives `(index, &item)`.
+    ///
+    /// Work is distributed by chunked work stealing: workers repeatedly
+    /// claim the next chunk of indices from a shared atomic cursor, so an
+    /// expensive straggler item cannot serialize the tail the way static
+    /// slicing would. Which worker computes an item never affects the
+    /// result, and the output order is fixed, so the caller observes
+    /// bit-identical results at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// A panic inside `f` is propagated to the caller once all workers
+    /// have stopped (the scope joins every worker before unwinding).
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        // Chunk size: enough chunks per worker (4) for stealing to
+        // rebalance stragglers, but never zero.
+        let chunk = (n / (workers * 4)).max(1);
+        let cursor = AtomicUsize::new(0);
+        let mut parts: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let _span = m3d_obs::span!("exec.worker");
+                        let mut local: Vec<(usize, R)> = Vec::with_capacity(n / workers + 1);
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            let end = (start + chunk).min(n);
+                            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                                local.push((i, f(i, item)));
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(part) => part,
+                    // Re-raise the worker's panic payload on the caller.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+
+        // Deterministic fixed-order reduction: chunks are contiguous and
+        // each worker's list is internally ascending, so an index-sorted
+        // merge restores exact input order.
+        let mut tagged: Vec<(usize, R)> = Vec::with_capacity(n);
+        for part in &mut parts {
+            tagged.append(part);
+        }
+        tagged.sort_unstable_by_key(|(i, _)| *i);
+        debug_assert_eq!(tagged.len(), n);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// [`ExecPool::map`] over an index range instead of a slice: applies
+    /// `f` to `0..n` and returns results in index order.
+    pub fn map_indices<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let indices: Vec<usize> = (0..n).collect();
+        self.map(&indices, |_, &i| f(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let pool = ExecPool::with_threads(4);
+        let items: Vec<usize> = (0..1000).collect();
+        let out = pool.map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..257).collect();
+        let f = |_: usize, &x: &u64| x.wrapping_mul(0x9E37_79B9).rotate_left(7);
+        let serial = ExecPool::serial().map(&items, f);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(ExecPool::with_threads(threads).map(&items, f), serial);
+        }
+    }
+
+    #[test]
+    fn split_shares_the_budget() {
+        assert_eq!(ExecPool::with_threads(8).split(3).threads(), 2);
+        assert_eq!(ExecPool::with_threads(2).split(4).threads(), 1);
+        assert_eq!(ExecPool::with_threads(4).split(0).threads(), 4);
+    }
+}

@@ -44,7 +44,7 @@ pub use explain::{permutation_significance, stack_features, FeatureSignificance}
 pub use graph::{Graph, NormAdj};
 pub use layers::{relu_backward, GcnLayer, Linear};
 pub use loss::{argmax, cross_entropy, softmax_row};
-pub use matrix::Matrix;
+pub use matrix::{Matrix, ShapeError};
 pub use model::{GcnConfig, GcnModel, GraphSample, Task, TrainConfig};
 pub use pca::Pca;
 pub use prcurve::{PrCurve, PrPoint, ScoredSample};

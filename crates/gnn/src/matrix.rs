@@ -7,6 +7,33 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
 
+/// Buffer/shape mismatch when constructing a [`Matrix`] from a flat
+/// buffer: `rows * cols` elements were expected, `len` were supplied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Requested row count.
+    pub rows: usize,
+    /// Requested column count.
+    pub cols: usize,
+    /// Length of the supplied buffer.
+    pub len: usize,
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "buffer length mismatch: {}x{} needs {} elements, got {}",
+            self.rows,
+            self.cols,
+            self.rows * self.cols,
+            self.len
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
 /// A dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq, Default)]
 pub struct Matrix {
@@ -29,10 +56,26 @@ impl Matrix {
     ///
     /// # Panics
     ///
-    /// Panics if `data.len() != rows * cols`.
+    /// Panics if `data.len() != rows * cols`; use
+    /// [`Matrix::try_from_vec`] to handle the mismatch instead.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
-        Matrix { rows, cols, data }
+        match Self::try_from_vec(rows, cols, data) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Matrix::from_vec`]: errors instead of panicking when the
+    /// buffer length does not equal `rows * cols`.
+    pub fn try_from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError {
+                rows,
+                cols,
+                len: data.len(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
     }
 
     /// Xavier/Glorot-uniform initialization, deterministic in `seed`.
@@ -348,5 +391,26 @@ mod tests {
     #[should_panic(expected = "matmul shape mismatch")]
     fn matmul_shape_checked() {
         m(2, 2, &[0.; 4]).matmul(&m(3, 1, &[0.; 3]));
+    }
+
+    #[test]
+    fn try_from_vec_checks_length() {
+        assert!(Matrix::try_from_vec(2, 2, vec![0.0; 4]).is_ok());
+        let err = Matrix::try_from_vec(2, 3, vec![0.0; 4]).unwrap_err();
+        assert_eq!(
+            err,
+            ShapeError {
+                rows: 2,
+                cols: 3,
+                len: 4
+            }
+        );
+        assert!(err.to_string().contains("needs 6 elements, got 4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length mismatch")]
+    fn from_vec_still_panics() {
+        let _ = Matrix::from_vec(1, 2, vec![0.0; 3]);
     }
 }

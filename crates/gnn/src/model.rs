@@ -16,6 +16,7 @@ use crate::graph::NormAdj;
 use crate::layers::{relu_backward, GcnLayer, Linear};
 use crate::loss::{argmax, cross_entropy, softmax_row};
 use crate::matrix::Matrix;
+use m3d_exec::ExecPool;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -93,6 +94,13 @@ pub struct TrainConfig {
     pub adam: AdamConfig,
     /// Sample-shuffling seed.
     pub seed: u64,
+    /// Minibatch size for gradient accumulation. All gradients of a batch
+    /// are computed against the same (batch-start) weights — in parallel
+    /// when the driving [`ExecPool`] has more than one thread — then
+    /// averaged in fixed sample order and applied as a single Adam step,
+    /// so the result is bit-identical at any thread count. A size of 1
+    /// reproduces classic per-sample stepping (and never fans out).
+    pub batch_size: usize,
     /// Optional per-class loss weights (imbalance correction).
     pub class_weights: Option<Vec<f32>>,
     /// Observability label: when set, every epoch's mean loss and wall
@@ -107,6 +115,7 @@ impl Default for TrainConfig {
             epochs: 30,
             adam: AdamConfig::default(),
             seed: 1,
+            batch_size: 1,
             class_weights: None,
             label: None,
         }
@@ -116,6 +125,39 @@ impl Default for TrainConfig {
 struct ParamStates {
     gcn: Vec<(AdamState, AdamState)>,
     head: Vec<(AdamState, AdamState)>,
+}
+
+/// Per-parameter gradients of one sample (or an accumulated minibatch):
+/// `(dW, db)` per GCN layer and per head layer, in layer order.
+struct Grads {
+    gcn: Vec<(Matrix, Vec<f32>)>,
+    head: Vec<(Matrix, Vec<f32>)>,
+}
+
+impl Grads {
+    /// Accumulates `other` element-wise.
+    fn add_assign(&mut self, other: &Grads) {
+        let add = |acc: &mut Vec<(Matrix, Vec<f32>)>, oth: &Vec<(Matrix, Vec<f32>)>| {
+            for ((aw, ab), (ow, ob)) in acc.iter_mut().zip(oth) {
+                aw.add_assign(ow);
+                for (a, &o) in ab.iter_mut().zip(ob) {
+                    *a += o;
+                }
+            }
+        };
+        add(&mut self.gcn, &other.gcn);
+        add(&mut self.head, &other.head);
+    }
+
+    /// Scales every gradient by `s` (minibatch averaging).
+    fn scale(&mut self, s: f32) {
+        for (w, b) in self.gcn.iter_mut().chain(self.head.iter_mut()) {
+            w.scale(s);
+            for v in b.iter_mut() {
+                *v *= s;
+            }
+        }
+    }
 }
 
 /// The GCN classifier model.
@@ -326,28 +368,28 @@ impl GcnModel {
         h
     }
 
-    /// One gradient step on a single sample; returns its loss.
-    pub fn train_sample(
-        &mut self,
-        sample: &GraphSample,
-        adam: &AdamConfig,
-        class_weights: Option<&[f32]>,
-    ) -> f64 {
+    /// Loss and parameter gradients for one sample against the current
+    /// weights — read-only, so a pool can evaluate a whole minibatch
+    /// concurrently. Gradients are exactly the ones a lone
+    /// [`GcnModel::train_sample`] call would step with: every backward
+    /// pass reads pre-step weights, so compute-then-apply matches the
+    /// fused path bit for bit.
+    fn compute_grads(&self, sample: &GraphSample, class_weights: Option<&[f32]>) -> (f64, Grads) {
         let fwd = self.forward(&sample.adj, &sample.x);
         let (loss, dlogits) = cross_entropy(&fwd.logits, &sample.targets, class_weights);
 
         // --- Head backward.
+        let mut head_grads: Vec<(Matrix, Vec<f32>)> = Vec::with_capacity(self.head.len());
         let mut d = dlogits;
         for i in (0..self.head.len()).rev() {
             if i + 1 < self.head.len() {
                 relu_backward(&mut d, &fwd.head_pre[i]);
             }
             let (dw, db, dx) = self.head[i].backward(&fwd.head_in[i], &d);
-            let (sw, sb) = &mut self.states.head[i];
-            sw.step(adam, self.head[i].w.as_mut_slice(), dw.as_slice());
-            sb.step(adam, &mut self.head[i].b, &db);
+            head_grads.push((dw, db));
             d = dx;
         }
+        head_grads.reverse();
 
         // --- Pool backward (graph task): mean half distributes uniformly,
         // max half routes to each feature's winning row.
@@ -372,32 +414,104 @@ impl GcnModel {
         };
 
         // --- GCN backward.
+        let mut gcn_grads: Vec<(Matrix, Vec<f32>)> = Vec::with_capacity(self.gcn.len());
         for i in (0..self.gcn.len()).rev() {
             relu_backward(&mut dh, &fwd.pre[i]);
             let (dw, db, dx) = self.gcn[i].backward(&sample.adj, &fwd.ax[i], &dh);
-            if i >= self.frozen_gcn {
-                let (sw, sb) = &mut self.states.gcn[i];
-                sw.step(adam, self.gcn[i].w.as_mut_slice(), dw.as_slice());
-                sb.step(adam, &mut self.gcn[i].b, &db);
-            }
+            gcn_grads.push((dw, db));
             dh = dx;
         }
+        gcn_grads.reverse();
+
+        (
+            loss,
+            Grads {
+                gcn: gcn_grads,
+                head: head_grads,
+            },
+        )
+    }
+
+    /// One Adam step per parameter from accumulated gradients. Frozen GCN
+    /// layers are skipped (their optimizer state stays untouched).
+    fn apply_grads(&mut self, adam: &AdamConfig, g: &Grads) {
+        for i in 0..self.head.len() {
+            let (sw, sb) = &mut self.states.head[i];
+            sw.step(adam, self.head[i].w.as_mut_slice(), g.head[i].0.as_slice());
+            sb.step(adam, &mut self.head[i].b, &g.head[i].1);
+        }
+        for i in self.frozen_gcn..self.gcn.len() {
+            let (sw, sb) = &mut self.states.gcn[i];
+            sw.step(adam, self.gcn[i].w.as_mut_slice(), g.gcn[i].0.as_slice());
+            sb.step(adam, &mut self.gcn[i].b, &g.gcn[i].1);
+        }
+    }
+
+    /// One gradient step on a single sample; returns its loss.
+    pub fn train_sample(
+        &mut self,
+        sample: &GraphSample,
+        adam: &AdamConfig,
+        class_weights: Option<&[f32]>,
+    ) -> f64 {
+        let (loss, grads) = self.compute_grads(sample, class_weights);
+        self.apply_grads(adam, &grads);
         loss
     }
 
-    /// Trains on `samples` for `cfg.epochs` epochs (per-sample Adam steps in
-    /// shuffled order); returns the mean loss of each epoch.
+    /// Trains on `samples` for `cfg.epochs` epochs with the
+    /// [`ExecPool`] resolved from the environment (`M3D_THREADS`, else
+    /// available parallelism); returns the mean loss of each epoch. See
+    /// [`GcnModel::train_with_pool`] for the determinism contract.
     pub fn train(&mut self, samples: &[GraphSample], cfg: &TrainConfig) -> Vec<f64> {
+        self.train_with_pool(samples, cfg, &ExecPool::default())
+    }
+
+    /// Trains on `samples` for `cfg.epochs` epochs: shuffled minibatches
+    /// of `cfg.batch_size`, each batch's gradients computed in parallel on
+    /// `pool` against batch-start weights, then reduced **in fixed sample
+    /// order** and applied as one Adam step. Because reduction order never
+    /// depends on worker scheduling, the weights and returned loss curve
+    /// are bit-identical for any thread count (see DESIGN.md "Threading
+    /// model").
+    pub fn train_with_pool(
+        &mut self,
+        samples: &[GraphSample],
+        cfg: &TrainConfig,
+        pool: &ExecPool,
+    ) -> Vec<f64> {
         let _span = m3d_obs::span!("gnn.train");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut order: Vec<usize> = (0..samples.len()).collect();
+        let batch = cfg.batch_size.max(1);
         let mut losses = Vec::with_capacity(cfg.epochs);
         for epoch in 0..cfg.epochs {
             let t0 = std::time::Instant::now();
             order.shuffle(&mut rng);
             let mut total = 0.0;
-            for &i in &order {
-                total += self.train_sample(&samples[i], &cfg.adam, cfg.class_weights.as_deref());
+            for chunk in order.chunks(batch) {
+                if chunk.len() == 1 {
+                    total += self.train_sample(
+                        &samples[chunk[0]],
+                        &cfg.adam,
+                        cfg.class_weights.as_deref(),
+                    );
+                    continue;
+                }
+                let weights = cfg.class_weights.as_deref();
+                let results = pool.map(chunk, |_, &i| self.compute_grads(&samples[i], weights));
+                // Deterministic fixed-order reduction: `map` returns
+                // results in chunk order regardless of which worker
+                // produced them.
+                let mut results = results.into_iter();
+                let (first_loss, mut acc) = results.next().expect("chunk is non-empty");
+                total += first_loss;
+                for (loss, g) in results {
+                    total += loss;
+                    acc.add_assign(&g);
+                }
+                acc.scale(1.0 / chunk.len() as f32);
+                self.apply_grads(&cfg.adam, &acc);
             }
             let loss = total / samples.len().max(1) as f64;
             losses.push(loss);
@@ -632,6 +746,76 @@ mod tests {
             )
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn batched_training_is_thread_count_invariant() {
+        // The determinism contract: identical loss curves AND identical
+        // weights (checked through logits) at any pool width.
+        let data = toy_dataset(24, 13);
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 8,
+            ..TrainConfig::default()
+        };
+        let run = |pool: &ExecPool| {
+            let mut m = GcnModel::new(&GcnConfig::two_layer(3, Task::Graph));
+            let losses = m.train_with_pool(&data, &cfg, pool);
+            let logits: Vec<Vec<f32>> = data
+                .iter()
+                .map(|s| m.logits(&s.adj, &s.x).as_slice().to_vec())
+                .collect();
+            (losses, logits)
+        };
+        let serial = run(&ExecPool::serial());
+        for threads in [2, 4] {
+            assert_eq!(run(&ExecPool::with_threads(threads)), serial);
+        }
+    }
+
+    #[test]
+    fn batch_size_one_matches_legacy_per_sample_path() {
+        // compute-then-apply (batched path, batch of 1) must be bitwise
+        // identical to the fused train_sample stepping.
+        let data = toy_dataset(12, 14);
+        let run = |batch_size: usize| {
+            let mut m = GcnModel::new(&GcnConfig::two_layer(3, Task::Graph));
+            let losses = m.train_with_pool(
+                &data,
+                &TrainConfig {
+                    epochs: 2,
+                    batch_size,
+                    ..TrainConfig::default()
+                },
+                &ExecPool::with_threads(4),
+            );
+            let logits: Vec<Vec<f32>> = data
+                .iter()
+                .map(|s| m.logits(&s.adj, &s.x).as_slice().to_vec())
+                .collect();
+            (losses, logits)
+        };
+        let legacy = {
+            let mut m = GcnModel::new(&GcnConfig::two_layer(3, Task::Graph));
+            let mut rng = StdRng::seed_from_u64(TrainConfig::default().seed);
+            let mut order: Vec<usize> = (0..data.len()).collect();
+            let adam = AdamConfig::default();
+            let mut losses = Vec::new();
+            for _ in 0..2 {
+                order.shuffle(&mut rng);
+                let mut total = 0.0;
+                for &i in &order {
+                    total += m.train_sample(&data[i], &adam, None);
+                }
+                losses.push(total / data.len() as f64);
+            }
+            let logits: Vec<Vec<f32>> = data
+                .iter()
+                .map(|s| m.logits(&s.adj, &s.x).as_slice().to_vec())
+                .collect();
+            (losses, logits)
+        };
+        assert_eq!(run(1), legacy);
     }
 
     #[test]

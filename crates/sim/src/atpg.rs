@@ -12,6 +12,7 @@ use crate::fault::{tdf_list, Tdf};
 use crate::fsim::FaultSimulator;
 use crate::patterns::PatternSet;
 use crate::sim::source_count_for;
+use m3d_exec::ExecPool;
 use m3d_netlist::Netlist;
 use std::collections::BTreeSet;
 
@@ -65,6 +66,18 @@ pub struct AtpgResult {
 /// netlists contain a few unobservable sites — mirroring the 97–99% fault
 /// coverage of the paper's Table III.
 pub fn generate_patterns(nl: &Netlist, cfg: &AtpgConfig) -> AtpgResult {
+    generate_patterns_with_pool(nl, cfg, &ExecPool::default())
+}
+
+/// [`generate_patterns`] with the per-round fault simulations fanned out
+/// on `pool`.
+///
+/// Within a round every remaining fault is simulated against the same
+/// frozen pattern batch (dropping only takes effect at the next round's
+/// pending list, exactly as in the serial loop), so the detections are
+/// independent and the fold back into `detected`/`useful` runs in fault
+/// order — the result is identical at any thread count.
+pub fn generate_patterns_with_pool(nl: &Netlist, cfg: &AtpgConfig, pool: &ExecPool) -> AtpgResult {
     let _span = m3d_obs::span!("atpg.generate_patterns");
     let mut faults = tdf_list(nl);
     if let Some(n) = cfg.fault_sample {
@@ -86,14 +99,15 @@ pub fn generate_patterns(nl: &Netlist, cfg: &AtpgConfig) -> AtpgResult {
         );
         let fsim = FaultSimulator::new(nl, &batch);
         let mut useful: BTreeSet<usize> = BTreeSet::new();
-        for (i, f) in faults.iter().enumerate() {
-            if detected[i] {
-                continue;
-            }
-            if let Some(p) = fsim.first_detecting_pattern(std::slice::from_ref(f)) {
+        let pending: Vec<usize> = (0..total).filter(|&i| !detected[i]).collect();
+        let hits = pool.map(&pending, |_, &i| {
+            fsim.first_detecting_pattern(std::slice::from_ref(&faults[i]))
+        });
+        for (&i, hit) in pending.iter().zip(&hits) {
+            if let Some(p) = hit {
                 detected[i] = true;
                 n_detected += 1;
-                useful.insert(p as usize);
+                useful.insert(*p as usize);
             }
         }
         if !useful.is_empty() {
@@ -178,6 +192,23 @@ mod tests {
         let a = generate_patterns(&nl, &cfg);
         let b = generate_patterns(&nl, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_atpg_matches_serial() {
+        let nl = small();
+        let cfg = AtpgConfig {
+            fault_sample: Some(400),
+            max_rounds: 3,
+            ..AtpgConfig::default()
+        };
+        let serial = generate_patterns_with_pool(&nl, &cfg, &ExecPool::serial());
+        for threads in [2, 4] {
+            assert_eq!(
+                generate_patterns_with_pool(&nl, &cfg, &ExecPool::with_threads(threads)),
+                serial
+            );
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod patterns;
 mod proptests;
 mod sim;
 
-pub use atpg::{generate_patterns, AtpgConfig, AtpgResult};
+pub use atpg::{generate_patterns, generate_patterns_with_pool, AtpgConfig, AtpgResult};
 pub use failure::{FailEntry, FailObs, FailureLog};
 pub use fault::{tdf_list, Polarity, Tdf};
 pub use fsim::{Detection, FaultSimulator};

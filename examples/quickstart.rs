@@ -11,8 +11,8 @@
 
 use m3d_diagnosis::{AtpgDiagnosis, DiagnosisConfig};
 use m3d_fault_loc::{
-    generate_samples, DatasetConfig, DesignConfig, DesignContext, Framework, FrameworkConfig,
-    TestBench, TestBenchConfig, TrainingSet,
+    DatasetConfig, DesignConfig, DesignContext, PipelineBuilder, TestBench, TestBenchConfig,
+    TrainingSet,
 };
 use m3d_netlist::BenchmarkProfile;
 
@@ -34,10 +34,18 @@ fn main() {
         100.0 * bench.coverage,
     );
 
-    // 2. Prepare the diagnosis context (fault simulator, heterogeneous
-    //    graph, Table II features) and a training set of injected faults.
+    // 2. Configure the pipeline. The builder starts from the paper's
+    //    defaults; knobs like `.threads(n)` (worker-pool cap, also
+    //    settable via M3D_THREADS) or `.precision_target(p)` override
+    //    them. Results are bit-identical at any thread count.
+    let pipeline = PipelineBuilder::new().build();
+
+    // 3. Prepare the diagnosis context (fault simulator, heterogeneous
+    //    graph, Table II features) and a training set of injected faults,
+    //    then train: Tier-predictor, MIV-pinpointer, PR-curve threshold
+    //    T_P, and the prune/reorder Classifier.
     let ctx = DesignContext::new(&bench);
-    let train = generate_samples(
+    let train = pipeline.generate_samples(
         &ctx,
         &DatasetConfig {
             miv_fraction: 0.2,
@@ -46,15 +54,12 @@ fn main() {
     );
     let mut ts = TrainingSet::new();
     ts.add(&bench, &train);
-
-    // 3. Train the framework: Tier-predictor, MIV-pinpointer, PR-curve
-    //    threshold T_P, and the prune/reorder Classifier.
-    let framework = Framework::train(&ts, &FrameworkConfig::default());
+    let framework = pipeline.train(&ts).expect("training set is non-empty");
     m3d_obs::out!("trained; T_P = {:.3}", framework.t_p());
 
     // 4. Diagnose fresh failing chips.
     let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
-    let chips = generate_samples(&ctx, &DatasetConfig::single(5, 42));
+    let chips = pipeline.generate_samples(&ctx, &DatasetConfig::single(5, 42));
     for (i, chip) in chips.iter().enumerate() {
         let result = framework.process_case(&ctx, &diag, chip);
         let truth_tier = chip.fault.tier(&bench).expect("single fault");

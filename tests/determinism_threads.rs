@@ -1,0 +1,112 @@
+//! Thread-count invariance of the full training + diagnosis pipeline.
+//!
+//! The exec pool's determinism contract (fixed-order reduction, input-order
+//! result merge) promises bit-identical models and predictions at any
+//! thread count. These tests hold the whole stack to that promise: dataset
+//! generation, Tier-predictor / MIV-pinpointer training through
+//! [`PipelineBuilder`], the PR-curve threshold `T_P`, and per-case tier
+//! predictions must all agree bitwise between a serial run and 2/4-thread
+//! runs.
+
+use m3d_exec::ExecPool;
+use m3d_fault_loc::{
+    generate_samples_with_pool, DatasetConfig, DesignConfig, DesignContext, Framework,
+    PipelineBuilder, Sample, TestBench, TestBenchConfig, TrainingSet,
+};
+use m3d_netlist::BenchmarkProfile;
+
+fn bench() -> TestBench {
+    TestBench::build(&TestBenchConfig::quick(
+        BenchmarkProfile::AesLike,
+        DesignConfig::Syn1,
+    ))
+}
+
+fn samples_with(ctx: &DesignContext<'_>, threads: usize) -> Vec<Sample> {
+    generate_samples_with_pool(
+        ctx,
+        &DatasetConfig {
+            miv_fraction: 0.2,
+            ..DatasetConfig::single(48, 7)
+        },
+        &ExecPool::with_threads(threads),
+    )
+}
+
+fn train_with(ts: &TrainingSet, threads: usize) -> Framework {
+    PipelineBuilder::new()
+        .threads(threads)
+        .build()
+        .train(ts)
+        .expect("training set is non-empty")
+}
+
+#[test]
+fn pipeline_is_thread_count_invariant() {
+    let bench = bench();
+    let ctx = DesignContext::new(&bench);
+    let samples = samples_with(&ctx, 1);
+    let mut ts = TrainingSet::new();
+    ts.add(&bench, &samples);
+
+    let reference = train_with(&ts, 1);
+    let ref_tier = reference.tier_predictor().save_text();
+    let ref_miv = reference.miv_pinpointer().map(|m| m.save_text());
+
+    for threads in [2, 4] {
+        let fw = train_with(&ts, threads);
+        assert_eq!(
+            fw.t_p().to_bits(),
+            reference.t_p().to_bits(),
+            "T_P differs at {threads} threads"
+        );
+        assert_eq!(
+            fw.tier_predictor().save_text(),
+            ref_tier,
+            "Tier-predictor weights differ at {threads} threads"
+        );
+        assert_eq!(
+            fw.miv_pinpointer().map(|m| m.save_text()),
+            ref_miv,
+            "MIV-pinpointer weights differ at {threads} threads"
+        );
+        for (i, s) in samples.iter().enumerate() {
+            let (tier_a, conf_a) = reference
+                .predict_tier(&s.subgraph)
+                .expect("generated subgraphs are non-empty");
+            let (tier_b, conf_b) = fw
+                .predict_tier(&s.subgraph)
+                .expect("generated subgraphs are non-empty");
+            assert_eq!(
+                tier_a, tier_b,
+                "tier differs on sample {i} at {threads} threads"
+            );
+            assert_eq!(
+                conf_a.to_bits(),
+                conf_b.to_bits(),
+                "confidence differs on sample {i} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn dataset_generation_is_thread_count_invariant() {
+    let bench = bench();
+    let ctx = DesignContext::new(&bench);
+    let serial = samples_with(&ctx, 1);
+    for threads in [2, 4] {
+        let parallel = samples_with(&ctx, threads);
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(a.fault, b.fault, "fault differs on sample {i}");
+            assert_eq!(a.log, b.log, "failure log differs on sample {i}");
+            assert_eq!(a.truth, b.truth, "truth differs on sample {i}");
+            assert_eq!(
+                a.subgraph.x.as_slice(),
+                b.subgraph.x.as_slice(),
+                "features differ on sample {i}"
+            );
+        }
+    }
+}
