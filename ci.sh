@@ -25,7 +25,7 @@ echo "== cargo clippy (all targets, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo clippy (alloc-profile feature, -D warnings) =="
-cargo clippy -p m3d-obs -p m3d-bench --features m3d-obs/alloc-profile --all-targets -- -D warnings
+cargo clippy -p m3d-obs -p m3d-bench -p m3d-gnn --features m3d-obs/alloc-profile --all-targets -- -D warnings
 
 echo "== cargo build --release =="
 cargo build --release
@@ -42,6 +42,17 @@ M3D_THREADS=1 cargo test -q
 
 echo "== cargo test -q (m3d-obs with alloc-profile) =="
 cargo test -q -p m3d-obs --features alloc-profile
+
+echo "== steady-state zero-allocation gate (m3d-gnn alloc-profile) =="
+# After one warmup pass, training epochs must allocate nothing inside
+# exec.worker spans: the tiled write-into kernels recycle every buffer.
+cargo test -q -p m3d-gnn --features alloc-profile --test alloc_steady_state
+
+echo "== microbench smoke (M3D_BENCH_SMOKE=1, one sample per bench) =="
+# Proves the kernel/backtrace bench binaries stay runnable; timing is not
+# inspected here.
+M3D_BENCH_SMOKE=1 cargo bench -q -p m3d-gnn --bench kernels
+M3D_BENCH_SMOKE=1 cargo bench -q -p m3d-fault-loc --bench backtrace
 
 if [ "$SKIP_PERF" = 1 ]; then
     echo "ci.sh: perf gate skipped (--skip-perf)"

@@ -206,11 +206,7 @@ fn strip_top_level_features(samples: &[m3d_gnn::GraphSample]) -> Vec<m3d_gnn::Gr
                     x.set(r, c, 0.0);
                 }
             }
-            m3d_gnn::GraphSample {
-                adj: s.adj.clone(),
-                x,
-                targets: s.targets.clone(),
-            }
+            m3d_gnn::GraphSample::new(s.adj.clone(), x, s.targets.clone())
         })
         .collect()
 }

@@ -18,10 +18,11 @@ use crate::features::{
 };
 use crate::hetero::{HNodeId, HNodeKind, HeteroGraph};
 use m3d_gnn::{Graph, Matrix, NormAdj};
-use m3d_netlist::ScanChains;
+use m3d_netlist::{NetId, ScanChains};
 use m3d_part::MivId;
-use m3d_sim::{FailureLog, ObsPoints, PatternSim};
+use m3d_sim::{FailureLog, ObsId, ObsPoints, PatternSim};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Back-tracing configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +40,129 @@ impl Default for BacktraceConfig {
             keep_frac: 1.0,
             max_nodes: 600,
         }
+    }
+}
+
+/// Default byte budget for [`ConeMemo`] cached node lists (~64 MiB).
+const CONE_MEMO_DEFAULT_CAP: usize = 64 << 20;
+
+/// Two-level fan-in-cone memoization for [`backtrace`].
+///
+/// - **Per observation point** (level 1): the cone walk resolved to a
+///   packed `(node, net)` list — the cone is static topology, so it is
+///   walked through the heterogeneous graph exactly once per design and
+///   every later pattern screens the packed list instead.
+/// - **Per `(observation point, pattern)`** (level 2): the
+///   transition-active subset of that cone, a pure function of the pair
+///   (activity depends only on the simulated pattern). Diagnosis revisits
+///   the same pairs across the entries of one failure log and across every
+///   sample generated on the same bench; a hit skips even the screening
+///   pass.
+///
+/// Entries are never invalidated: a memo is tied to one
+/// (`HeteroGraph`, `PatternSim`) pair by construction, both of which are
+/// immutable once built. A shared byte cap bounds worst-case memory; when
+/// it is reached new entries are computed without being stored (existing
+/// entries still serve hits). Memoization cannot change any result — only
+/// the split between the `backtrace.nodes_visited`,
+/// `backtrace.activity_checks`, and `backtrace.cone_cache_hits` counters.
+#[derive(Debug)]
+pub struct ConeMemo {
+    inner: Mutex<ConeMemoInner>,
+    cap_bytes: usize,
+}
+
+#[derive(Debug, Default)]
+struct ConeMemoInner {
+    /// Level 1: observation point → net-resolved cone.
+    resolved: HashMap<u32, Arc<[(HNodeId, NetId)]>>,
+    /// Level 2: `(observation point, pattern)` → active cone subset.
+    active: HashMap<u64, Arc<[HNodeId]>>,
+    bytes: usize,
+}
+
+impl Default for ConeMemo {
+    fn default() -> Self {
+        ConeMemo::with_capacity_bytes(CONE_MEMO_DEFAULT_CAP)
+    }
+}
+
+impl ConeMemo {
+    /// A memo with the default ~64 MiB budget.
+    pub fn new() -> Self {
+        ConeMemo::default()
+    }
+
+    /// A memo that stops admitting new cones past `cap_bytes` of cached
+    /// node lists.
+    pub fn with_capacity_bytes(cap_bytes: usize) -> Self {
+        ConeMemo {
+            inner: Mutex::new(ConeMemoInner::default()),
+            cap_bytes,
+        }
+    }
+
+    fn key(obs: ObsId, pattern: u32) -> u64 {
+        (u64::from(obs.0) << 32) | u64::from(pattern)
+    }
+
+    fn resolved(&self, obs: ObsId) -> Option<Arc<[(HNodeId, NetId)]>> {
+        let inner = self.inner.lock().expect("cone memo poisoned");
+        inner.resolved.get(&obs.0).cloned()
+    }
+
+    /// Stores the net-resolved cone of `obs` (or drops it at the byte cap)
+    /// and hands back a shareable copy either way, so the caller screens
+    /// the list it just built without a second lookup.
+    fn insert_resolved(&self, obs: ObsId, cone: Vec<(HNodeId, NetId)>) -> Arc<[(HNodeId, NetId)]> {
+        let cone: Arc<[(HNodeId, NetId)]> = Arc::from(cone);
+        let mut guard = self.inner.lock().expect("cone memo poisoned");
+        let inner = &mut *guard;
+        // Entry cost: the payload plus map/Arc bookkeeping.
+        let cost = std::mem::size_of::<(HNodeId, NetId)>() * cone.len() + 48;
+        if inner.bytes + cost <= self.cap_bytes {
+            if let std::collections::hash_map::Entry::Vacant(slot) = inner.resolved.entry(obs.0) {
+                slot.insert(Arc::clone(&cone));
+                inner.bytes += cost;
+            }
+        }
+        cone
+    }
+
+    fn get(&self, obs: ObsId, pattern: u32) -> Option<Arc<[HNodeId]>> {
+        let inner = self.inner.lock().expect("cone memo poisoned");
+        inner.active.get(&ConeMemo::key(obs, pattern)).cloned()
+    }
+
+    fn insert(&self, obs: ObsId, pattern: u32, nodes: Vec<HNodeId>) {
+        let mut guard = self.inner.lock().expect("cone memo poisoned");
+        let inner = &mut *guard;
+        // Entry cost: the node payload plus map/Arc bookkeeping.
+        let cost = std::mem::size_of::<HNodeId>() * nodes.len() + 48;
+        if inner.bytes + cost > self.cap_bytes {
+            return;
+        }
+        let key = ConeMemo::key(obs, pattern);
+        if let std::collections::hash_map::Entry::Vacant(slot) = inner.active.entry(key) {
+            slot.insert(Arc::from(nodes));
+            inner.bytes += cost;
+        }
+    }
+
+    /// Number of memoized active-cone entries (diagnostics/tests).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cone memo poisoned").active.len()
+    }
+
+    /// Bytes of cached lists currently held, both levels
+    /// (diagnostics/tests).
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().expect("cone memo poisoned").bytes
+    }
+
+    /// `true` when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -76,7 +200,10 @@ impl Subgraph {
 }
 
 /// Runs back-tracing on a failure log. Pass `chains` iff the log was
-/// captured through the response compactor.
+/// captured through the response compactor, and `memo` to reuse
+/// per-`(observation point, pattern)` active cones across calls (see
+/// [`ConeMemo`]; `None` recomputes every cone).
+#[allow(clippy::too_many_arguments)] // mirrors the pipeline's data-flow stages 1:1
 pub fn backtrace(
     hetero: &HeteroGraph,
     features: &FeatureExtractor,
@@ -85,24 +212,69 @@ pub fn backtrace(
     chains: Option<&ScanChains>,
     log: &FailureLog,
     cfg: &BacktraceConfig,
+    memo: Option<&ConeMemo>,
 ) -> Subgraph {
     let _span = m3d_obs::span!("backtrace");
     let mut support: HashMap<HNodeId, u32> = HashMap::new();
     let entries = log.entries();
     // Accumulated locally and flushed once: the registry lock is cheap
-    // but not per-cone-edge cheap.
+    // but not per-cone-edge cheap. `nodes_visited` counts walks of the
+    // heterogeneous graph's cone structure (once per observation point
+    // when a memo is supplied); `activity_checks` counts per-pattern
+    // screening passes over a memoized net-resolved cone; and
+    // `cone_cache_hits` counts the cone steps an active-set hit avoided
+    // outright.
     let mut nodes_visited = 0u64;
+    let mut activity_checks = 0u64;
+    let mut cone_cache_hits = 0u64;
     for entry in entries {
         let mut seen: HashMap<HNodeId, ()> = HashMap::new();
         for obs_id in FailureLog::candidate_observers(entry, obs, chains) {
-            for edge in &hetero.topnode(obs_id).cone {
-                nodes_visited += 1;
-                // Only transition-active nodes can launch a delay fault.
-                let active = hetero
-                    .net_of(edge.node)
-                    .is_some_and(|net| sim.net_transition(net, entry.pattern as usize));
-                if active {
-                    seen.insert(edge.node, ());
+            if let Some(active) = memo.and_then(|m| m.get(obs_id, entry.pattern)) {
+                cone_cache_hits += hetero.topnode(obs_id).cone.len() as u64;
+                for &node in active.iter() {
+                    seen.insert(node, ());
+                }
+                continue;
+            }
+            if let Some(m) = memo {
+                let resolved = m.resolved(obs_id).unwrap_or_else(|| {
+                    let cone = &hetero.topnode(obs_id).cone;
+                    nodes_visited += cone.len() as u64;
+                    // Nodes without a net can never be transition-active;
+                    // the packed list drops them once and for all.
+                    let list: Vec<(HNodeId, NetId)> = cone
+                        .iter()
+                        .filter_map(|e| hetero.net_of(e.node).map(|net| (e.node, net)))
+                        .collect();
+                    m.insert_resolved(obs_id, list)
+                });
+                activity_checks += resolved.len() as u64;
+                let mut active_nodes: Vec<HNodeId> = Vec::new();
+                for &(node, net) in resolved.iter() {
+                    // Only transition-active nodes can launch a delay fault.
+                    if sim.net_transition(net, entry.pattern as usize) {
+                        seen.insert(node, ());
+                        active_nodes.push(node);
+                    }
+                }
+                // `seen` is a set, so order and duplicates in the cached
+                // list cannot affect results; dedup to shrink the entry
+                // (the cone is sorted by node id, so this is one cheap
+                // pass).
+                active_nodes.sort_unstable();
+                active_nodes.dedup();
+                m.insert(obs_id, entry.pattern, active_nodes);
+            } else {
+                for edge in &hetero.topnode(obs_id).cone {
+                    nodes_visited += 1;
+                    // Only transition-active nodes can launch a delay fault.
+                    let active = hetero
+                        .net_of(edge.node)
+                        .is_some_and(|net| sim.net_transition(net, entry.pattern as usize));
+                    if active {
+                        seen.insert(edge.node, ());
+                    }
                 }
             }
         }
@@ -111,6 +283,8 @@ pub fn backtrace(
         }
     }
     m3d_obs::counter!("backtrace.nodes_visited", nodes_visited);
+    m3d_obs::counter!("backtrace.activity_checks", activity_checks);
+    m3d_obs::counter!("backtrace.cone_cache_hits", cone_cache_hits);
     let max_support = support.values().copied().max().unwrap_or(0);
     if max_support == 0 {
         return empty_subgraph();
@@ -238,6 +412,7 @@ mod tests {
                 None,
                 &log,
                 &BacktraceConfig::default(),
+                None,
             );
             assert!(!sub.is_empty());
             let node = hetero.pin_of(f.site);
@@ -264,6 +439,7 @@ mod tests {
             None,
             &log,
             &BacktraceConfig::default(),
+            None,
         );
         assert!(sub.len() < hetero.node_count() / 2, "{}", sub.len());
     }
@@ -282,6 +458,7 @@ mod tests {
             None,
             &FailureLog::default(),
             &BacktraceConfig::default(),
+            None,
         );
         assert!(sub.is_empty());
     }
@@ -305,6 +482,7 @@ mod tests {
                 max_nodes: 10,
                 ..BacktraceConfig::default()
             },
+            None,
         );
         assert!(sub.len() <= 10);
     }
@@ -329,7 +507,16 @@ mod tests {
             if log_c.is_empty() {
                 continue;
             }
-            let su = backtrace(&hetero, &feats, fsim.sim(), fsim.obs(), None, &log_u, &cfg);
+            let su = backtrace(
+                &hetero,
+                &feats,
+                fsim.sim(),
+                fsim.obs(),
+                None,
+                &log_u,
+                &cfg,
+                None,
+            );
             let sc = backtrace(
                 &hetero,
                 &feats,
@@ -338,6 +525,7 @@ mod tests {
                 Some(&chains),
                 &log_c,
                 &cfg,
+                None,
             );
             total += 1;
             if sc.len() >= su.len() {
@@ -348,6 +536,73 @@ mod tests {
             larger * 10 >= total * 7,
             "compaction ambiguity should usually widen the search space ({larger}/{total})"
         );
+    }
+
+    #[test]
+    fn cone_memo_does_not_change_results() {
+        let fx = fixture();
+        let fsim = FaultSimulator::new(fx.m3d.netlist(), &fx.patterns);
+        let hetero = HeteroGraph::build(&fx.m3d, fsim.obs());
+        let feats = FeatureExtractor::compute(&fx.m3d, &hetero);
+        let memo = ConeMemo::new();
+        for f in detected(&fsim, 4) {
+            let log = FailureLog::uncompacted(&fsim.simulate(&[f]));
+            // Cold (fills the memo), warm (served from it), and memo-free
+            // runs must agree exactly.
+            let cold = backtrace(
+                &hetero,
+                &feats,
+                fsim.sim(),
+                fsim.obs(),
+                None,
+                &log,
+                &BacktraceConfig::default(),
+                Some(&memo),
+            );
+            let warm = backtrace(
+                &hetero,
+                &feats,
+                fsim.sim(),
+                fsim.obs(),
+                None,
+                &log,
+                &BacktraceConfig::default(),
+                Some(&memo),
+            );
+            let plain = backtrace(
+                &hetero,
+                &feats,
+                fsim.sim(),
+                fsim.obs(),
+                None,
+                &log,
+                &BacktraceConfig::default(),
+                None,
+            );
+            for got in [&cold, &warm] {
+                assert_eq!(got.nodes, plain.nodes);
+                assert_eq!(got.x.as_slice(), plain.x.as_slice());
+                assert_eq!(got.miv_rows, plain.miv_rows);
+            }
+        }
+        assert!(!memo.is_empty(), "memo should have cached cones");
+    }
+
+    #[test]
+    fn cone_memo_byte_cap_stops_admission() {
+        let memo = ConeMemo::with_capacity_bytes(64);
+        memo.insert(ObsId(0), 0, vec![HNodeId(1)]);
+        assert_eq!(memo.len(), 1);
+        // Past the cap nothing else is admitted, but the old entry stays.
+        memo.insert(ObsId(1), 0, vec![HNodeId(2); 100]);
+        assert_eq!(memo.len(), 1);
+        assert!(memo.get(ObsId(0), 0).is_some());
+        assert!(memo.get(ObsId(1), 0).is_none());
+        // A rejected resolved cone is still returned for local use.
+        let big = vec![(HNodeId(3), NetId(3)); 100];
+        let handed_back = memo.insert_resolved(ObsId(1), big.clone());
+        assert_eq!(handed_back.as_ref(), big.as_slice());
+        assert!(memo.resolved(ObsId(1)).is_none());
     }
 
     #[test]
@@ -366,6 +621,7 @@ mod tests {
             None,
             &log,
             &BacktraceConfig::default(),
+            None,
         );
         // At least one node must have nonzero local degree (the subgraph is
         // connected around the fault's cone).

@@ -6,7 +6,7 @@
 //! (a defective via delays all its far-side load pins), and the 2–5
 //! same-tier multi-TDF samples of the Table X study.
 
-use crate::backtrace::{backtrace, BacktraceConfig, Subgraph};
+use crate::backtrace::{backtrace, BacktraceConfig, ConeMemo, Subgraph};
 use crate::design::TestBench;
 use crate::features::FeatureExtractor;
 use crate::hetero::HeteroGraph;
@@ -131,11 +131,11 @@ impl Sample {
             .iter()
             .map(|&(row, miv)| (row, usize::from(faulty.contains(&miv))))
             .collect();
-        Some(GraphSample {
-            adj: self.subgraph.adj.clone(),
-            x: self.subgraph.x.clone(),
+        Some(GraphSample::new(
+            self.subgraph.adj.clone(),
+            self.subgraph.x.clone(),
             targets,
-        })
+        ))
     }
 }
 
@@ -150,6 +150,10 @@ pub struct DesignContext<'a> {
     pub hetero: HeteroGraph,
     /// Global node features.
     pub features: FeatureExtractor,
+    /// Memoized active fan-in cones shared by every back-trace on this
+    /// bench (valid for the context's lifetime: graph and patterns are
+    /// immutable once built).
+    pub cone_memo: ConeMemo,
 }
 
 impl<'a> DesignContext<'a> {
@@ -163,6 +167,7 @@ impl<'a> DesignContext<'a> {
             fsim,
             hetero,
             features,
+            cone_memo: ConeMemo::new(),
         }
     }
 
@@ -214,6 +219,7 @@ impl<'a> DesignContext<'a> {
             compacted.then_some(&self.bench.chains),
             log,
             cfg,
+            Some(&self.cone_memo),
         )
     }
 }

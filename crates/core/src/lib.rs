@@ -75,7 +75,7 @@ mod oversample;
 mod pipeline;
 mod policy;
 
-pub use backtrace::{backtrace, build_subgraph, BacktraceConfig, Subgraph};
+pub use backtrace::{backtrace, build_subgraph, BacktraceConfig, ConeMemo, Subgraph};
 pub use classifier::{ClassifierConfig, PruneClassifier, CLASS_PRUNE, CLASS_REORDER};
 pub use dataset::{
     generate_samples, generate_samples_with_pool, DatasetConfig, DesignContext, InjectedFault,

@@ -70,6 +70,7 @@ fn collect_samples(
             None,
             &log,
             &BacktraceConfig::default(),
+            None,
         );
         if !sub.is_empty() {
             out.push((sub, f));

@@ -15,9 +15,26 @@
 // This crate *is* the benchmark output sink.
 #![allow(clippy::print_stdout)]
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Environment variable enabling smoke mode: every benchmark runs exactly
+/// one warmup-free sample. CI uses it to prove the bench binaries stay
+/// runnable without paying measurement time.
+pub const SMOKE_ENV: &str = "M3D_BENCH_SMOKE";
+
+/// Whether smoke mode is active ("" and "0" mean off, anything else on).
+/// Read once per process so a group and its benchers cannot disagree.
+fn smoke() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| smoke_opt(std::env::var_os(SMOKE_ENV).as_deref()))
+}
+
+fn smoke_opt(v: Option<&std::ffi::OsStr>) -> bool {
+    v.is_some_and(|v| !v.is_empty() && v != "0")
+}
 
 /// Top-level harness handle (one per bench binary).
 #[derive(Debug, Default)]
@@ -31,7 +48,7 @@ impl Criterion {
         BenchmarkGroup {
             _parent: self,
             name: name.into(),
-            sample_size: 20,
+            sample_size: if smoke() { 1 } else { 20 },
         }
     }
 
@@ -98,9 +115,12 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark (ignored in smoke
+    /// mode, which pins every benchmark to one sample).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(2);
+        if !smoke() {
+            self.sample_size = n.max(1);
+        }
         self
     }
 
@@ -176,12 +196,15 @@ pub struct Bencher {
 impl Bencher {
     /// Runs a short warmup, then `sample_size` timed invocations of `f`.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Warmup: at least one call, stopping after ~100 ms.
-        let warm_start = Instant::now();
-        for _ in 0..3 {
-            black_box(f());
-            if warm_start.elapsed() > Duration::from_millis(100) {
-                break;
+        // Warmup: at least one call, stopping after ~100 ms. Smoke mode
+        // skips it entirely.
+        if !smoke() {
+            let warm_start = Instant::now();
+            for _ in 0..3 {
+                black_box(f());
+                if warm_start.elapsed() > Duration::from_millis(100) {
+                    break;
+                }
             }
         }
         self.samples.clear();
@@ -236,6 +259,16 @@ mod tests {
         group.finish();
         // 3 warmup + 5 timed.
         assert_eq!(calls, 8);
+    }
+
+    #[test]
+    fn smoke_env_values_parse() {
+        use std::ffi::OsStr;
+        assert!(!smoke_opt(None));
+        assert!(!smoke_opt(Some(OsStr::new(""))));
+        assert!(!smoke_opt(Some(OsStr::new("0"))));
+        assert!(smoke_opt(Some(OsStr::new("1"))));
+        assert!(smoke_opt(Some(OsStr::new("yes"))));
     }
 
     #[test]

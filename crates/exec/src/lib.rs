@@ -142,8 +142,12 @@ impl ExecPool {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
+                        // Sized for the worst work-stealing imbalance (one
+                        // worker takes everything) and allocated before the
+                        // span opens, so steady-state `exec.worker` spans
+                        // allocate nothing.
+                        let mut local: Vec<(usize, R)> = Vec::with_capacity(n);
                         let _span = m3d_obs::span!("exec.worker");
-                        let mut local: Vec<(usize, R)> = Vec::with_capacity(n / workers + 1);
                         loop {
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                             if start >= n {

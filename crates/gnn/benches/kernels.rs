@@ -1,0 +1,111 @@
+//! Microbenches for the dense/sparse kernel pairs behind the GCN training
+//! hot path: each naive allocating kernel against its tiled
+//! write-into-destination twin, at the shapes the diagnosis models
+//! actually run (a 600-node subgraph with 13 input features and the
+//! paper's 64/32-wide hidden layers).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use m3d_gnn::{Graph, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
+}
+
+/// The hot GEMM shapes: layer-0 (`Â·X @ W₀`) and layer-1 (`Â·H @ W₁`).
+const SHAPES: [(usize, usize, usize); 2] = [(600, 13, 64), (600, 64, 32)];
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(30);
+    for (n, k, m) in SHAPES {
+        let a = random_matrix(&mut rng, n, k);
+        let b = random_matrix(&mut rng, k, m);
+        let mut out = Matrix::default();
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("{n}x{k}x{m}")),
+            &(),
+            |be, ()| be.iter(|| black_box(&a).matmul(black_box(&b))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tiled_into", format!("{n}x{k}x{m}")),
+            &(),
+            |be, ()| be.iter(|| black_box(&a).matmul_into(black_box(&b), &mut out)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_matmul_tn(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut group = c.benchmark_group("matmul_tn");
+    group.sample_size(30);
+    // Weight-gradient shape: Hᵀ(600×64) @ dZ(600×32).
+    let a = random_matrix(&mut rng, 600, 64);
+    let b = random_matrix(&mut rng, 600, 32);
+    let mut out = Matrix::default();
+    group.bench_function("naive/600x64x32", |be| {
+        be.iter(|| black_box(&a).matmul_tn(black_box(&b)))
+    });
+    group.bench_function("tiled_into/600x64x32", |be| {
+        be.iter(|| black_box(&a).matmul_tn_into(black_box(&b), &mut out))
+    });
+    group.finish();
+}
+
+fn bench_matmul_nt(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut group = c.benchmark_group("matmul_nt");
+    group.sample_size(30);
+    // Input-gradient shape: dZ(600×32) @ Wᵀ(64×32).
+    let a = random_matrix(&mut rng, 600, 32);
+    let b = random_matrix(&mut rng, 64, 32);
+    let mut scratch = Matrix::default();
+    let mut out = Matrix::default();
+    group.bench_function("naive/600x32x64", |be| {
+        be.iter(|| black_box(&a).matmul_nt(black_box(&b)))
+    });
+    group.bench_function("tiled_into/600x32x64", |be| {
+        be.iter(|| black_box(&a).matmul_nt_into(black_box(&b), &mut scratch, &mut out))
+    });
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(10);
+    let n = 600;
+    // Ring plus random chords: about the density of a back-traced cone.
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        g.add_edge(i as u32, ((i + 1) % n) as u32);
+        g.add_edge(i as u32, rng.gen_range(0..n as u32));
+        g.add_edge(i as u32, rng.gen_range(0..n as u32));
+    }
+    let adj = g.normalize(true);
+    let x = random_matrix(&mut rng, n, 64);
+    let mut out = Matrix::default();
+    let mut group = c.benchmark_group("spmm");
+    group.sample_size(30);
+    group.bench_function("naive/600x64", |be| {
+        be.iter(|| black_box(&adj).spmm(black_box(&x)))
+    });
+    group.bench_function("tiled_into/600x64", |be| {
+        be.iter(|| black_box(&adj).spmm_into(black_box(&x), &mut out))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_matmul,
+    bench_matmul_tn,
+    bench_matmul_nt,
+    bench_spmm
+);
+criterion_main!(kernels);

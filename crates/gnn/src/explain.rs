@@ -68,11 +68,7 @@ pub fn permutation_significance(
                         x.set(r, f, pool[k]);
                         k += 1;
                     }
-                    GraphSample {
-                        adj: s.adj.clone(),
-                        x,
-                        targets: s.targets.clone(),
-                    }
+                    GraphSample::new(s.adj.clone(), x, s.targets.clone())
                 })
                 .collect();
             total_drop += baseline - model.accuracy(&shuffled);

@@ -55,6 +55,40 @@ impl GcnLayer {
         let dx = adj.spmm(&dax);
         (dw, db, dx)
     }
+
+    /// [`GcnLayer::forward`] on preallocated buffers: `ax` receives `Â x`,
+    /// `z` the pre-activation. Bit-identical to the allocating form.
+    pub fn forward_into(&self, adj: &NormAdj, x: &Matrix, ax: &mut Matrix, z: &mut Matrix) {
+        adj.spmm_into(x, ax);
+        self.forward_from_ax_into(ax, z);
+    }
+
+    /// The dense half of the forward pass when `Â x` is already available
+    /// (e.g. the per-sample layer-1 aggregation cache): `z = ax W + b`.
+    pub fn forward_from_ax_into(&self, ax: &Matrix, z: &mut Matrix) {
+        ax.matmul_into(&self.w, z);
+        z.add_row_broadcast(&self.b);
+    }
+
+    /// [`GcnLayer::backward`] on preallocated buffers. `dx` bundles the
+    /// `(Wᵀ scratch, dz Wᵀ scratch, dx destination)` triple — pass `None`
+    /// for the first layer, where no input gradient is consumed.
+    pub fn backward_into(
+        &self,
+        adj: &NormAdj,
+        ax: &Matrix,
+        dz: &Matrix,
+        dw: &mut Matrix,
+        db: &mut Vec<f32>,
+        dx: Option<(&mut Matrix, &mut Matrix, &mut Matrix)>,
+    ) {
+        ax.matmul_tn_into(dz, dw);
+        dz.sum_rows_into_vec(db);
+        if let Some((wt, dax, dx)) = dx {
+            dz.matmul_nt_into(&self.w, wt, dax);
+            adj.spmm_into(dax, dx);
+        }
+    }
 }
 
 /// A dense layer: `z = x W + b`.
@@ -98,6 +132,29 @@ impl Linear {
         let db = dz.sum_rows().as_slice().to_vec();
         let dx = dz.matmul_nt(&self.w);
         (dw, db, dx)
+    }
+
+    /// [`Linear::forward`] on a preallocated output buffer.
+    pub fn forward_into(&self, x: &Matrix, z: &mut Matrix) {
+        x.matmul_into(&self.w, z);
+        z.add_row_broadcast(&self.b);
+    }
+
+    /// [`Linear::backward`] on preallocated buffers; `dx` bundles the
+    /// `(Wᵀ scratch, dx destination)` pair.
+    pub fn backward_into(
+        &self,
+        x: &Matrix,
+        dz: &Matrix,
+        dw: &mut Matrix,
+        db: &mut Vec<f32>,
+        dx: Option<(&mut Matrix, &mut Matrix)>,
+    ) {
+        x.matmul_tn_into(dz, dw);
+        dz.sum_rows_into_vec(db);
+        if let Some((wt, dx)) = dx {
+            dz.matmul_nt_into(&self.w, wt, dx);
+        }
     }
 }
 

@@ -38,13 +38,14 @@ mod pca;
 mod prcurve;
 mod proptests;
 mod serialize;
+mod workspace;
 
 pub use adam::{AdamConfig, AdamState};
 pub use explain::{permutation_significance, stack_features, FeatureSignificance};
 pub use graph::{Graph, NormAdj};
 pub use layers::{relu_backward, GcnLayer, Linear};
-pub use loss::{argmax, cross_entropy, softmax_row};
-pub use matrix::{Matrix, ShapeError};
+pub use loss::{argmax, cross_entropy, cross_entropy_into, softmax_row, softmax_row_into};
+pub use matrix::{Matrix, ShapeError, TILE_I, TILE_J};
 pub use model::{GcnConfig, GcnModel, GraphSample, Task, TrainConfig};
 pub use pca::Pca;
 pub use prcurve::{PrCurve, PrPoint, ScoredSample};

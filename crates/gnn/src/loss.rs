@@ -4,10 +4,22 @@ use crate::matrix::Matrix;
 
 /// Numerically-stable softmax of one row.
 pub fn softmax_row(row: &[f32]) -> Vec<f32> {
+    let mut out = Vec::new();
+    softmax_row_into(row, &mut out);
+    out
+}
+
+/// [`softmax_row`] written into a reusable buffer (allocation-free once the
+/// buffer's capacity covers the row; same operation order, so
+/// bit-identical).
+pub fn softmax_row_into(row: &[f32], out: &mut Vec<f32>) {
     let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    out.clear();
+    out.extend(row.iter().map(|&v| (v - max).exp()));
+    let sum: f32 = out.iter().sum();
+    for e in out.iter_mut() {
+        *e /= sum;
+    }
 }
 
 /// Softmax cross-entropy over selected rows of a logit matrix.
@@ -28,8 +40,29 @@ pub fn cross_entropy(
     targets: &[(usize, usize)],
     class_weights: Option<&[f32]>,
 ) -> (f64, Matrix) {
+    let mut dl = Matrix::default();
+    let mut scratch = Vec::new();
+    let loss = cross_entropy_into(logits, targets, class_weights, &mut dl, &mut scratch);
+    (loss, dl)
+}
+
+/// [`cross_entropy`] with caller-owned buffers: the gradient is written
+/// into `dl` and `scratch` holds the per-row softmax. Allocation-free at
+/// steady state and bit-identical to the allocating form (which delegates
+/// here).
+///
+/// # Panics
+///
+/// Panics if a target row/class is out of range or `targets` is empty.
+pub fn cross_entropy_into(
+    logits: &Matrix,
+    targets: &[(usize, usize)],
+    class_weights: Option<&[f32]>,
+    dl: &mut Matrix,
+    scratch: &mut Vec<f32>,
+) -> f64 {
     assert!(!targets.is_empty(), "need at least one target");
-    let mut dl = Matrix::zeros(logits.rows(), logits.cols());
+    dl.reset(logits.rows(), logits.cols());
     let mut loss = 0.0f64;
     let mut weight_sum = 0.0f64;
     for &(r, c) in targets {
@@ -37,18 +70,18 @@ pub fn cross_entropy(
             r < logits.rows() && c < logits.cols(),
             "target out of range"
         );
-        let p = softmax_row(logits.row(r));
+        softmax_row_into(logits.row(r), scratch);
         let w = class_weights.map_or(1.0, |cw| cw[c]);
-        loss += f64::from(w) * -f64::from(p[c].max(1e-12).ln());
+        loss += f64::from(w) * -f64::from(scratch[c].max(1e-12).ln());
         weight_sum += f64::from(w);
         let drow = dl.row_mut(r);
-        for (j, (&pj, d)) in p.iter().zip(drow.iter_mut()).enumerate() {
+        for (j, (&pj, d)) in scratch.iter().zip(drow.iter_mut()).enumerate() {
             *d += w * (pj - if j == c { 1.0 } else { 0.0 });
         }
     }
     let denom = weight_sum.max(1e-12);
     dl.scale((1.0 / denom) as f32);
-    (loss / denom, dl)
+    loss / denom
 }
 
 /// Argmax of a probability / logit row.

@@ -1,11 +1,37 @@
 //! Dense row-major `f32` matrices with the handful of operations GCN
 //! training needs. Deliberately minimal: subgraphs after back-tracing are
-//! small (tens to hundreds of nodes), so naive loops outperform any
+//! small (tens to hundreds of nodes), so hand-rolled loops outperform any
 //! heavyweight dependency here.
+//!
+//! Two kernel families coexist:
+//!
+//! - the original allocating operations ([`Matrix::matmul`],
+//!   [`Matrix::matmul_tn`], [`Matrix::matmul_nt`], …) — straightforward
+//!   triple loops kept as the *reference* implementations, and
+//! - cache-blocked `*_into` kernels ([`Matrix::matmul_into`], …) that write
+//!   into a caller-owned destination, tile the `i`/`j` loops
+//!   ([`TILE_I`]/[`TILE_J`]) and keep the **full `k` loop ascending in the
+//!   innermost position per output element**, so every output element is
+//!   accumulated in exactly the same order as the reference kernel and the
+//!   results are bit-identical — the determinism contract of DESIGN.md
+//!   extends down to the kernels.
+//!
+//! The `*_into` family never allocates when the destination's capacity
+//! suffices ([`Matrix::reset`] keeps the backing `Vec`'s allocation), which
+//! is what lets steady-state training run with zero heap traffic per step.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+
+/// Row-tile edge of the blocked `*_into` kernels: output rows processed per
+/// block, sized so a tile of the output plus a column band of the
+/// right-hand operand stay L1-resident.
+pub const TILE_I: usize = 32;
+
+/// Column-tile edge of the blocked `*_into` kernels: 64 `f32` = one 256-byte
+/// output-row slice, wide enough for the inner loop to vectorize.
+pub const TILE_J: usize = 64;
 
 /// Buffer/shape mismatch when constructing a [`Matrix`] from a flat
 /// buffer: `rows * cols` elements were expected, `len` were supplied.
@@ -304,6 +330,205 @@ impl Matrix {
     pub fn norm(&self) -> f32 {
         self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
     }
+
+    /// Reshapes `self` to `rows × cols` with every element zeroed, keeping
+    /// the backing allocation. This is the destination-preparation step of
+    /// every `*_into` kernel: once a buffer has grown to its steady-state
+    /// capacity, `reset` is a memset — no heap traffic.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies `src` into `self`, reusing the existing allocation.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// `self @ other` written into `out` — the cache-blocked, allocation-free
+    /// twin of [`Matrix::matmul`], bit-identical to it (same per-element
+    /// accumulation order: `k` ascending, zero `a` skipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        out.reset(self.rows, other.cols);
+        let (n, kk, m) = (self.rows, self.cols, other.cols);
+        for jt in (0..m).step_by(TILE_J) {
+            let je = (jt + TILE_J).min(m);
+            for it in (0..n).step_by(TILE_I) {
+                let ie = (it + TILE_I).min(n);
+                for i in it..ie {
+                    let arow = &self.data[i * kk..(i + 1) * kk];
+                    let orow = &mut out.data[i * m + jt..i * m + je];
+                    for (k, &a) in arow.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let brow = &other.data[k * m + jt..k * m + je];
+                        for (o, &b) in orow.iter_mut().zip(brow) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `selfᵀ @ other` written into `out` — blocked, allocation-free, and
+    /// bit-identical to [`Matrix::matmul_tn`] (per output element the shared
+    /// dimension `r` is accumulated ascending, zero `a` skipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        out.reset(self.cols, other.cols);
+        let (kk, n, m) = (self.rows, self.cols, other.cols);
+        for it in (0..n).step_by(TILE_I) {
+            let ie = (it + TILE_I).min(n);
+            for jt in (0..m).step_by(TILE_J) {
+                let je = (jt + TILE_J).min(m);
+                for r in 0..kk {
+                    let arow = &self.data[r * n + it..r * n + ie];
+                    let brow = &other.data[r * m + jt..r * m + je];
+                    for (i, &a) in arow.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let orow = &mut out.data[(it + i) * m + jt..(it + i) * m + je];
+                        for (o, &b) in orow.iter_mut().zip(brow) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `self @ otherᵀ` written into `out`, bit-identical to
+    /// [`Matrix::matmul_nt`].
+    ///
+    /// `other` is first transposed into `scratch`; the product then runs as
+    /// a blocked `i,k,j` kernel whose unit-stride inner loop vectorizes —
+    /// unlike the reference's serial dot-product reduction — while summing
+    /// each output element in the same `k`-ascending order (no zero
+    /// skipping, matching the reference exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_nt_into(&self, other: &Matrix, scratch: &mut Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        other.transpose_into(scratch);
+        // The reference computes each dot with `Iterator::sum`, whose f32
+        // impl folds from -0.0 (the IEEE additive identity: -0.0 + x == x
+        // for every x, including x == -0.0, whereas +0.0 + -0.0 == +0.0).
+        // Seed the accumulators with -0.0 so all-negative-zero dot products
+        // stay bit-identical to the naive kernel.
+        out.rows = self.rows;
+        out.cols = other.rows;
+        out.data.clear();
+        out.data.resize(self.rows * other.rows, -0.0);
+        let (n, kk, m) = (self.rows, self.cols, other.rows);
+        for jt in (0..m).step_by(TILE_J) {
+            let je = (jt + TILE_J).min(m);
+            for it in (0..n).step_by(TILE_I) {
+                let ie = (it + TILE_I).min(n);
+                for i in it..ie {
+                    let arow = &self.data[i * kk..(i + 1) * kk];
+                    let orow = &mut out.data[i * m + jt..i * m + je];
+                    for (k, &a) in arow.iter().enumerate() {
+                        let brow = &scratch.data[k * m + jt..k * m + je];
+                        for (o, &b) in orow.iter_mut().zip(brow) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `selfᵀ` written into `out` (scratch step of [`Matrix::matmul_nt_into`]).
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.reset(self.cols, self.rows);
+        for i in 0..self.rows {
+            for (j, &v) in self.data[i * self.cols..(i + 1) * self.cols]
+                .iter()
+                .enumerate()
+            {
+                out.data[j * self.rows + i] = v;
+            }
+        }
+    }
+
+    /// ReLU of `self` written into `out` (allocation-free twin of
+    /// [`Matrix::relu_inplace`], with `self` untouched as the cached
+    /// pre-activation).
+    pub fn relu_into(&self, out: &mut Matrix) {
+        out.reset(self.rows, self.cols);
+        for (o, &v) in out.data.iter_mut().zip(&self.data) {
+            *o = if v < 0.0 { 0.0 } else { v };
+        }
+    }
+
+    /// [`Matrix::sum_rows`] written into `out`.
+    pub fn sum_rows_into(&self, out: &mut Matrix) {
+        out.reset(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+    }
+
+    /// Column sums accumulated into a plain vector (bias-gradient form of
+    /// [`Matrix::sum_rows_into`]); same accumulation order, so bit-identical
+    /// to `sum_rows().as_slice()`.
+    pub fn sum_rows_into_vec(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.cols, 0.0);
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+    }
+
+    /// [`Matrix::mean_rows`] written into `out`.
+    pub fn mean_rows_into(&self, out: &mut Matrix) {
+        self.sum_rows_into(out);
+        if self.rows > 0 {
+            out.scale(1.0 / self.rows as f32);
+        }
+    }
+
+    /// [`Matrix::max_rows`] written into `(out, arg)`.
+    pub fn max_rows_into(&self, out: &mut Matrix, arg: &mut Vec<usize>) {
+        out.reset(1, self.cols);
+        arg.clear();
+        arg.resize(self.cols, 0);
+        if self.rows == 0 {
+            return;
+        }
+        out.data.copy_from_slice(self.row(0));
+        for r in 1..self.rows {
+            for (c, &v) in self.row(r).iter().enumerate() {
+                if v > out.data[c] {
+                    out.data[c] = v;
+                    arg[c] = r;
+                }
+            }
+        }
+    }
 }
 
 impl fmt::Debug for Matrix {
@@ -412,5 +637,143 @@ mod tests {
     #[should_panic(expected = "buffer length mismatch")]
     fn from_vec_still_panics() {
         let _ = Matrix::from_vec(1, 2, vec![0.0; 3]);
+    }
+
+    /// Shapes straddling the tile edges so every blocked kernel runs both
+    /// full and partial tiles.
+    fn awkward_shapes() -> Vec<(usize, usize, usize)> {
+        vec![
+            (1, 1, 1),
+            (3, 5, 2),
+            (TILE_I, 13, TILE_J),
+            (TILE_I + 1, 13, TILE_J + 1),
+            (2 * TILE_I + 7, 33, TILE_J + 17),
+            (600, 13, 64),
+        ]
+    }
+
+    /// Deterministic matrix with zeros sprinkled in (the reference kernels
+    /// branch on `a == 0.0`, so the tiled twins must too).
+    fn patterned(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut m = Matrix::xavier(rows, cols, seed);
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            if i % 7 == 0 {
+                *v = 0.0;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn matmul_into_bit_identical_to_reference() {
+        for (n, k, m2) in awkward_shapes() {
+            let a = patterned(n, k, 1);
+            let b = patterned(k, m2, 2);
+            let reference = a.matmul(&b);
+            let mut out = Matrix::default();
+            a.matmul_into(&b, &mut out);
+            assert_eq!(out, reference, "{n}x{k}x{m2}");
+        }
+    }
+
+    #[test]
+    fn matmul_tn_into_bit_identical_to_reference() {
+        for (n, k, m2) in awkward_shapes() {
+            let a = patterned(k, n, 3);
+            let b = patterned(k, m2, 4);
+            let reference = a.matmul_tn(&b);
+            let mut out = Matrix::default();
+            a.matmul_tn_into(&b, &mut out);
+            assert_eq!(out, reference, "{n}x{k}x{m2}");
+        }
+    }
+
+    #[test]
+    fn matmul_nt_into_bit_identical_to_reference() {
+        for (n, k, m2) in awkward_shapes() {
+            let a = patterned(n, k, 5);
+            let b = patterned(m2, k, 6);
+            let reference = a.matmul_nt(&b);
+            let (mut scratch, mut out) = (Matrix::default(), Matrix::default());
+            a.matmul_nt_into(&b, &mut scratch, &mut out);
+            assert_eq!(out, reference, "{n}x{k}x{m2}");
+        }
+    }
+
+    #[test]
+    fn into_kernels_reuse_capacity_across_shrinking_shapes() {
+        let big_a = Matrix::xavier(64, 32, 7);
+        let big_b = Matrix::xavier(32, 48, 8);
+        let mut out = Matrix::default();
+        big_a.matmul_into(&big_b, &mut out);
+        let small_a = Matrix::xavier(2, 3, 9);
+        let small_b = Matrix::xavier(3, 4, 10);
+        // Stale contents from the big product must not leak into the small.
+        big_a.matmul_into(&big_b, &mut out);
+        small_a.matmul_into(&small_b, &mut out);
+        assert_eq!(out, small_a.matmul(&small_b));
+    }
+
+    #[test]
+    fn transpose_into_roundtrip() {
+        let a = Matrix::xavier(5, 3, 11);
+        let (mut t, mut tt) = (Matrix::default(), Matrix::default());
+        a.transpose_into(&mut t);
+        assert_eq!((t.rows(), t.cols()), (3, 5));
+        assert_eq!(t.get(2, 4), a.get(4, 2));
+        t.transpose_into(&mut tt);
+        assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn relu_into_matches_relu_inplace() {
+        let src = m(1, 4, &[-1., 2., -3., 4.]);
+        let mut dst = Matrix::default();
+        src.relu_into(&mut dst);
+        let mut inplace = src.clone();
+        let pre = inplace.relu_inplace();
+        assert_eq!(dst, inplace);
+        assert_eq!(pre, src);
+    }
+
+    #[test]
+    fn row_reductions_into_match_reference() {
+        let a = patterned(9, 5, 12);
+        let (mut sum, mut mean, mut mx) = (Matrix::default(), Matrix::default(), Matrix::default());
+        let mut arg = Vec::new();
+        let mut vec_sum = Vec::new();
+        a.sum_rows_into(&mut sum);
+        a.sum_rows_into_vec(&mut vec_sum);
+        a.mean_rows_into(&mut mean);
+        a.max_rows_into(&mut mx, &mut arg);
+        assert_eq!(sum, a.sum_rows());
+        assert_eq!(vec_sum.as_slice(), a.sum_rows().as_slice());
+        assert_eq!(mean, a.mean_rows());
+        let (rmx, rarg) = a.max_rows();
+        assert_eq!(mx, rmx);
+        assert_eq!(arg, rarg);
+        // Zero-row edge case mirrors the reference.
+        let empty = Matrix::zeros(0, 3);
+        empty.mean_rows_into(&mut mean);
+        assert_eq!(mean, empty.mean_rows());
+        empty.max_rows_into(&mut mx, &mut arg);
+        assert_eq!(mx.as_slice(), &[0., 0., 0.]);
+    }
+
+    #[test]
+    fn reset_and_copy_from_keep_capacity() {
+        let mut a = Matrix::zeros(10, 10);
+        let cap = {
+            a.reset(3, 2);
+            assert_eq!((a.rows(), a.cols()), (3, 2));
+            assert!(a.as_slice().iter().all(|&v| v == 0.0));
+            a.data.capacity()
+        };
+        a.reset(10, 10);
+        assert_eq!(a.data.capacity(), cap, "reset must not reallocate");
+        let src = Matrix::xavier(4, 2, 13);
+        a.copy_from(&src);
+        assert_eq!(a, src);
+        assert_eq!(a.data.capacity(), cap, "copy_from must not reallocate");
     }
 }

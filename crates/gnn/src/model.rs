@@ -14,12 +14,14 @@
 use crate::adam::{AdamConfig, AdamState};
 use crate::graph::NormAdj;
 use crate::layers::{relu_backward, GcnLayer, Linear};
-use crate::loss::{argmax, cross_entropy, softmax_row};
+use crate::loss::{argmax, cross_entropy, cross_entropy_into, softmax_row};
 use crate::matrix::Matrix;
+use crate::workspace::{Grads, TrainScratch, Workspace};
 use m3d_exec::ExecPool;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::OnceLock;
 
 /// What the model predicts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,7 +66,13 @@ impl GcnConfig {
 
 /// One training/evaluation sample: a normalized graph, node features, and
 /// `(row, class)` targets (graph-level samples use the single pooled row 0).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The sample lazily caches `Â·x` — the layer-1 aggregation, constant
+/// across every epoch that revisits the sample — so training performs one
+/// spmm per sample instead of one per epoch. The cache is never
+/// invalidated: `adj` and `x` are treated as immutable after construction
+/// (mutate them only by building a fresh sample).
+#[derive(Debug, Clone)]
 pub struct GraphSample {
     /// Normalized adjacency.
     pub adj: NormAdj,
@@ -72,16 +80,39 @@ pub struct GraphSample {
     pub x: Matrix,
     /// Supervision targets.
     pub targets: Vec<(usize, usize)>,
+    /// Lazily-computed `Â·x` (layer-1 aggregation cache).
+    ax1: OnceLock<Matrix>,
+}
+
+impl PartialEq for GraphSample {
+    /// Equality over the sample's data; the derived `ax1` cache is a pure
+    /// function of `adj` and `x` and does not participate.
+    fn eq(&self, other: &Self) -> bool {
+        self.adj == other.adj && self.x == other.x && self.targets == other.targets
+    }
 }
 
 impl GraphSample {
-    /// Graph-level sample with a single label.
-    pub fn graph_level(adj: NormAdj, x: Matrix, label: usize) -> Self {
+    /// Builds a sample; the `Â·x` cache starts empty.
+    pub fn new(adj: NormAdj, x: Matrix, targets: Vec<(usize, usize)>) -> Self {
         GraphSample {
             adj,
             x,
-            targets: vec![(0, label)],
+            targets,
+            ax1: OnceLock::new(),
         }
+    }
+
+    /// Graph-level sample with a single label.
+    pub fn graph_level(adj: NormAdj, x: Matrix, label: usize) -> Self {
+        GraphSample::new(adj, x, vec![(0, label)])
+    }
+
+    /// `Â·x`, computed on first use and cached for the sample's lifetime
+    /// (thread-safe; concurrent first calls race benignly on identical
+    /// values).
+    pub fn ax1(&self) -> &Matrix {
+        self.ax1.get_or_init(|| self.adj.spmm(&self.x))
     }
 }
 
@@ -127,39 +158,6 @@ struct ParamStates {
     head: Vec<(AdamState, AdamState)>,
 }
 
-/// Per-parameter gradients of one sample (or an accumulated minibatch):
-/// `(dW, db)` per GCN layer and per head layer, in layer order.
-struct Grads {
-    gcn: Vec<(Matrix, Vec<f32>)>,
-    head: Vec<(Matrix, Vec<f32>)>,
-}
-
-impl Grads {
-    /// Accumulates `other` element-wise.
-    fn add_assign(&mut self, other: &Grads) {
-        let add = |acc: &mut Vec<(Matrix, Vec<f32>)>, oth: &Vec<(Matrix, Vec<f32>)>| {
-            for ((aw, ab), (ow, ob)) in acc.iter_mut().zip(oth) {
-                aw.add_assign(ow);
-                for (a, &o) in ab.iter_mut().zip(ob) {
-                    *a += o;
-                }
-            }
-        };
-        add(&mut self.gcn, &other.gcn);
-        add(&mut self.head, &other.head);
-    }
-
-    /// Scales every gradient by `s` (minibatch averaging).
-    fn scale(&mut self, s: f32) {
-        for (w, b) in self.gcn.iter_mut().chain(self.head.iter_mut()) {
-            w.scale(s);
-            for v in b.iter_mut() {
-                *v *= s;
-            }
-        }
-    }
-}
-
 /// The GCN classifier model.
 pub struct GcnModel {
     task: Task,
@@ -167,6 +165,10 @@ pub struct GcnModel {
     head: Vec<Linear>,
     frozen_gcn: usize,
     states: ParamStates,
+    /// Recycled workspaces and gradient sets for the training hot path
+    /// (persisted across `train_with_pool` calls so steady-state epochs
+    /// are allocation-free).
+    scratch: TrainScratch,
 }
 
 struct Forward {
@@ -218,6 +220,7 @@ impl GcnModel {
             head,
             frozen_gcn: 0,
             states,
+            scratch: TrainScratch::default(),
         }
     }
 
@@ -277,9 +280,11 @@ impl GcnModel {
     fn forward(&self, adj: &NormAdj, x: &Matrix) -> Forward {
         let mut ax_cache = Vec::with_capacity(self.gcn.len());
         let mut pre_cache = Vec::with_capacity(self.gcn.len());
-        let mut h = x.clone();
-        for layer in &self.gcn {
-            let (mut z, ax) = layer.forward(adj, &h);
+        let mut h = Matrix::default();
+        for (l, layer) in self.gcn.iter().enumerate() {
+            // Layer 0 borrows the input directly — no defensive copy.
+            let input = if l == 0 { x } else { &h };
+            let (mut z, ax) = layer.forward(adj, input);
             let pre = z.relu_inplace();
             ax_cache.push(ax);
             pre_cache.push(pre);
@@ -307,12 +312,13 @@ impl GcnModel {
         let mut head_pre = Vec::new();
         let n_head = self.head.len();
         for (i, layer) in self.head.iter().enumerate() {
-            head_in.push(cur.clone());
             let mut z = layer.forward(&cur);
             if i + 1 < n_head {
                 head_pre.push(z.relu_inplace());
             }
-            cur = z;
+            // Move (not clone) each layer's input into the cache as its
+            // output takes over as the running activation.
+            head_in.push(std::mem::replace(&mut cur, z));
         }
         Forward {
             ax: ax_cache,
@@ -359,21 +365,24 @@ impl GcnModel {
 
     /// Node embeddings after the GCN trunk (for visualization/analysis).
     pub fn embed(&self, adj: &NormAdj, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
-        for layer in &self.gcn {
-            let (mut z, _) = layer.forward(adj, &h);
-            let _ = z.relu_inplace();
+        let mut h = Matrix::default();
+        for (l, layer) in self.gcn.iter().enumerate() {
+            let input = if l == 0 { x } else { &h };
+            let (mut z, _) = layer.forward(adj, input);
+            for a in z.as_mut_slice() {
+                if *a < 0.0 {
+                    *a = 0.0;
+                }
+            }
             h = z;
         }
         h
     }
 
-    /// Loss and parameter gradients for one sample against the current
-    /// weights — read-only, so a pool can evaluate a whole minibatch
-    /// concurrently. Gradients are exactly the ones a lone
-    /// [`GcnModel::train_sample`] call would step with: every backward
-    /// pass reads pre-step weights, so compute-then-apply matches the
-    /// fused path bit for bit.
+    /// Loss and parameter gradients for one sample — the **naive reference
+    /// path** built on the allocating kernels, kept as the bit-identity
+    /// oracle for [`GcnModel::compute_grads_into`] (which the training loop
+    /// actually runs) and still used by [`GcnModel::train_sample`].
     fn compute_grads(&self, sample: &GraphSample, class_weights: Option<&[f32]>) -> (f64, Grads) {
         let fwd = self.forward(&sample.adj, &sample.x);
         let (loss, dlogits) = cross_entropy(&fwd.logits, &sample.targets, class_weights);
@@ -432,6 +441,133 @@ impl GcnModel {
         )
     }
 
+    /// The fused training hot path: loss and parameter gradients for one
+    /// sample computed entirely on the blocked `*_into` kernels against
+    /// caller-owned buffers — zero heap allocation once `ws`/`out` reach
+    /// steady-state capacity.
+    ///
+    /// Bit-identical to [`GcnModel::compute_grads`] by construction: every
+    /// kernel preserves the reference's per-element accumulation order, the
+    /// layer-1 aggregation comes from the sample's [`GraphSample::ax1`]
+    /// cache (the same value the reference recomputes), and the one
+    /// intentional divergence — skipping the never-consumed input gradient
+    /// of GCN layer 0 — cannot affect any output.
+    fn compute_grads_into(
+        &self,
+        sample: &GraphSample,
+        class_weights: Option<&[f32]>,
+        ws: &mut Workspace,
+        out: &mut Grads,
+    ) -> f64 {
+        let (n_gcn, n_head) = (self.gcn.len(), self.head.len());
+        ws.ensure_layers(n_gcn, n_head);
+        out.ensure_layers(n_gcn, n_head);
+
+        // --- GCN forward: layer 0 consumes the cached Â·x.
+        for (l, layer) in self.gcn.iter().enumerate() {
+            if l == 0 {
+                layer.forward_from_ax_into(sample.ax1(), &mut ws.pre[0]);
+            } else {
+                let h_prev = &ws.h[l - 1];
+                layer.forward_into(&sample.adj, h_prev, &mut ws.ax[l], &mut ws.pre[l]);
+            }
+            ws.pre[l].relu_into(&mut ws.h[l]);
+        }
+
+        // --- Readout.
+        let hk_rows = ws.h[n_gcn - 1].rows();
+        match self.task {
+            Task::Graph => {
+                let hk = &ws.h[n_gcn - 1];
+                hk.mean_rows_into(&mut ws.mean);
+                hk.max_rows_into(&mut ws.mx, &mut ws.max_arg);
+                let d = ws.mean.cols();
+                ws.pooled.reset(1, 2 * d);
+                ws.pooled.row_mut(0)[..d].copy_from_slice(ws.mean.row(0));
+                ws.pooled.row_mut(0)[d..].copy_from_slice(ws.mx.row(0));
+            }
+            Task::Node => {}
+        }
+        let head_input: &Matrix = match self.task {
+            Task::Graph => &ws.pooled,
+            Task::Node => &ws.h[n_gcn - 1],
+        };
+
+        // --- Head forward (last layer's pre-activation is the logits).
+        for (i, layer) in self.head.iter().enumerate() {
+            let input = if i == 0 {
+                head_input
+            } else {
+                &ws.head_h[i - 1]
+            };
+            layer.forward_into(input, &mut ws.head_pre[i]);
+            if i + 1 < n_head {
+                ws.head_pre[i].relu_into(&mut ws.head_h[i]);
+            }
+        }
+
+        let loss = cross_entropy_into(
+            &ws.head_pre[n_head - 1],
+            &sample.targets,
+            class_weights,
+            &mut ws.dcur,
+            &mut ws.softmax,
+        );
+
+        // --- Head backward.
+        for i in (0..n_head).rev() {
+            if i + 1 < n_head {
+                relu_backward(&mut ws.dcur, &ws.head_pre[i]);
+            }
+            let input = if i == 0 {
+                head_input
+            } else {
+                &ws.head_h[i - 1]
+            };
+            let (gw, gb) = &mut out.head[i];
+            self.head[i].backward_into(input, &ws.dcur, gw, gb, Some((&mut ws.wt, &mut ws.dnxt)));
+            std::mem::swap(&mut ws.dcur, &mut ws.dnxt);
+        }
+
+        // --- Pool backward (graph task): mean half distributes uniformly,
+        // max half routes to each feature's winning row.
+        if matches!(self.task, Task::Graph) {
+            let n = hk_rows.max(1);
+            let dd = ws.dcur.cols() / 2;
+            ws.dnxt.reset(hk_rows, dd);
+            for r in 0..hk_rows {
+                for (c, o) in ws.dnxt.row_mut(r).iter_mut().enumerate() {
+                    *o = ws.dcur.get(0, c) / n as f32;
+                }
+            }
+            for c in 0..dd {
+                let win = ws.max_arg[c];
+                let cur = ws.dnxt.get(win, c);
+                ws.dnxt.set(win, c, cur + ws.dcur.get(0, dd + c));
+            }
+            std::mem::swap(&mut ws.dcur, &mut ws.dnxt);
+        }
+
+        // --- GCN backward. Layer 0's input gradient is never consumed, so
+        // (unlike the reference) it is not computed.
+        for l in (0..n_gcn).rev() {
+            relu_backward(&mut ws.dcur, &ws.pre[l]);
+            let ax = if l == 0 { sample.ax1() } else { &ws.ax[l] };
+            let (gw, gb) = &mut out.gcn[l];
+            let dx = if l > 0 {
+                Some((&mut ws.wt, &mut ws.dax, &mut ws.dnxt))
+            } else {
+                None
+            };
+            self.gcn[l].backward_into(&sample.adj, ax, &ws.dcur, gw, gb, dx);
+            if l > 0 {
+                std::mem::swap(&mut ws.dcur, &mut ws.dnxt);
+            }
+        }
+
+        loss
+    }
+
     /// One Adam step per parameter from accumulated gradients. Frozen GCN
     /// layers are skipped (their optimizer state stays untouched).
     fn apply_grads(&mut self, adam: &AdamConfig, g: &Grads) {
@@ -444,6 +580,36 @@ impl GcnModel {
             let (sw, sb) = &mut self.states.gcn[i];
             sw.step(adam, self.gcn[i].w.as_mut_slice(), g.gcn[i].0.as_slice());
             sb.step(adam, &mut self.gcn[i].b, &g.gcn[i].1);
+        }
+    }
+
+    /// Pre-sizes the recycled training buffers for `parallelism`
+    /// concurrent workers against `sample`'s shapes.
+    ///
+    /// The workspace pool normally grows to the *observed* peak of
+    /// concurrently training workers, so a worker that sat idle through
+    /// early batches can still trigger one workspace allocation mid-run
+    /// the first time it overlaps another. Warming with the worker count
+    /// up front makes subsequent training steps on same-shaped (or
+    /// smaller) samples strictly allocation-free. Runs throwaway gradient
+    /// computations; weights are not touched.
+    pub fn warm_scratch(&mut self, sample: &GraphSample, parallelism: usize) {
+        let mut warmed = Vec::with_capacity(parallelism.max(1));
+        for _ in 0..parallelism.max(1) {
+            let mut ws = self.scratch.ws.take();
+            let mut g = self.scratch.grads.take();
+            // Twice per workspace: the backward pass swaps the two
+            // ping-pong gradient buffers an odd number of times, so they
+            // trade roles between calls and each needs to have held the
+            // widest gradient once before the workspace is fully sized.
+            for _ in 0..2 {
+                self.compute_grads_into(sample, None, &mut ws, &mut g);
+            }
+            warmed.push((ws, g));
+        }
+        for (ws, g) in warmed {
+            self.scratch.ws.put(ws);
+            self.scratch.grads.put(g);
         }
     }
 
@@ -490,28 +656,39 @@ impl GcnModel {
             order.shuffle(&mut rng);
             let mut total = 0.0;
             for chunk in order.chunks(batch) {
-                if chunk.len() == 1 {
-                    total += self.train_sample(
-                        &samples[chunk[0]],
-                        &cfg.adam,
-                        cfg.class_weights.as_deref(),
-                    );
-                    continue;
-                }
                 let weights = cfg.class_weights.as_deref();
-                let results = pool.map(chunk, |_, &i| self.compute_grads(&samples[i], weights));
-                // Deterministic fixed-order reduction: `map` returns
-                // results in chunk order regardless of which worker
-                // produced them.
-                let mut results = results.into_iter();
-                let (first_loss, mut acc) = results.next().expect("chunk is non-empty");
-                total += first_loss;
-                for (loss, g) in results {
-                    total += loss;
-                    acc.add_assign(&g);
-                }
-                acc.scale(1.0 / chunk.len() as f32);
+                let acc = if chunk.len() == 1 {
+                    // Single-sample step inline on the caller's thread: no
+                    // pool dispatch, recycled workspace, zero allocation.
+                    let mut ws = self.scratch.ws.take();
+                    let mut g = self.scratch.grads.take();
+                    total += self.compute_grads_into(&samples[chunk[0]], weights, &mut ws, &mut g);
+                    self.scratch.ws.put(ws);
+                    g
+                } else {
+                    let results = pool.map(chunk, |_, &i| {
+                        let mut ws = self.scratch.ws.take();
+                        let mut g = self.scratch.grads.take();
+                        let loss = self.compute_grads_into(&samples[i], weights, &mut ws, &mut g);
+                        self.scratch.ws.put(ws);
+                        (loss, g)
+                    });
+                    // Deterministic fixed-order reduction: `map` returns
+                    // results in chunk order regardless of which worker
+                    // produced them.
+                    let mut results = results.into_iter();
+                    let (first_loss, mut acc) = results.next().expect("chunk is non-empty");
+                    total += first_loss;
+                    for (loss, g) in results {
+                        total += loss;
+                        acc.add_assign(&g);
+                        self.scratch.grads.put(g);
+                    }
+                    acc.scale(1.0 / chunk.len() as f32);
+                    acc
+                };
                 self.apply_grads(&cfg.adam, &acc);
+                self.scratch.grads.put(acc);
             }
             let loss = total / samples.len().max(1) as f64;
             losses.push(loss);
@@ -554,6 +731,7 @@ impl GcnModel {
             gcn,
             head,
             states,
+            scratch: TrainScratch::default(),
         }
     }
 
@@ -586,6 +764,7 @@ impl GcnModel {
             head,
             frozen_gcn,
             states,
+            scratch: TrainScratch::default(),
         }
     }
 }
@@ -683,7 +862,7 @@ mod tests {
                 x.set(i, 1, 1.0);
                 targets.push((i, usize::from(adj.degree(i) > 2)));
             }
-            samples.push(GraphSample { adj, x, targets });
+            samples.push(GraphSample::new(adj, x, targets));
         }
         let mut model = GcnModel::new(&GcnConfig {
             input_dim: 2,

@@ -3,13 +3,39 @@
 #![cfg(test)]
 
 use crate::graph::Graph;
-use crate::loss::{cross_entropy, softmax_row};
+use crate::loss::{cross_entropy, cross_entropy_into, softmax_row};
 use crate::matrix::Matrix;
 use proptest::prelude::*;
 
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-2.0f32..2.0, rows * cols)
         .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+/// A matrix with exact zeros sprinkled in, exercising the `a == 0.0` skip
+/// branch the tiled kernels share with the reference loops.
+fn sparse_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    matrix(rows, cols).prop_map(|mut m| {
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = 0.0;
+            }
+        }
+        m
+    })
+}
+
+fn assert_bits_eq(got: &Matrix, want: &Matrix) {
+    assert_eq!((got.rows(), got.cols()), (want.rows(), want.cols()));
+    for (i, (x, y)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "element {i} differs: {x} vs {y} (shape {}x{})",
+            got.rows(),
+            got.cols()
+        );
+    }
 }
 
 fn close(a: f32, b: f32) -> bool {
@@ -79,6 +105,57 @@ proptest! {
         let s: f32 = grad.row(1).iter().sum();
         prop_assert!(s.abs() < 1e-5, "gradient row sums to {s}");
         prop_assert!(grad.row(0).iter().all(|&v| v == 0.0));
+    }
+
+    /// The tiled write-into matmul family is BIT-identical to the naive
+    /// reference kernels — not merely close: same per-element accumulation
+    /// order, so `to_bits` must agree everywhere.
+    #[test]
+    fn tiled_kernels_bit_identical_to_reference(
+        mats in (1usize..70, 1usize..40, 1usize..70).prop_flat_map(|(n, k, m)| (
+            sparse_matrix(n, k),
+            sparse_matrix(k, m),
+            sparse_matrix(n, m),
+            sparse_matrix(m, k),
+        ))
+    ) {
+        let (a, b, c, d) = mats;
+        let mut out = Matrix::default();
+        a.matmul_into(&b, &mut out);
+        assert_bits_eq(&out, &a.matmul(&b));
+        a.matmul_tn_into(&c, &mut out);
+        assert_bits_eq(&out, &a.matmul_tn(&c));
+        let mut scratch = Matrix::default();
+        a.matmul_nt_into(&d, &mut scratch, &mut out);
+        assert_bits_eq(&out, &a.matmul_nt(&d));
+    }
+
+    /// `spmm_into` is bit-identical to `spmm` on random graphs.
+    #[test]
+    fn tiled_spmm_bit_identical_to_reference(
+        case in (2usize..40, 1usize..80).prop_flat_map(|(n, e)| (
+            sparse_matrix(n, 7),
+            proptest::collection::vec((0..n as u32, 0..n as u32), e),
+            any::<bool>(),
+        ))
+    ) {
+        let (x, edges, self_loops) = case;
+        let adj = Graph::from_edges(x.rows(), edges).normalize(self_loops);
+        let mut out = Matrix::default();
+        adj.spmm_into(&x, &mut out);
+        assert_bits_eq(&out, &adj.spmm(&x));
+    }
+
+    /// `cross_entropy_into` on recycled (dirty) buffers is bit-identical to
+    /// the allocating form.
+    #[test]
+    fn cross_entropy_into_bit_identical(m in matrix(4, 5), class in 0usize..5) {
+        let (want_loss, want_grad) = cross_entropy(&m, &[(1, class), (3, 0)], Some(&[2.0, 1.0, 1.0, 1.0, 0.5]));
+        let mut dl = Matrix::zeros(9, 9); // dirty, wrong-shaped buffer
+        let mut scratch = vec![7.0f32; 3];
+        let got_loss = cross_entropy_into(&m, &[(1, class), (3, 0)], Some(&[2.0, 1.0, 1.0, 1.0, 0.5]), &mut dl, &mut scratch);
+        prop_assert_eq!(got_loss.to_bits(), want_loss.to_bits());
+        assert_bits_eq(&dl, &want_grad);
     }
 
     /// Normalized adjacency rows of a regular-ish graph have bounded sums

@@ -1,0 +1,78 @@
+//! Steady-state allocation gate for the training hot path (feature
+//! `alloc-profile`): after one warmup pass has sized every pooled
+//! workspace, gradient buffer, and `Â·X` cache, further training epochs
+//! must allocate **zero bytes inside `exec.worker` spans** — the tiled
+//! write-into kernels recycle everything.
+//!
+//! The assertion is sound because span allocation counters are
+//! per-thread: a worker span is charged only for bytes its own thread
+//! allocated while the span was live, so sibling workers and the
+//! coordinating thread cannot pollute it.
+
+#![cfg(feature = "alloc-profile")]
+
+use m3d_exec::ExecPool;
+use m3d_gnn::{GcnConfig, GcnModel, Graph, GraphSample, Matrix, Task, TrainConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[global_allocator]
+static ALLOC: m3d_obs::alloc::CountingAllocator = m3d_obs::alloc::CountingAllocator::new();
+
+/// Uniform-sized samples so any pooled workspace fits any sample
+/// regardless of which worker processed which sample during warmup.
+fn samples(n: usize, nodes: usize, seed: u64) -> Vec<GraphSample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut g = Graph::new(nodes);
+            for i in 1..nodes {
+                g.add_edge(rng.gen_range(0..i) as u32, i as u32);
+            }
+            let label = rng.gen_range(0..2usize);
+            let mut x = Matrix::zeros(nodes, 6);
+            for r in 0..nodes {
+                for c in 0..6 {
+                    x.set(r, c, rng.gen_range(-1.0..1.0) + label as f32 * 0.5);
+                }
+            }
+            GraphSample::graph_level(g.normalize(true), x, label)
+        })
+        .collect()
+}
+
+#[test]
+fn steady_state_training_allocates_nothing_in_worker_spans() {
+    let data = samples(16, 20, 42);
+    let pool = ExecPool::with_threads(2);
+    let cfg = TrainConfig {
+        epochs: 4,
+        batch_size: 8,
+        ..TrainConfig::default()
+    };
+    let mut model = GcnModel::new(&GcnConfig::two_layer(6, Task::Graph));
+
+    // Deterministically size the workspace pool for both workers (the
+    // observed-concurrency high-water mark is racy otherwise), then one
+    // warmup pass sizes the gradient pool for the batch width, fills
+    // every sample's Â·X cache, and grows the exec pool's result buffers.
+    model.warm_scratch(&data[0], 2);
+    model.train_with_pool(&data, &cfg, &pool);
+
+    let before = m3d_obs::snapshot()
+        .counter("alloc.span.exec.worker.bytes")
+        .expect("warmup must have recorded worker spans");
+
+    // Steady state: same model, same data — every buffer is recycled.
+    model.train_with_pool(&data, &cfg, &pool);
+
+    let after = m3d_obs::snapshot()
+        .counter("alloc.span.exec.worker.bytes")
+        .expect("steady-state run must have recorded worker spans");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state gnn.train epochs allocated {} bytes inside exec.worker spans",
+        after - before
+    );
+}

@@ -16,11 +16,21 @@
 //! zero and nothing is reported ([`installed`] returns `false`).
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static TOTAL: AtomicU64 = AtomicU64::new(0);
 static LIVE: AtomicU64 = AtomicU64::new(0);
 static PEAK: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // Per-thread allocation total, so span guards can attribute bytes to
+    // the thread that actually allocated them (a global total would charge
+    // a span with every sibling thread's traffic). Const-initialized
+    // `Cell<u64>` registers no TLS destructor, so the allocator may touch
+    // it at any point in a thread's life; `try_with` covers the rest.
+    static THREAD_TOTAL: Cell<u64> = const { Cell::new(0) };
+}
 
 /// A [`System`]-backed allocator that counts bytes. All bookkeeping is
 /// relaxed atomics — allocation-rate counters, not a synchronization
@@ -39,6 +49,7 @@ fn on_alloc(bytes: u64) {
     TOTAL.fetch_add(bytes, Ordering::Relaxed);
     let live = LIVE.fetch_add(bytes, Ordering::Relaxed) + bytes;
     PEAK.fetch_max(live, Ordering::Relaxed);
+    let _ = THREAD_TOTAL.try_with(|t| t.set(t.get() + bytes));
 }
 
 fn on_dealloc(bytes: u64) {
@@ -100,4 +111,11 @@ pub fn live_bytes() -> u64 {
 /// High-water mark of [`live_bytes`].
 pub fn peak_live_bytes() -> u64 {
     PEAK.load(Ordering::Relaxed)
+}
+
+/// Total bytes allocated by the *current thread* since it started
+/// (monotonic). Span guards diff this value so `alloc.span.<name>.bytes`
+/// counts only the recording thread's own allocations.
+pub fn thread_total_allocated() -> u64 {
+    THREAD_TOTAL.try_with(Cell::get).unwrap_or(0)
 }

@@ -7,8 +7,9 @@
 //! process timeline and the recording thread's id, which is what
 //! `m3d-obsctl trace` turns into a Chrome Trace Event file. With the
 //! `alloc-profile` feature (and [`crate::alloc::CountingAllocator`]
-//! installed), each span additionally accumulates the bytes allocated
-//! while it was live into an `alloc.span.<name>.bytes` counter.
+//! installed), each span additionally accumulates the bytes its own
+//! thread allocated while it was live into an `alloc.span.<name>.bytes`
+//! counter (other threads' traffic is never attributed to it).
 
 use crate::registry;
 use std::cell::Cell;
@@ -46,7 +47,7 @@ impl SpanGuard {
             name,
             start_ns: Some(registry::epoch_ns()),
             #[cfg(feature = "alloc-profile")]
-            allocated_at_enter: crate::alloc::total_allocated(),
+            allocated_at_enter: crate::alloc::thread_total_allocated(),
         }
     }
 
@@ -67,13 +68,16 @@ impl Drop for SpanGuard {
         if let Some(start_ns) = self.start_ns {
             DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
             let dur_ns = registry::epoch_ns().saturating_sub(start_ns);
+            // Read the allocation delta before any registry bookkeeping so
+            // the registry's own map/string allocations are not attributed
+            // to the span being closed.
+            #[cfg(feature = "alloc-profile")]
+            let delta =
+                crate::alloc::thread_total_allocated().saturating_sub(self.allocated_at_enter);
             registry::record_span_event(self.name, start_ns, dur_ns);
             #[cfg(feature = "alloc-profile")]
-            {
-                let delta = crate::alloc::total_allocated().saturating_sub(self.allocated_at_enter);
-                if crate::alloc::installed() {
-                    registry::counter_add(&format!("alloc.span.{}.bytes", self.name), delta);
-                }
+            if crate::alloc::installed() {
+                registry::counter_add(&format!("alloc.span.{}.bytes", self.name), delta);
             }
         }
     }

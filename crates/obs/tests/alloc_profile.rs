@@ -59,3 +59,23 @@ fn spans_attribute_allocated_bytes_and_reports_carry_alloc_counters() {
         assert!(text.contains(name), "report missing {name}:\n{text}");
     }
 }
+
+#[test]
+fn span_attribution_is_per_thread() {
+    {
+        let _g = m3d_obs::span!("test.alloc.quiet");
+        // A sibling thread allocates 4 MiB while the span is live; none of
+        // it belongs to this span.
+        std::thread::spawn(|| std::hint::black_box(vec![1u8; 4 << 20]))
+            .join()
+            .unwrap();
+    }
+    let snap = m3d_obs::snapshot();
+    let per_span = snap
+        .counter("alloc.span.test.alloc.quiet.bytes")
+        .expect("span allocation counter recorded");
+    assert!(
+        per_span < 1 << 20,
+        "sibling-thread traffic leaked into the span: {per_span} bytes"
+    );
+}

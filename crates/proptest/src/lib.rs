@@ -35,6 +35,16 @@ pub mod strategy {
         {
             Map { inner: self, f }
         }
+
+        /// Maps generated values to a *dependent strategy* and draws from
+        /// it — the upstream `prop_flat_map` (e.g. draw dimensions, then a
+        /// matrix of those dimensions).
+        fn prop_flat_map<U: Strategy, F: Fn(Self::Value) -> U>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
     }
 
     /// Strategy returned by [`Strategy::prop_map`].
@@ -48,6 +58,20 @@ pub mod strategy {
 
         fn generate(&self, rng: &mut StdRng) -> U {
             (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Strategy, F: Fn(S::Value) -> U> Strategy for FlatMap<S, F> {
+        type Value = U::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> U::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
         }
     }
 

@@ -90,6 +90,73 @@ fn pipeline_is_thread_count_invariant() {
     }
 }
 
+/// The tiled write-into kernels, the recycled workspaces, and the
+/// per-sample `Â·X` cache must be pure optimizations: training the same
+/// model on the same data gives byte-identical weights and loss curves
+/// whether it runs serially or on the default pool, and whether the
+/// `Â·X` cache starts cold or pre-warmed.
+#[test]
+fn tiled_kernel_training_is_invariant_to_threads_and_cache_state() {
+    use m3d_gnn::{GcnConfig, GcnModel, GraphSample, Matrix, Task, TrainConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(0xD15C);
+    let make_samples = |rng: &mut StdRng| -> Vec<GraphSample> {
+        (0..12)
+            .map(|_| {
+                let nodes = rng.gen_range(6..14usize);
+                let mut g = m3d_gnn::Graph::new(nodes);
+                for i in 1..nodes {
+                    g.add_edge(rng.gen_range(0..i) as u32, i as u32);
+                }
+                let mut x = Matrix::zeros(nodes, 5);
+                let label = rng.gen_range(0..2usize);
+                for r in 0..nodes {
+                    for c in 0..5 {
+                        x.set(r, c, rng.gen_range(-1.0..1.0) + label as f32);
+                    }
+                }
+                GraphSample::graph_level(g.normalize(true), x, label)
+            })
+            .collect()
+    };
+    let samples = make_samples(&mut rng);
+    let cfg = TrainConfig {
+        epochs: 6,
+        batch_size: 4,
+        ..TrainConfig::default()
+    };
+    let model_cfg = GcnConfig::two_layer(5, Task::Graph);
+
+    let mut reference = GcnModel::new(&model_cfg);
+    let ref_losses = reference.train_with_pool(&samples, &cfg, &ExecPool::with_threads(1));
+
+    // Default thread count, fresh (cold-cache) samples.
+    let fresh: Vec<GraphSample> = samples
+        .iter()
+        .map(|s| GraphSample::new(s.adj.clone(), s.x.clone(), s.targets.clone()))
+        .collect();
+    let mut parallel = GcnModel::new(&model_cfg);
+    let par_losses = parallel.train_with_pool(&fresh, &cfg, &ExecPool::default());
+    assert_eq!(parallel.save_text(), reference.save_text());
+    let bits = |l: &[f64]| l.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&par_losses), bits(&ref_losses));
+
+    // Pre-warmed Â·X cache.
+    let warm: Vec<GraphSample> = samples
+        .iter()
+        .map(|s| GraphSample::new(s.adj.clone(), s.x.clone(), s.targets.clone()))
+        .collect();
+    for s in &warm {
+        let _ = s.ax1();
+    }
+    let mut warmed = GcnModel::new(&model_cfg);
+    let warm_losses = warmed.train_with_pool(&warm, &cfg, &ExecPool::default());
+    assert_eq!(warmed.save_text(), reference.save_text());
+    assert_eq!(bits(&warm_losses), bits(&ref_losses));
+}
+
 #[test]
 fn dataset_generation_is_thread_count_invariant() {
     let bench = bench();
