@@ -5,15 +5,20 @@
 # gate (run reports -> BENCH_quick.json -> m3d-obsctl compare against the
 # committed baseline in benchmarks/).
 #
-# Usage: ./ci.sh [--skip-perf]
+# Usage: ./ci.sh [--skip-perf] [--skip-chaos]
 #   --skip-perf   run everything except the perf gate (useful on noisy
 #                 or throttled machines; the gate still runs in real CI)
+#   --skip-chaos  run everything except the chaos campaigns (they rerun
+#                 as part of `cargo test`; the dedicated step re-executes
+#                 them serially and in parallel as a focused gate)
 set -eu
 
 SKIP_PERF=0
+SKIP_CHAOS=0
 for arg in "$@"; do
     case "$arg" in
         --skip-perf) SKIP_PERF=1 ;;
+        --skip-chaos) SKIP_CHAOS=1 ;;
         *) echo "ci.sh: unknown argument '$arg'" >&2; exit 2 ;;
     esac
 done
@@ -39,6 +44,20 @@ echo "== cargo test -q (M3D_THREADS=1, serial pool) =="
 # fast path and would surface any test that silently depends on the
 # parallel schedule.
 M3D_THREADS=1 cargo test -q
+
+if [ "$SKIP_CHAOS" = 1 ]; then
+    echo "ci.sh: chaos campaigns skipped (--skip-chaos)"
+else
+    echo "== chaos campaigns (M3D_THREADS=1, serial pool) =="
+    # The graceful-degradation gate: seeded corruption of every pipeline
+    # boundary (failure logs, subgraphs, GNN outputs) across all four
+    # quick-scale designs must complete panic-free, surface every
+    # must-degrade corruption, and hash identically at any thread count.
+    M3D_THREADS=1 cargo test -q -p m3d-chaos --test chaos_pipeline
+
+    echo "== chaos campaigns (default thread budget) =="
+    cargo test -q -p m3d-chaos --test chaos_pipeline
+fi
 
 echo "== cargo test -q (m3d-obs with alloc-profile) =="
 cargo test -q -p m3d-obs --features alloc-profile

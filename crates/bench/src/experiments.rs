@@ -459,9 +459,10 @@ pub fn table09(scale: &Scale, profiles: &[BenchmarkProfile]) -> Vec<RuntimeRow> 
             row.t_update
         );
         m3d_obs::out!(
-            "{:<10} backup dictionary ≈ {} bytes/pruned case",
+            "{:<10} backup dictionary ≈ {} bytes/pruned case, {} degraded case(s)",
             "",
-            eval.backup_bytes
+            eval.backup_bytes,
+            eval.degraded_cases
         );
         rows.push(row);
     }

@@ -181,6 +181,9 @@ pub struct ConfigEval {
     pub t_update: Duration,
     /// Mean backup-dictionary payload per pruned case (bytes).
     pub backup_bytes: usize,
+    /// Test cases that fell back to the unpruned ATPG ranking because the
+    /// GNN evidence was unusable (see `m3d_fault_loc::DegradeReason`).
+    pub degraded_cases: usize,
 }
 
 /// Evaluates one design configuration with all four methods.
@@ -216,6 +219,7 @@ pub fn evaluate_config(
     let mut t_update = Duration::ZERO;
     let mut backup_bytes = 0usize;
     let mut pruned_cases = 0usize;
+    let mut degraded_cases = 0usize;
 
     // The diagnosis sweep: every chip is processed independently against
     // the shared read-only framework/diagnosis state, so the cases fan
@@ -267,6 +271,7 @@ pub fn evaluate_config(
         t_atpg += r.t_atpg;
         t_gnn += r.t_gnn;
         t_update += r.t_update;
+        degraded_cases += usize::from(r.degraded.is_some());
 
         let truth_tier = s.fault.tier(&bench).expect("single-fault samples");
         let pre_localized = single_tier_of(&r.atpg_report, &bench.m3d).is_some();
@@ -308,6 +313,7 @@ pub fn evaluate_config(
         t_gnn,
         t_update,
         backup_bytes: backup_bytes / pruned_cases.max(1),
+        degraded_cases,
     }
 }
 

@@ -1,0 +1,273 @@
+//! Injection campaigns: run many seeded corruption scenarios through the
+//! full diagnose flow, under per-item panic isolation, and reconcile the
+//! observed degradations against each scenario's contract.
+
+use crate::inject::{inject_log, inject_subgraph};
+use crate::scenario::{Expectation, Scenario};
+use m3d_diagnosis::AtpgDiagnosis;
+use m3d_exec::ExecPool;
+use m3d_fault_loc::{
+    apply_policy, BacktraceConfig, DesignContext, Framework, PolicyAction, PolicyConfig, Sample,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Number of scenarios to run (the catalog is cycled; base samples
+    /// rotate with the scenario index).
+    pub scenarios: usize,
+    /// Campaign seed. Every scenario derives its own RNG from
+    /// `seed ^ splitmix(index)`, so runs are reproducible and
+    /// order-independent.
+    pub seed: u64,
+    /// Whether the design's failure logs went through the response
+    /// compactor (must match how `samples` were generated).
+    pub compacted: bool,
+}
+
+/// What one scenario did to the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// The scenario's stable label.
+    pub label: String,
+    /// The scenario's degradation contract.
+    pub expectation: Expectation,
+    /// Whether the case surfaced a degradation (framework fallback or
+    /// policy pass-through).
+    pub degraded: bool,
+    /// Final report resolution.
+    pub resolution: usize,
+    /// Number of candidates pruned into the backup dictionary.
+    pub pruned: usize,
+    /// Whether the policy took the prune branch.
+    pub action_pruned: bool,
+    /// The predicted tier.
+    pub predicted_tier: u8,
+    /// Bit pattern of the reported confidence (for exact thread-invariance
+    /// hashing).
+    pub confidence_bits: u32,
+    /// `Some(message)` when the scenario panicked — a contract violation
+    /// by definition.
+    pub panic: Option<String>,
+}
+
+impl ScenarioOutcome {
+    /// Whether this outcome violates its scenario's contract.
+    pub fn violates(&self) -> bool {
+        self.panic.is_some()
+            || match self.expectation {
+                Expectation::MustDegrade => !self.degraded,
+                Expectation::MustNotDegrade => self.degraded,
+                Expectation::MayDegrade => false,
+            }
+    }
+
+    fn fold_into(&self, h: &mut u64) {
+        fnv1a(h, self.label.as_bytes());
+        fnv1a(h, &[u8::from(self.degraded), u8::from(self.action_pruned)]);
+        fnv1a(h, &(self.resolution as u64).to_le_bytes());
+        fnv1a(h, &(self.pruned as u64).to_le_bytes());
+        fnv1a(h, &[self.predicted_tier]);
+        fnv1a(h, &self.confidence_bits.to_le_bytes());
+    }
+}
+
+/// The campaign's aggregate result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Per-scenario outcomes, in scenario order.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// FNV-1a fold of every outcome in order — bit-identical across
+    /// thread counts for the same `(design, samples, config)`.
+    pub outcome_hash: u64,
+}
+
+impl CampaignReport {
+    /// Number of scenarios that panicked (always 0 under the
+    /// graceful-degradation contract).
+    pub fn panics(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.panic.is_some()).count()
+    }
+
+    /// Outcomes violating their scenario's contract.
+    pub fn violations(&self) -> Vec<&ScenarioOutcome> {
+        self.outcomes.iter().filter(|o| o.violates()).collect()
+    }
+
+    /// Number of scenarios that surfaced a degradation.
+    pub fn degraded(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.degraded).count()
+    }
+
+    /// Number of scenarios whose contract requires a degradation —
+    /// reconciles injected-corruption counts against observed fallbacks.
+    pub fn must_degrade(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.expectation == Expectation::MustDegrade)
+            .count()
+    }
+}
+
+/// Runs one scenario against a base sample and reports what happened.
+///
+/// Log scenarios corrupt the tester log and re-run the *entire*
+/// downstream flow (back-trace, ATPG diagnosis, inference, policy); graph
+/// scenarios corrupt the back-traced subgraph; GNN scenarios feed
+/// corrupted probability vectors straight into the policy.
+pub fn run_scenario(
+    ctx: &DesignContext<'_>,
+    fw: &Framework,
+    diag: &AtpgDiagnosis<'_, '_>,
+    base: &Sample,
+    scenario: &Scenario,
+    compacted: bool,
+    rng: &mut StdRng,
+) -> ScenarioOutcome {
+    let (degraded, outcome) = match scenario {
+        Scenario::Healthy => {
+            let r = fw.process_case(ctx, diag, base);
+            (r.degraded.is_some(), r.outcome)
+        }
+        Scenario::Log(chaos) => {
+            let log = inject_log(&base.log, chaos, rng);
+            let subgraph = ctx.backtrace(&log, compacted, &BacktraceConfig::default());
+            let sample = Sample {
+                fault: base.fault.clone(),
+                log,
+                subgraph,
+                truth: base.truth.clone(),
+            };
+            let r = fw.process_case(ctx, diag, &sample);
+            (r.degraded.is_some(), r.outcome)
+        }
+        Scenario::Graph(chaos) => {
+            let sample = Sample {
+                fault: base.fault.clone(),
+                log: base.log.clone(),
+                subgraph: inject_subgraph(&base.subgraph, chaos, rng),
+                truth: base.truth.clone(),
+            };
+            let r = fw.process_case(ctx, diag, &sample);
+            (r.degraded.is_some(), r.outcome)
+        }
+        Scenario::Gnn(chaos) => {
+            let report = diag.diagnose(&base.log);
+            let out = apply_policy(
+                &report,
+                &ctx.bench.m3d,
+                &chaos.tier_probs(),
+                &chaos.miv_probs(),
+                None,
+                &base.subgraph,
+                &PolicyConfig {
+                    t_p: fw.t_p(),
+                    ..PolicyConfig::default()
+                },
+            );
+            (out.degraded, out)
+        }
+    };
+    ScenarioOutcome {
+        label: scenario.label(),
+        expectation: scenario.expectation(),
+        degraded,
+        resolution: outcome.report.resolution(),
+        pruned: outcome.pruned.len(),
+        action_pruned: outcome.action == PolicyAction::Pruned,
+        predicted_tier: outcome.predicted_tier.0,
+        confidence_bits: outcome.confidence.to_bits(),
+        panic: None,
+    }
+}
+
+/// Runs a full injection campaign on `pool`.
+///
+/// Scenarios cycle through [`Scenario::catalog`] and rotate over the base
+/// samples; each derives its own seeded RNG, so the campaign is
+/// reproducible from the config alone and the outcome hash is
+/// bit-identical at any thread count. Scenarios run under
+/// [`ExecPool::map_catch`], so a panic (a contract violation) is recorded
+/// in the report instead of tearing down the campaign.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty — a campaign needs at least one healthy
+/// base case to corrupt.
+pub fn run_campaign(
+    ctx: &DesignContext<'_>,
+    fw: &Framework,
+    diag: &AtpgDiagnosis<'_, '_>,
+    samples: &[Sample],
+    cfg: &CampaignConfig,
+    pool: &ExecPool,
+) -> CampaignReport {
+    assert!(!samples.is_empty(), "campaign needs base samples");
+    let _span = m3d_obs::span!("chaos.campaign");
+    let catalog = Scenario::catalog();
+    let plan: Vec<(usize, Scenario)> = (0..cfg.scenarios)
+        .map(|i| (i, catalog[i % catalog.len()].clone()))
+        .collect();
+    let results = pool.map_catch(&plan, |_, (i, scenario)| {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ splitmix(*i as u64));
+        let base = &samples[i % samples.len()];
+        run_scenario(ctx, fw, diag, base, scenario, cfg.compacted, &mut rng)
+    });
+    let outcomes: Vec<ScenarioOutcome> = results
+        .into_iter()
+        .zip(&plan)
+        .map(|(r, (_, scenario))| match r {
+            Ok(o) => o,
+            Err(msg) => {
+                m3d_obs::counter!("chaos.scenario_panics", 1);
+                ScenarioOutcome {
+                    label: scenario.label(),
+                    expectation: scenario.expectation(),
+                    degraded: false,
+                    resolution: 0,
+                    pruned: 0,
+                    action_pruned: false,
+                    predicted_tier: 0,
+                    confidence_bits: 0,
+                    panic: Some(msg),
+                }
+            }
+        })
+        .collect();
+    let mut outcome_hash = 0xcbf2_9ce4_8422_2325u64;
+    for o in &outcomes {
+        o.fold_into(&mut outcome_hash);
+    }
+    m3d_obs::counter!("chaos.scenarios_run", outcomes.len() as u64);
+    m3d_obs::counter!(
+        "chaos.scenarios_degraded",
+        outcomes.iter().filter(|o| o.degraded).count() as u64
+    );
+    m3d_obs::info!(
+        "chaos campaign: {} scenarios, {} degraded, {} panics, hash {outcome_hash:#018x}",
+        outcomes.len(),
+        outcomes.iter().filter(|o| o.degraded).count(),
+        outcomes.iter().filter(|o| o.panic.is_some()).count()
+    );
+    CampaignReport {
+        outcomes,
+        outcome_hash,
+    }
+}
+
+/// SplitMix64 finalizer — decorrelates per-scenario seeds.
+fn splitmix(i: u64) -> u64 {
+    let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}

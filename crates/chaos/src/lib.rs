@@ -1,0 +1,55 @@
+//! # m3d-chaos
+//!
+//! Deterministic, seedable fault injection for the diagnosis pipeline.
+//!
+//! Tester logs, partition data, and model outputs are all untrusted in
+//! production; this crate perturbs each pipeline boundary the way the
+//! field does — dropped and duplicated failing observations, truncated
+//! scan responses, never-failing chips, orphaned MIV nodes, NaN/Inf
+//! logits, zero-node subgraphs — and drives the full train/diagnose flow
+//! through *injection campaigns* that assert the graceful-degradation
+//! contract:
+//!
+//! 1. **no panics** — every corruption is absorbed as a typed
+//!    [`m3d_fault_loc::Error`], a skipped candidate with a
+//!    `*.dropped.*` counter, or a counted
+//!    [`framework.fallback.*`](m3d_fault_loc::DegradeReason) to the
+//!    unpruned ATPG ranking;
+//! 2. **every degradation is surfaced** — scenarios that must degrade
+//!    (e.g. an all-NaN feature matrix) are checked against the
+//!    [`FrameworkResult::degraded`](m3d_fault_loc::FrameworkResult) flag;
+//! 3. **healthy inputs are untouched** — corruptions that are semantic
+//!    no-ops (duplicate entries collapse under the log's dedup) must
+//!    produce bit-identical results, and the whole campaign hashes to the
+//!    same value at any thread count.
+//!
+//! Everything is seeded: a campaign is reproducible from
+//! `(seed, scenario count, design)` alone.
+//!
+//! ```no_run
+//! use m3d_chaos::{run_campaign, CampaignConfig};
+//! # fn demo(ctx: &m3d_fault_loc::DesignContext<'_>,
+//! #         fw: &m3d_fault_loc::Framework,
+//! #         diag: &m3d_diagnosis::AtpgDiagnosis<'_, '_>,
+//! #         samples: &[m3d_fault_loc::Sample]) {
+//! let pool = m3d_exec::ExecPool::default();
+//! let report = run_campaign(
+//!     ctx, fw, diag, samples,
+//!     &CampaignConfig { scenarios: 120, seed: 7, compacted: false },
+//!     &pool,
+//! );
+//! assert_eq!(report.panics(), 0);
+//! assert!(report.violations().is_empty());
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod campaign;
+mod inject;
+mod scenario;
+
+pub use campaign::{run_campaign, run_scenario, CampaignConfig, CampaignReport, ScenarioOutcome};
+pub use inject::{inject_log, inject_subgraph, GnnChaos, GraphChaos, LogChaos};
+pub use scenario::{Expectation, Scenario};

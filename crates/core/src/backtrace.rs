@@ -227,7 +227,17 @@ pub fn backtrace(
     let mut nodes_visited = 0u64;
     let mut activity_checks = 0u64;
     let mut cone_cache_hits = 0u64;
+    let mut dropped_patterns = 0u64;
+    let pattern_cap = sim.pattern_capacity();
     for entry in entries {
+        // Tester logs are untrusted input: a pattern number beyond the
+        // simulated range cannot be screened for transition activity, so
+        // the entry is dropped (counted below) instead of indexing out of
+        // bounds.
+        if entry.pattern as usize >= pattern_cap {
+            dropped_patterns += 1;
+            continue;
+        }
         let mut seen: HashMap<HNodeId, ()> = HashMap::new();
         for obs_id in FailureLog::candidate_observers(entry, obs, chains) {
             if let Some(active) = memo.and_then(|m| m.get(obs_id, entry.pattern)) {
@@ -285,6 +295,13 @@ pub fn backtrace(
     m3d_obs::counter!("backtrace.nodes_visited", nodes_visited);
     m3d_obs::counter!("backtrace.activity_checks", activity_checks);
     m3d_obs::counter!("backtrace.cone_cache_hits", cone_cache_hits);
+    if dropped_patterns > 0 {
+        m3d_obs::counter!("backtrace.dropped.pattern_out_of_range", dropped_patterns);
+        m3d_obs::warn!(
+            "backtrace: dropped {dropped_patterns} failure entries with pattern numbers \
+             beyond the {pattern_cap} simulated slots (corrupt log?)"
+        );
+    }
     let max_support = support.values().copied().max().unwrap_or(0);
     if max_support == 0 {
         return empty_subgraph();

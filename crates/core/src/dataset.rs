@@ -209,6 +209,48 @@ impl<'a> DesignContext<'a> {
         }
     }
 
+    /// Validates a failure log against this design: every entry must
+    /// reference an in-range pattern and resolve to at least one
+    /// observation point (a real [`ObsId`](m3d_sim::ObsId) in bypass mode,
+    /// a populated channel/position in compacted mode).
+    ///
+    /// The pipeline itself never needs this — every stage now skips
+    /// corrupt entries with counters — but callers ingesting third-party
+    /// tester logs can reject garbage up front with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::CorruptFailureLog`] carrying the number of entries
+    /// that failed validation.
+    pub fn validate_log(&self, log: &FailureLog, compacted: bool) -> Result<(), crate::Error> {
+        let pattern_cap = self.fsim.sim().pattern_capacity();
+        let obs = self.fsim.obs();
+        let corrupt = log
+            .entries()
+            .iter()
+            .filter(|e| {
+                if e.pattern as usize >= pattern_cap {
+                    return true;
+                }
+                match e.obs {
+                    m3d_sim::FailObs::Direct(id) => obs.get(id).is_none(),
+                    m3d_sim::FailObs::Channel { channel, position } => {
+                        !compacted
+                            || self
+                                .bench
+                                .chains
+                                .flops_at(channel as usize, position as usize)
+                                .is_empty()
+                    }
+                }
+            })
+            .count();
+        if corrupt > 0 {
+            return Err(crate::Error::CorruptFailureLog { entries: corrupt });
+        }
+        Ok(())
+    }
+
     /// Back-traces a failure log into a subgraph.
     pub fn backtrace(&self, log: &FailureLog, compacted: bool, cfg: &BacktraceConfig) -> Subgraph {
         backtrace(
@@ -487,6 +529,38 @@ mod tests {
                 assert_eq!(tb.tier_of(f.site.gate), *tier);
             }
         }
+    }
+
+    #[test]
+    fn validate_log_flags_corrupt_entries() {
+        use m3d_sim::{FailEntry, FailObs, ObsId};
+
+        let tb = bench();
+        let ctx = DesignContext::new(&tb);
+        let samples = generate_samples(&ctx, &DatasetConfig::single(2, 3));
+        assert!(ctx.validate_log(&samples[0].log, false).is_ok());
+
+        let mut entries: Vec<FailEntry> = samples[0].log.entries().to_vec();
+        entries.push(FailEntry {
+            pattern: u32::MAX - 1,
+            obs: FailObs::Direct(ObsId(0)),
+        });
+        entries.push(FailEntry {
+            pattern: 0,
+            obs: FailObs::Direct(ObsId(9_999_999)),
+        });
+        entries.push(FailEntry {
+            pattern: 0,
+            obs: FailObs::Channel {
+                channel: 999,
+                position: 999,
+            },
+        });
+        let corrupt = FailureLog::new(entries);
+        assert_eq!(
+            ctx.validate_log(&corrupt, false),
+            Err(crate::Error::CorruptFailureLog { entries: 3 })
+        );
     }
 
     #[test]

@@ -19,6 +19,16 @@ pub enum Error {
     /// A matrix was constructed from a buffer whose length does not match
     /// the requested shape.
     Shape(ShapeError),
+    /// GNN inference produced NaN/Inf probabilities — the model output is
+    /// unusable and the caller should fall back to the raw ATPG ranking.
+    NonFiniteInference,
+    /// A failure log references observation points, scan positions, or
+    /// pattern indices outside the design — `entries` of its entries are
+    /// corrupt.
+    CorruptFailureLog {
+        /// How many entries failed validation.
+        entries: usize,
+    },
 }
 
 /// The error type of [`Pipeline::train`](crate::Pipeline::train).
@@ -34,6 +44,16 @@ impl fmt::Display for Error {
                 write!(f, "cannot run inference on an empty subgraph")
             }
             Error::Shape(e) => write!(f, "{e}"),
+            Error::NonFiniteInference => {
+                write!(f, "GNN inference produced non-finite probabilities")
+            }
+            Error::CorruptFailureLog { entries } => {
+                write!(
+                    f,
+                    "failure log has {entries} corrupt entries referencing \
+                     points outside the design"
+                )
+            }
         }
     }
 }
@@ -70,5 +90,9 @@ mod tests {
         assert!(shape.to_string().contains("buffer length mismatch"));
         assert!(std::error::Error::source(&shape).is_some());
         assert!(std::error::Error::source(&Error::EmptySubgraph).is_none());
+        assert!(Error::NonFiniteInference.to_string().contains("non-finite"));
+        let corrupt = Error::CorruptFailureLog { entries: 3 };
+        assert!(corrupt.to_string().contains("3 corrupt entries"));
+        assert!(std::error::Error::source(&corrupt).is_none());
     }
 }

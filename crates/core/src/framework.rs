@@ -84,6 +84,44 @@ impl TrainingSet {
     }
 }
 
+/// Why a case fell back to the unpruned ATPG ranking instead of trusting
+/// the GNN.
+///
+/// Each reason maps to a `framework.fallback.<reason>` counter in the
+/// m3d-obs registry (and from there into the run report), so a chaos
+/// campaign can reconcile injected corruption counts against observed
+/// degradations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The back-traced subgraph was empty — nothing to run the GCN on
+    /// (e.g. an empty back-trace intersection or a never-failing log).
+    EmptySubgraph,
+    /// The subgraph's feature matrix contained NaN/Inf values; inference
+    /// was skipped rather than propagating poison through the GCN.
+    NonFiniteFeatures,
+    /// Inference ran but produced NaN/Inf probabilities (tier or MIV).
+    NonFiniteInference,
+}
+
+impl DegradeReason {
+    /// Stable snake_case label, used in counter names and logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DegradeReason::EmptySubgraph => "empty_subgraph",
+            DegradeReason::NonFiniteFeatures => "non_finite_features",
+            DegradeReason::NonFiniteInference => "non_finite_inference",
+        }
+    }
+
+    fn counter_name(self) -> &'static str {
+        match self {
+            DegradeReason::EmptySubgraph => "framework.fallback.empty_subgraph",
+            DegradeReason::NonFiniteFeatures => "framework.fallback.non_finite_features",
+            DegradeReason::NonFiniteInference => "framework.fallback.non_finite_inference",
+        }
+    }
+}
+
 /// Per-case output of the framework.
 #[derive(Debug, Clone)]
 pub struct FrameworkResult {
@@ -91,6 +129,9 @@ pub struct FrameworkResult {
     pub atpg_report: DiagnosisReport,
     /// The policy outcome (final report, prunes, action).
     pub outcome: PolicyOutcome,
+    /// `Some(reason)` when GNN evidence was unusable and the case fell
+    /// back to the unpruned ATPG ranking; `None` for a healthy case.
+    pub degraded: Option<DegradeReason>,
     /// `true` when the framework's `T_P` threshold is the unreachable-
     /// precision fallback of 1.0 — the pruning rule never fires, so this
     /// case could only have been reordered (see [`Framework::t_p_is_fallback`]).
@@ -224,12 +265,16 @@ impl Framework {
     /// # Errors
     ///
     /// [`Error::EmptySubgraph`] when the subgraph is empty (there is no
-    /// graph to run the GCN on).
+    /// graph to run the GCN on); [`Error::NonFiniteInference`] when the
+    /// model emits NaN/Inf probabilities.
     pub fn predict_tier(&self, sub: &Subgraph) -> Result<(Tier, f32), Error> {
         if sub.is_empty() {
             return Err(Error::EmptySubgraph);
         }
         let p = self.tier.predict(sub);
+        if p.iter().any(|v| !v.is_finite()) {
+            return Err(Error::NonFiniteInference);
+        }
         let t = usize::from(p[1] > p[0]);
         Ok((Tier(t as u8), p[t]))
     }
@@ -249,12 +294,29 @@ impl Framework {
 
         let t1 = Instant::now();
         let inference = m3d_obs::span!("inference");
-        let tier_probs = if self.use_tier && !sample.subgraph.is_empty() {
-            self.tier.predict(&sample.subgraph)
+        let mut degraded: Option<DegradeReason> = None;
+        // [0.5, 0.5] never clears T_P, so every fallback below degrades
+        // the policy to a no-op reorder of the ATPG ranking.
+        let tier_probs = if !self.use_tier {
+            [0.5, 0.5] // ablation, not degradation
+        } else if sample.subgraph.is_empty() {
+            degraded = Some(DegradeReason::EmptySubgraph);
+            [0.5, 0.5]
+        } else if sample.subgraph.x.has_non_finite() {
+            degraded = Some(DegradeReason::NonFiniteFeatures);
+            [0.5, 0.5]
         } else {
-            [0.5, 0.5] // never clears T_P; policy degrades to reorder
+            let p = self.tier.predict(&sample.subgraph);
+            if p.iter().all(|v| v.is_finite()) {
+                p
+            } else {
+                degraded = Some(DegradeReason::NonFiniteInference);
+                [0.5, 0.5]
+            }
         };
-        let miv_probs = if self.use_miv {
+        // MIV inference on a poisoned subgraph would only add more
+        // non-finite probabilities; skip it once the case is degraded.
+        let miv_probs = if self.use_miv && degraded.is_none() {
             self.miv
                 .as_ref()
                 .map(|m| m.predict(&sample.subgraph))
@@ -277,9 +339,23 @@ impl Framework {
         );
         let t_update = t2.elapsed();
 
+        // The policy can detect corruption the framework did not (e.g.
+        // non-finite MIV probabilities from a half-poisoned model).
+        if degraded.is_none() && outcome.degraded {
+            degraded = Some(DegradeReason::NonFiniteInference);
+        }
+        if let Some(reason) = degraded {
+            m3d_obs::counter!(reason.counter_name(), 1);
+            m3d_obs::warn!(
+                "framework: case degraded to unpruned ATPG ranking ({})",
+                reason.as_str()
+            );
+        }
+
         FrameworkResult {
             atpg_report,
             outcome,
+            degraded,
             t_p_fallback: self.t_p_fallback,
             t_atpg,
             t_gnn,
@@ -325,6 +401,7 @@ mod tests {
         let mut fw_hits = 0;
         for s in &test {
             let r = fw.process_case(&ctx, &diag, s);
+            assert_eq!(r.degraded, None, "healthy case must not degrade");
             atpg_hits += usize::from(r.atpg_report.hits_any(&s.truth));
             fw_hits += usize::from(r.outcome.report.hits_any(&s.truth));
             // Union of report + backup preserves everything.
@@ -338,6 +415,54 @@ mod tests {
         assert!(
             atpg_hits - fw_hits <= 2,
             "framework lost too much accuracy ({fw_hits}/{atpg_hits})"
+        );
+    }
+
+    #[test]
+    fn corrupt_subgraphs_degrade_instead_of_panicking() {
+        use crate::features::N_FEATURES;
+        use m3d_gnn::{Graph, Matrix};
+
+        let tb = quick();
+        let ctx = DesignContext::new(&tb);
+        let train = generate_samples(&ctx, &DatasetConfig::single(30, 5));
+        let mut ts = TrainingSet::new();
+        ts.add(&tb, &train);
+        let fw = Framework::train(&ts, &FrameworkConfig::default());
+        let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
+
+        // NaN feature matrix: inference skipped, case counted as fallback,
+        // and no candidate is ever lost (report + backup = ATPG list).
+        let mut poisoned = train[0].clone();
+        let n = poisoned.subgraph.x.rows();
+        assert!(n > 0, "need a non-empty subgraph to poison");
+        poisoned.subgraph.x.set(0, 0, f32::NAN);
+        let r = fw.process_case(&ctx, &diag, &poisoned);
+        assert_eq!(r.degraded, Some(DegradeReason::NonFiniteFeatures));
+        assert_eq!(
+            r.outcome.report.resolution() + r.outcome.pruned.len(),
+            r.atpg_report.resolution()
+        );
+
+        // Zero-node subgraph: same guarantee under the EmptySubgraph reason.
+        let mut empty = train[0].clone();
+        let g = Graph::new(0);
+        empty.subgraph = crate::backtrace::Subgraph {
+            nodes: vec![],
+            adj: g.normalize(true),
+            graph: g,
+            x: Matrix::zeros(0, N_FEATURES),
+            miv_rows: vec![],
+        };
+        let r = fw.process_case(&ctx, &diag, &empty);
+        assert_eq!(r.degraded, Some(DegradeReason::EmptySubgraph));
+        assert_eq!(
+            r.outcome.report.resolution() + r.outcome.pruned.len(),
+            r.atpg_report.resolution()
+        );
+        assert!(
+            fw.predict_tier(&empty.subgraph).is_err(),
+            "direct inference on an empty subgraph must error, not panic"
         );
     }
 

@@ -88,7 +88,7 @@ pub use features::{
     F_FANIN_CIRCUIT, F_FANIN_SUB, F_FANOUT_CIRCUIT, F_FANOUT_SUB, F_LOC, F_LVL, F_MIV, F_NMIV_MEAN,
     F_NMIV_STD, F_N_TOP, F_OUT, N_FEATURES,
 };
-pub use framework::{Framework, FrameworkConfig, FrameworkResult, TrainingSet};
+pub use framework::{DegradeReason, Framework, FrameworkConfig, FrameworkResult, TrainingSet};
 pub use hetero::{HNodeId, HNodeKind, HeteroGraph, TopEdge, TopNode};
 pub use metrics::{improvement_pct, pfa_time_saved, single_tier_of, TierLocalization};
 pub use models::{

@@ -374,8 +374,24 @@ impl MivPinpointer {
             return Vec::new();
         }
         let probs = self.model.predict_nodes(&sub.adj, &sub.x);
+        // Orphan MIV rows (pointing past the node set — a corrupted
+        // subgraph) are dropped rather than indexed out of bounds.
+        let orphans = sub
+            .miv_rows
+            .iter()
+            .filter(|&&(row, _)| row >= probs.rows())
+            .count();
+        if orphans > 0 {
+            m3d_obs::counter!("models.dropped.miv_row_out_of_range", orphans as u64);
+            m3d_obs::warn!(
+                "miv-pinpointer: dropping {orphans} MIV rows outside the \
+                 {}-node subgraph",
+                probs.rows()
+            );
+        }
         sub.miv_rows
             .iter()
+            .filter(|&&(row, _)| row < probs.rows())
             .map(|&(row, miv)| (miv, probs.get(row, 1)))
             .collect()
     }

@@ -66,6 +66,26 @@ pub struct PolicyOutcome {
     pub confidence: f32,
     /// Vias the MIV-pinpointer flagged as faulty.
     pub faulty_mivs: Vec<MivId>,
+    /// `true` when corrupted GNN outputs (empty or non-finite tier
+    /// probabilities, non-finite MIV probabilities) forced the policy to
+    /// discard that evidence and pass the ATPG ranking through unpruned.
+    pub degraded: bool,
+}
+
+/// `max_by` comparator under which a NaN probability loses every
+/// comparison, so it can never become the predicted tier or the reported
+/// confidence. Finite values order by `total_cmp`, which agrees with IEEE
+/// `<` on the softmax output range, and `max_by` keeps its
+/// last-maximal-element tie rule — bit-identical to the historical
+/// `partial_cmp` comparator on healthy inputs.
+fn nan_loses(a: f32, b: f32) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.is_nan(), b.is_nan()) {
+        (false, false) => a.total_cmp(&b),
+        (false, true) => Ordering::Greater,
+        (true, false) => Ordering::Less,
+        (true, true) => Ordering::Equal,
+    }
 }
 
 /// Applies the pruning/reordering policy to one report.
@@ -76,9 +96,12 @@ pub struct PolicyOutcome {
 /// Classifier (standalone Tier-predictor mode — Table XI — passes `None`
 /// and prunes whenever confidence clears `T_P`).
 ///
-/// # Panics
-///
-/// Panics if `tier_probs` is empty.
+/// Corrupted GNN outputs degrade instead of panicking: when `tier_probs`
+/// is empty or its maximum is NaN/Inf the tier evidence is discarded and
+/// the ATPG ranking passes through unpruned and unreordered (confidence
+/// reported as `0.0`); NaN/Inf MIV probabilities are dropped from
+/// consideration. Both paths set [`PolicyOutcome::degraded`] and bump
+/// `policy.fallback.*` / `policy.dropped.*` counters.
 pub fn apply_policy(
     report: &DiagnosisReport,
     m3d: &M3dNetlist,
@@ -89,9 +112,17 @@ pub fn apply_policy(
     cfg: &PolicyConfig,
 ) -> PolicyOutcome {
     let _span = m3d_obs::span!("policy");
+    let mut degraded = false;
+
+    let non_finite_mivs = miv_probs.iter().filter(|&&(_, p)| !p.is_finite()).count();
+    if non_finite_mivs > 0 {
+        m3d_obs::counter!("policy.dropped.non_finite_miv_prob", non_finite_mivs as u64);
+        m3d_obs::warn!("policy: dropping {non_finite_mivs} NaN/Inf MIV probabilities");
+        degraded = true;
+    }
     let faulty_mivs: Vec<MivId> = miv_probs
         .iter()
-        .filter(|&&(_, p)| p >= cfg.miv_threshold)
+        .filter(|&&(_, p)| p.is_finite() && p >= cfg.miv_threshold)
         .map(|&(m, _)| m)
         .collect();
 
@@ -101,15 +132,28 @@ pub fn apply_policy(
             .any(|m| faulty_mivs.contains(m))
     };
 
-    assert!(!tier_probs.is_empty(), "need at least one tier probability");
-    let predicted = tier_probs
+    // Arg-max with NaN losing every comparison. A non-finite winner (all
+    // probabilities NaN, or an Inf logit leaking through softmax) means
+    // the tier evidence is unusable: pruning on it could discard the true
+    // candidate, so fall back to the raw ATPG ranking.
+    let (predicted, raw_confidence) = tier_probs
         .iter()
+        .copied()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-        .map(|(i, _)| i)
-        .expect("non-empty");
-    let confidence = tier_probs[predicted];
-    let predicted_tier = Tier(predicted as u8);
+        .max_by(|a, b| nan_loses(a.1, b.1))
+        .unwrap_or((0, f32::NAN));
+    let tier_valid = raw_confidence.is_finite();
+    if !tier_valid {
+        m3d_obs::counter!("policy.fallback.invalid_tier_probs", 1);
+        m3d_obs::warn!(
+            "policy: tier probabilities unusable ({} entries, non-finite max); \
+             passing the ATPG ranking through unpruned",
+            tier_probs.len()
+        );
+        degraded = true;
+    }
+    let confidence = if tier_valid { raw_confidence } else { 0.0 };
+    let predicted_tier = Tier(if tier_valid { predicted as u8 } else { 0 });
 
     // MIV-equivalent candidates lead the report and are pruning-exempt.
     let mut miv_block: Vec<Candidate> = Vec::new();
@@ -123,11 +167,12 @@ pub fn apply_policy(
     }
 
     let prune = cfg.tier_enabled
+        && tier_valid
         && confidence >= cfg.t_p
         && classifier.is_none_or(|clf| clf.should_prune(subgraph).0);
 
     let mut pruned = Vec::new();
-    let ordered_rest: Vec<Candidate> = if !cfg.tier_enabled {
+    let ordered_rest: Vec<Candidate> = if !cfg.tier_enabled || !tier_valid {
         rest
     } else if prune {
         let (keep, cut): (Vec<Candidate>, Vec<Candidate>) = rest
@@ -163,6 +208,7 @@ pub fn apply_policy(
         predicted_tier,
         confidence,
         faulty_mivs,
+        degraded,
     }
 }
 
@@ -322,10 +368,15 @@ mod tests {
     #[test]
     fn faulty_miv_candidates_lead_and_survive_pruning() {
         let m = m3d();
-        // Pick an MIV and its driver-pin candidate (equivalent site).
-        let miv_id = MivId(0);
-        let miv = m.miv(miv_id);
-        let drv = m.netlist().net(miv.net).driver.unwrap();
+        // Pick an MIV whose net has a driver and use the driver pin as the
+        // equivalent candidate site (undriven MIV nets are skipped, not
+        // unwrapped — they can occur in corrupted partitions).
+        let (miv_id, drv) = (0..m.miv_count() as u32)
+            .find_map(|i| {
+                let id = MivId(i);
+                m.netlist().net(m.miv(id).net).driver.map(|d| (id, d))
+            })
+            .expect("at least one MIV net has a driver");
         let miv_site = PinRef::output(drv);
         let miv_tier = m.tier_of_site(miv_site);
         // Predict the *other* tier faulty with high confidence: without MIV
@@ -350,6 +401,116 @@ mod tests {
         assert_eq!(out.faulty_mivs, vec![miv_id]);
         assert_eq!(out.report.candidates()[0].fault.site, miv_site);
         assert!(out.pruned.iter().all(|c| c.fault.site != miv_site));
+    }
+
+    #[test]
+    fn empty_tier_probs_degrade_to_atpg_passthrough() {
+        let m = m3d();
+        let (report, ..) = mixed_report(&m);
+        let out = apply_policy(
+            &report,
+            &m,
+            &[], // zero-node subgraph: the predictor produced nothing
+            &[],
+            None,
+            &empty_subgraph(),
+            &PolicyConfig::default(),
+        );
+        assert!(out.degraded);
+        assert_eq!(out.action, PolicyAction::Reordered);
+        assert!(out.pruned.is_empty());
+        assert_eq!(out.confidence, 0.0);
+        assert_eq!(out.predicted_tier, Tier(0));
+        // The ATPG ranking passes through byte-for-byte.
+        assert_eq!(out.report.candidates(), report.candidates());
+    }
+
+    #[test]
+    fn nan_tier_prob_loses_argmax_and_never_becomes_confidence() {
+        let m = m3d();
+        let (report, ..) = mixed_report(&m);
+        // One tier NaN, the other finite: the finite tier must win even
+        // though NaN would tie under the old unwrap_or(Equal) comparator.
+        let out = apply_policy(
+            &report,
+            &m,
+            &[f32::NAN, 0.40],
+            &[],
+            None,
+            &empty_subgraph(),
+            &PolicyConfig::default(),
+        );
+        assert!(!out.degraded, "a finite max is still usable evidence");
+        assert_eq!(out.predicted_tier, Tier::TOP);
+        assert_eq!(out.confidence, 0.40);
+        assert_eq!(out.action, PolicyAction::Reordered);
+    }
+
+    #[test]
+    fn all_nan_or_inf_tier_probs_never_prune() {
+        let m = m3d();
+        let (report, ..) = mixed_report(&m);
+        for probs in [
+            &[f32::NAN, f32::NAN][..],
+            &[f32::INFINITY, 0.01][..], // Inf clears any T_P — must not prune
+            &[0.2, f32::NEG_INFINITY, f32::INFINITY][..],
+        ] {
+            let out = apply_policy(
+                &report,
+                &m,
+                probs,
+                &[],
+                None,
+                &empty_subgraph(),
+                &PolicyConfig::default(),
+            );
+            assert!(out.degraded, "probs {probs:?} should degrade");
+            assert_eq!(out.action, PolicyAction::Reordered);
+            assert!(out.pruned.is_empty(), "probs {probs:?} must not prune");
+            assert_eq!(out.confidence, 0.0);
+            assert_eq!(out.report.candidates(), report.candidates());
+        }
+    }
+
+    #[test]
+    fn non_finite_miv_probs_are_dropped_not_trusted() {
+        let m = m3d();
+        let (report, ..) = mixed_report(&m);
+        let out = apply_policy(
+            &report,
+            &m,
+            &[0.5, 0.5],
+            &[(MivId(0), f32::NAN), (MivId(1), f32::INFINITY)],
+            None,
+            &empty_subgraph(),
+            &PolicyConfig::default(),
+        );
+        assert!(out.degraded);
+        assert!(
+            out.faulty_mivs.is_empty(),
+            "NaN/Inf must never clear the MIV threshold"
+        );
+    }
+
+    #[test]
+    fn healthy_tie_still_predicts_last_max_tier() {
+        // Bit-identity guard: `max_by` keeps the LAST maximal element, so
+        // a [0.5, 0.5] tie predicts tier 1 (TOP) exactly as before the
+        // total_cmp migration.
+        let m = m3d();
+        let (report, ..) = mixed_report(&m);
+        let out = apply_policy(
+            &report,
+            &m,
+            &[0.5, 0.5],
+            &[],
+            None,
+            &empty_subgraph(),
+            &PolicyConfig::default(),
+        );
+        assert!(!out.degraded);
+        assert_eq!(out.predicted_tier, Tier::TOP);
+        assert_eq!(out.confidence, 0.5);
     }
 
     #[test]

@@ -128,14 +128,37 @@ impl<'a, 'b> AtpgDiagnosis<'a, 'b> {
     }
 
     /// Phase 1: suspect nets via transition-active cone intersection.
+    ///
+    /// Corrupt log entries (out-of-range pattern numbers or observation
+    /// points — tester logs are untrusted input) contribute no suspects:
+    /// they are skipped with a `diagnosis.dropped.*` counter and a warning
+    /// instead of panicking, and do not count toward the intersection
+    /// support either.
     pub fn structural_candidates(&self, log: &FailureLog) -> Vec<NetId> {
         let nl = self.fsim.netlist();
         let sim = self.fsim.sim();
+        let pattern_cap = sim.pattern_capacity();
         let mut counts: BTreeMap<NetId, u32> = BTreeMap::new();
-        let entries = log.entries();
-        for entry in entries {
+        let mut used = 0u32;
+        for entry in log.entries() {
+            if entry.pattern as usize >= pattern_cap {
+                m3d_obs::counter!("diagnosis.dropped.pattern_out_of_range", 1);
+                m3d_obs::warn!(
+                    "diagnosis: dropping failure entry with pattern {} (only {pattern_cap} \
+                     pattern slots simulated; corrupt log?)",
+                    entry.pattern
+                );
+                continue;
+            }
+            let observers = FailureLog::candidate_observers(entry, self.fsim.obs(), self.chains);
+            if observers.is_empty() {
+                // Already counted and warned by `candidate_observers`; a
+                // phantom entry must not raise the intersection bar for
+                // the healthy entries.
+                continue;
+            }
             let mut suspects: BTreeSet<NetId> = BTreeSet::new();
-            for obs_id in FailureLog::candidate_observers(entry, self.fsim.obs(), self.chains) {
+            for obs_id in observers {
                 let watched = self.fsim.obs().point(obs_id).net;
                 for (g, _) in topo::net_fanin_cone(nl, watched) {
                     if let Some(out) = nl.gate(g).output {
@@ -145,11 +168,12 @@ impl<'a, 'b> AtpgDiagnosis<'a, 'b> {
                     }
                 }
             }
+            used += 1;
             for n in suspects {
                 *counts.entry(n).or_insert(0) += 1;
             }
         }
-        let total = entries.len() as u32;
+        let total = used;
         let exact: Vec<NetId> = counts
             .iter()
             .filter(|&(_, &c)| c == total)
@@ -192,10 +216,19 @@ impl<'a, 'b> AtpgDiagnosis<'a, 'b> {
 
     /// Phase 2b/3: score candidates against the tester log and rank.
     fn score_and_rank(&self, log: &FailureLog, faults: Vec<Tdf>) -> DiagnosisReport {
+        let nl = self.fsim.netlist();
         let obs_set: BTreeSet<FailEntry> = log.entries().iter().copied().collect();
         let n_obs = obs_set.len() as f64;
         let mut scored: Vec<Candidate> = Vec::new();
         for fault in faults {
+            // Candidates from `expand_to_faults` always resolve, but
+            // `simulate_log` is public and external fault lists may carry
+            // dangling sites — skip them instead of panicking downstream.
+            if nl.pin_net(fault.site).is_none() {
+                m3d_obs::counter!("diagnosis.dropped.dangling_site", 1);
+                m3d_obs::warn!("diagnosis: skipping candidate {fault}: site resolves to no net");
+                continue;
+            }
             let sim_log = self.simulate_log(&[fault]);
             let sim_set: BTreeSet<FailEntry> = sim_log.entries().iter().copied().collect();
             if sim_set.is_empty() {
@@ -355,12 +388,55 @@ mod tests {
         for f in detectable_faults(&fsim, 8, 31) {
             let log = diag.simulate_log(&[f]);
             let nets = diag.structural_candidates(&log);
-            let site_net = fx.nl.pin_net(f.site).unwrap();
+            let site_net = fx
+                .nl
+                .pin_net(f.site)
+                .expect("tdf_list sites resolve to nets");
             assert!(
                 nets.contains(&site_net),
                 "suspects must include the defect net for {f}"
             );
         }
+    }
+
+    #[test]
+    fn corrupt_log_entries_are_skipped_not_fatal() {
+        use m3d_sim::{FailObs, ObsId};
+        let fx = fixture();
+        let fsim = FaultSimulator::new(&fx.nl, &fx.pats);
+        let diag = AtpgDiagnosis::new(&fsim, None, DiagnosisConfig::default());
+        let f = detectable_faults(&fsim, 1, 17)[0];
+        let clean = diag.simulate_log(&[f]);
+        let clean_report = diag.diagnose(&clean);
+        // Corruption on top of a healthy log: a pattern beyond the
+        // simulated range, an out-of-range observation id, and a channel
+        // entry reaching a bypass-mode (chain-less) diagnosis.
+        let mut entries = clean.entries().to_vec();
+        entries.push(FailEntry {
+            pattern: u32::MAX - 1,
+            obs: entries[0].obs,
+        });
+        entries.push(FailEntry {
+            pattern: 0,
+            obs: FailObs::Direct(ObsId(9_999_999)),
+        });
+        entries.push(FailEntry {
+            pattern: 0,
+            obs: FailObs::Channel {
+                channel: 7,
+                position: 3,
+            },
+        });
+        let corrupt = FailureLog::new(entries);
+        let report = diag.diagnose(&corrupt);
+        // The phantom entries contribute nothing; the healthy entries
+        // still localize the injected fault.
+        assert!(report.hits_any(&[f.site]));
+        assert_eq!(
+            report.candidates()[0].fault,
+            clean_report.candidates()[0].fault,
+            "corrupt entries must not change the head candidate"
+        );
     }
 
     #[test]

@@ -36,7 +36,20 @@ pub fn candidate_features(
         .pin_net(c.fault.site)
         .map_or(0.0, |net| nl.net(net).fanout() as f64);
     let depth = levels.iter().copied().max().unwrap_or(1).max(1) as f64;
-    let lvl = levels[c.fault.site.gate.index()] as f64;
+    // A dangling site (report produced against a different netlist, or a
+    // corrupted candidate) gets level 0 instead of an out-of-bounds panic.
+    let lvl = match levels.get(c.fault.site.gate.index()) {
+        Some(&l) => l as f64,
+        None => {
+            m3d_obs::counter!("padre.dangling_site", 1);
+            m3d_obs::warn!(
+                "padre: candidate site {} outside the {}-gate level table; using level 0",
+                c.fault.site,
+                levels.len()
+            );
+            0.0
+        }
+    };
     [
         idx as f64 / n,
         f64::from(c.tfsf) / nf,
@@ -73,6 +86,18 @@ pub fn training_rows(
         .collect()
 }
 
+/// Ascending total order on scores with every NaN after every number
+/// (NaN sinks last). Unlike `f64::total_cmp`, negative NaNs sink too.
+fn nan_sinks_last(a: f64, b: f64) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.is_nan(), b.is_nan()) {
+        (false, false) => a.total_cmp(&b),
+        (false, true) => Ordering::Less,
+        (true, false) => Ordering::Greater,
+        (true, true) => Ordering::Equal,
+    }
+}
+
 /// The trained first-level filter.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PadreFilter {
@@ -91,6 +116,23 @@ impl PadreFilter {
     /// Panics if `rows` is empty.
     pub fn train(rows: &[PadreTrainRow], keep_recall: f64, seed: u64) -> Self {
         assert!(!rows.is_empty(), "need training data");
+        // A single NaN/Inf feature row would poison every SGD weight (and
+        // with them every score and the threshold); corrupt rows are
+        // excluded up front. On clean data this filter is the identity, so
+        // weights and RNG consumption match the unfiltered implementation
+        // bit for bit.
+        let rows: Vec<&PadreTrainRow> = {
+            let finite: Vec<&PadreTrainRow> = rows
+                .iter()
+                .filter(|r| r.features.iter().all(|x| x.is_finite()))
+                .collect();
+            let dropped = rows.len() - finite.len();
+            if dropped > 0 {
+                m3d_obs::counter!("padre.dropped.non_finite_rows", dropped as u64);
+                m3d_obs::warn!("padre: excluding {dropped} training rows with NaN/Inf features");
+            }
+            finite
+        };
         let mut w = [0f64; PADRE_FEATURES];
         let mut b = 0f64;
         let n_pos = rows.iter().filter(|r| r.is_true).count().max(1) as f64;
@@ -102,7 +144,7 @@ impl PadreFilter {
         for _ in 0..60 {
             order.shuffle(&mut rng);
             for &i in &order {
-                let r = &rows[i];
+                let r = rows[i];
                 let z: f64 = b + r.features.iter().zip(&w).map(|(x, wi)| x * wi).sum::<f64>();
                 let p = 1.0 / (1.0 + (-z).exp());
                 let y = f64::from(u8::from(r.is_true));
@@ -115,12 +157,16 @@ impl PadreFilter {
             }
         }
         // Threshold: largest value retaining `keep_recall` of positives.
+        // Scores are finite after the row filter above, but the order is
+        // still total with NaN sinking last — with the old
+        // `partial_cmp(..).unwrap_or(Equal)` a single NaN made the sort
+        // order (and thus the threshold) arbitrary.
         let mut pos_scores: Vec<f64> = rows
             .iter()
             .filter(|r| r.is_true)
             .map(|r| Self::score_raw(&w, b, &r.features))
             .collect();
-        pos_scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        pos_scores.sort_by(|a, b| nan_sinks_last(*a, *b));
         let drop_allow = ((1.0 - keep_recall) * pos_scores.len() as f64).floor() as usize;
         let threshold = pos_scores
             .get(drop_allow)
@@ -290,6 +336,53 @@ mod tests {
         assert!(rows[0].is_true);
         assert!(!rows[1].is_true);
         assert!((rows[0].features[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nan_scores_sink_last_and_cannot_become_the_threshold() {
+        // A clean, separable training set plus a handful of true rows with
+        // NaN features: the corrupt rows are excluded before SGD (one NaN
+        // gradient would poison every weight), so the trained filter is
+        // identical to the NaN-free run.
+        let mut rows = synthetic_rows(400, 3);
+        let clean = PadreFilter::train(&rows, 0.99, 7);
+        for _ in 0..3 {
+            rows.push(PadreTrainRow {
+                features: [f64::NAN; PADRE_FEATURES],
+                is_true: true,
+            });
+        }
+        let noisy = PadreFilter::train(&rows, 0.99, 7);
+        assert!(
+            noisy.threshold.is_finite(),
+            "NaN score became the keep-threshold"
+        );
+        assert_eq!(noisy, clean, "corrupt rows must not change the filter");
+        let sorted = {
+            let mut v = vec![2.0, f64::NAN, -1.0, f64::NAN, 0.5, -f64::NAN];
+            v.sort_by(|a, b| nan_sinks_last(*a, *b));
+            v
+        };
+        assert_eq!(&sorted[..3], &[-1.0, 0.5, 2.0]);
+        assert!(sorted[3..].iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn dangling_candidate_site_yields_level_zero_not_panic() {
+        let nl = generate(&GeneratorConfig::default());
+        let levels = candidate_levels(&nl);
+        let report = DiagnosisReport::new(vec![Candidate {
+            fault: Tdf::new(
+                m3d_netlist::PinRef::output(GateId(u32::MAX - 2)),
+                Polarity::SlowToRise,
+            ),
+            tfsf: 1,
+            tfsp: 0,
+            tpsf: 0,
+        }]);
+        let f = candidate_features(&report, 0, &nl, &levels, 1);
+        assert_eq!(f[6], 0.0, "dangling site must map to level 0");
+        assert!(f.iter().all(|v| v.is_finite()));
     }
 
     #[test]

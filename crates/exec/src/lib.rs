@@ -194,6 +194,49 @@ impl ExecPool {
         let indices: Vec<usize> = (0..n).collect();
         self.map(&indices, |_, &i| f(i))
     }
+
+    /// [`ExecPool::map`] with per-item panic isolation: a panic inside `f`
+    /// is caught and returned as `Err(message)` for that item instead of
+    /// tearing down the whole region, so one poisoned work item cannot
+    /// take the rest of a batch (or campaign) with it. Each caught panic
+    /// bumps the `exec.item_panics` counter.
+    ///
+    /// The items run under [`std::panic::catch_unwind`], so `f` should not
+    /// leave shared state half-mutated on unwind (the usual
+    /// `AssertUnwindSafe` caveat; pure per-item closures are always fine).
+    pub fn map_catch<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, String>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let out = self.map(items, |i, item| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item)))
+                .map_err(|payload| panic_message(payload.as_ref()))
+        });
+        let caught = out.iter().filter(|r| r.is_err()).count();
+        if caught > 0 {
+            m3d_obs::counter!("exec.item_panics", caught as u64);
+            m3d_obs::warn!(
+                "exec: caught {caught} worker-item panics ({} items)",
+                items.len()
+            );
+        }
+        out
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (`&str` and
+/// `String` payloads — everything `panic!` produces; other payload types
+/// fall back to a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +262,31 @@ mod tests {
         for threads in [2, 3, 8, 64] {
             assert_eq!(ExecPool::with_threads(threads).map(&items, f), serial);
         }
+    }
+
+    #[test]
+    fn map_catch_isolates_item_panics() {
+        // Silence the default hook for the intentional panics below.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for threads in [1, 4] {
+            let pool = ExecPool::with_threads(threads);
+            let items: Vec<u32> = (0..40).collect();
+            let out = pool.map_catch(&items, |_, &x| {
+                assert!(x % 7 != 3, "poisoned item {x}");
+                x * 2
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                if i % 7 == 3 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains("poisoned item"), "got {msg:?}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), (i as u32) * 2);
+                }
+            }
+        }
+        std::panic::set_hook(prev);
     }
 
     #[test]

@@ -163,6 +163,12 @@ impl Matrix {
         &self.data
     }
 
+    /// `true` if any element is NaN or ±Inf — the cheap pre-flight check
+    /// that keeps poisoned feature matrices out of inference.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
     /// Mutable flat buffer.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
         &mut self.data
@@ -547,6 +553,17 @@ mod tests {
 
     fn m(r: usize, c: usize, v: &[f32]) -> Matrix {
         Matrix::from_vec(r, c, v.to_vec())
+    }
+
+    #[test]
+    fn has_non_finite_detects_nan_and_inf() {
+        let mut a = m(2, 2, &[1., 2., 3., 4.]);
+        assert!(!a.has_non_finite());
+        a.set(1, 0, f32::NAN);
+        assert!(a.has_non_finite());
+        a.set(1, 0, f32::NEG_INFINITY);
+        assert!(a.has_non_finite());
+        assert!(!Matrix::zeros(0, 4).has_non_finite());
     }
 
     #[test]

@@ -124,20 +124,51 @@ impl FailureLog {
     /// point in bypass mode, or every flop whose chain feeds the failing
     /// channel at the failing position (the compaction ambiguity set the
     /// paper's back-tracing must handle).
+    ///
+    /// Corrupt entries degrade instead of panicking: an out-of-range
+    /// direct id, a channel entry with no chain info, or an out-of-range
+    /// `(channel, position)` all resolve to an empty set, with a
+    /// `failure.dropped.*` counter and a warning.
     pub fn candidate_observers(
         entry: &FailEntry,
         obs: &ObsPoints,
         chains: Option<&ScanChains>,
     ) -> Vec<ObsId> {
         match entry.obs {
-            FailObs::Direct(id) => vec![id],
+            FailObs::Direct(id) => {
+                if obs.get(id).is_some() {
+                    vec![id]
+                } else {
+                    m3d_obs::counter!("failure.dropped.obs_out_of_range", 1);
+                    m3d_obs::warn!(
+                        "dropping failure entry at pattern {}: {id} is outside the \
+                         design's {} observation points (corrupt log?)",
+                        entry.pattern,
+                        obs.len()
+                    );
+                    Vec::new()
+                }
+            }
             FailObs::Channel { channel, position } => {
-                let chains = chains.expect("channel failures require chain info");
-                chains
-                    .flops_at(channel as usize, position as usize)
-                    .into_iter()
-                    .filter_map(|ff| obs.of_gate(ff))
-                    .collect()
+                let Some(chains) = chains else {
+                    m3d_obs::counter!("failure.dropped.channel_without_chains", 1);
+                    m3d_obs::warn!(
+                        "dropping compacted failure entry (pattern {}, channel {channel}, \
+                         position {position}): no scan-chain info supplied",
+                        entry.pattern
+                    );
+                    return Vec::new();
+                };
+                let flops = chains.flops_at(channel as usize, position as usize);
+                if flops.is_empty() {
+                    m3d_obs::counter!("failure.dropped.channel_out_of_range", 1);
+                    m3d_obs::warn!(
+                        "dropping failure entry at pattern {}: channel {channel} position \
+                         {position} maps to no scan flop (corrupt log?)",
+                        entry.pattern
+                    );
+                }
+                flops.into_iter().filter_map(|ff| obs.of_gate(ff)).collect()
             }
         }
     }
@@ -261,6 +292,38 @@ mod tests {
                 obs: FailObs::Direct(po_obs)
             }]
         );
+    }
+
+    #[test]
+    fn corrupt_entries_resolve_to_no_observers() {
+        let (nl, pats) = setup();
+        let chains = ScanChains::stitch(&nl, 8, 4);
+        let fsim = FaultSimulator::new(&nl, &pats);
+        let obs = fsim.obs();
+        // Out-of-range direct id.
+        let bad_direct = FailEntry {
+            pattern: 0,
+            obs: FailObs::Direct(ObsId(obs.len() as u32 + 7)),
+        };
+        assert!(FailureLog::candidate_observers(&bad_direct, obs, Some(&chains)).is_empty());
+        // Channel entry reaching a bypass-mode (chain-less) diagnosis.
+        let orphan_channel = FailEntry {
+            pattern: 0,
+            obs: FailObs::Channel {
+                channel: 0,
+                position: 0,
+            },
+        };
+        assert!(FailureLog::candidate_observers(&orphan_channel, obs, None).is_empty());
+        // Out-of-range channel / scan position.
+        let bad_channel = FailEntry {
+            pattern: 0,
+            obs: FailObs::Channel {
+                channel: 999,
+                position: 999,
+            },
+        };
+        assert!(FailureLog::candidate_observers(&bad_channel, obs, Some(&chains)).is_empty());
     }
 
     #[test]

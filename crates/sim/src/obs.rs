@@ -123,6 +123,14 @@ impl ObsPoints {
         self.points[id.index()]
     }
 
+    /// The observation point for `id`, or `None` when the id is out of
+    /// range — the checked lookup for ids read from an untrusted tester
+    /// log.
+    #[inline]
+    pub fn get(&self, id: ObsId) -> Option<ObsPoint> {
+        self.points.get(id.index()).copied()
+    }
+
     /// Iterates over `(ObsId, ObsPoint)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ObsId, ObsPoint)> + '_ {
         self.points
@@ -169,6 +177,14 @@ mod tests {
                 assert_eq!(p.kind, ObsKind::FlopD);
             }
         }
+    }
+
+    #[test]
+    fn get_is_checked() {
+        let nl = generate(&GeneratorConfig::default());
+        let obs = ObsPoints::collect(&nl);
+        assert_eq!(obs.get(ObsId(0)), Some(obs.point(ObsId(0))));
+        assert_eq!(obs.get(ObsId(obs.len() as u32)), None);
     }
 
     #[test]

@@ -124,6 +124,15 @@ impl PatternSim {
         (self.transitions(p / 64, net) >> (p % 64)) & 1 == 1
     }
 
+    /// Exclusive upper bound on the pattern indices
+    /// [`PatternSim::net_transition`] can be asked about (the packed word
+    /// count times 64). Pattern numbers read from an untrusted tester log
+    /// must be screened against this before querying transitions.
+    #[inline]
+    pub fn pattern_capacity(&self) -> usize {
+        self.n_words * 64
+    }
+
     /// Number of patterns (out of `pats.len()`) under which each net
     /// transitions — the `T_pat` feature of Table I.
     pub fn transition_counts(&self, pats: &PatternSet) -> Vec<u32> {

@@ -1,0 +1,201 @@
+//! Chaos campaigns over the full pipeline: every seeded corruption of the
+//! failure-log / subgraph / GNN-output boundaries must be absorbed without
+//! a panic, every scenario that destroys the GNN evidence must surface a
+//! counted degradation, semantic no-ops must leave results bit-identical,
+//! and the whole campaign must hash to the same value at any thread count.
+
+use m3d_chaos::{run_campaign, run_scenario, CampaignConfig, LogChaos, Scenario};
+use m3d_diagnosis::{AtpgDiagnosis, DiagnosisConfig};
+use m3d_exec::ExecPool;
+use m3d_fault_loc::{
+    DatasetConfig, DesignConfig, DesignContext, Framework, FrameworkConfig, ModelTrainConfig,
+    PipelineBuilder, Sample, TestBench, TestBenchConfig, TrainingSet,
+};
+use m3d_netlist::BenchmarkProfile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Scenarios per design: six full cycles of the 18-entry catalog.
+const SCENARIOS: usize = 108;
+
+fn quick_bench(profile: BenchmarkProfile) -> TestBench {
+    TestBench::build(&TestBenchConfig {
+        scale: 0.002,
+        ..TestBenchConfig::quick(profile, DesignConfig::Syn1)
+    })
+}
+
+/// A deliberately tiny training run — the campaign exercises degradation
+/// plumbing, not model quality.
+fn tiny_model() -> ModelTrainConfig {
+    ModelTrainConfig {
+        epochs: 4,
+        hidden: vec![8],
+        restarts: 1,
+        ..ModelTrainConfig::default()
+    }
+}
+
+fn train_and_sample(tb: &TestBench, compacted: bool, threads: usize) -> (Framework, Vec<Sample>) {
+    let ctx = DesignContext::new(tb);
+    let pipeline = PipelineBuilder::new()
+        .threads(threads)
+        .framework_config(FrameworkConfig {
+            model: tiny_model(),
+            ..FrameworkConfig::default()
+        })
+        .build();
+    let train = pipeline.generate_samples(
+        &ctx,
+        &DatasetConfig {
+            miv_fraction: 0.25,
+            compacted,
+            ..DatasetConfig::single(12, 5)
+        },
+    );
+    let mut ts = TrainingSet::new();
+    ts.add(tb, &train);
+    let fw = pipeline.train(&ts).expect("training set is non-empty");
+    let base = pipeline.generate_samples(
+        &ctx,
+        &DatasetConfig {
+            compacted,
+            ..DatasetConfig::single(6, 77)
+        },
+    );
+    (fw, base)
+}
+
+/// Runs the campaign for one profile at 1 and 4 threads and asserts the
+/// full contract: zero panics, zero expectation violations, every
+/// must-degrade scenario counted, and bit-identical outcome hashes.
+fn campaign_contract(profile: BenchmarkProfile) {
+    let tb = quick_bench(profile);
+    let ctx = DesignContext::new(&tb);
+    let (fw, base) = train_and_sample(&tb, false, 4);
+    let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
+    let cfg = CampaignConfig {
+        scenarios: SCENARIOS,
+        seed: 0xC0FFEE ^ profile as u64,
+        compacted: false,
+    };
+
+    let serial = run_campaign(&ctx, &fw, &diag, &base, &cfg, &ExecPool::with_threads(1));
+    assert_eq!(serial.panics(), 0, "{profile:?}: campaign panicked");
+    let violations = serial.violations();
+    assert!(
+        violations.is_empty(),
+        "{profile:?}: contract violations: {:?}",
+        violations
+            .iter()
+            .map(|o| (&o.label, o.expectation, o.degraded, &o.panic))
+            .collect::<Vec<_>>()
+    );
+    // Reconciliation: every injected must-degrade corruption surfaced.
+    assert!(serial.must_degrade() > 0);
+    assert!(serial.degraded() >= serial.must_degrade());
+    assert_eq!(serial.outcomes.len(), SCENARIOS);
+
+    let parallel = run_campaign(&ctx, &fw, &diag, &base, &cfg, &ExecPool::with_threads(4));
+    assert_eq!(
+        parallel.outcome_hash, serial.outcome_hash,
+        "{profile:?}: campaign results differ across thread counts"
+    );
+    assert_eq!(parallel.outcomes, serial.outcomes);
+}
+
+#[test]
+fn chaos_campaign_aes_like() {
+    campaign_contract(BenchmarkProfile::AesLike);
+}
+
+#[test]
+fn chaos_campaign_tate_like() {
+    campaign_contract(BenchmarkProfile::TateLike);
+}
+
+#[test]
+fn chaos_campaign_netcard_like() {
+    campaign_contract(BenchmarkProfile::NetcardLike);
+}
+
+#[test]
+fn chaos_campaign_leon3_like() {
+    campaign_contract(BenchmarkProfile::Leon3Like);
+}
+
+/// Duplicated failing observations collapse under the log's sort+dedup
+/// constructor: the corrupted run must match the healthy run bit for bit.
+#[test]
+fn duplicate_entries_collapse_to_healthy_results() {
+    let tb = quick_bench(BenchmarkProfile::AesLike);
+    let ctx = DesignContext::new(&tb);
+    let (fw, base) = train_and_sample(&tb, false, 4);
+    let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
+    for (i, sample) in base.iter().enumerate() {
+        let healthy = run_scenario(
+            &ctx,
+            &fw,
+            &diag,
+            sample,
+            &Scenario::Healthy,
+            false,
+            &mut StdRng::seed_from_u64(1),
+        );
+        let duplicated = run_scenario(
+            &ctx,
+            &fw,
+            &diag,
+            sample,
+            &Scenario::Log(LogChaos::DuplicateEntries { frac: 0.9 }),
+            false,
+            &mut StdRng::seed_from_u64(2),
+        );
+        assert!(!healthy.degraded, "sample {i}: healthy run degraded");
+        assert!(!duplicated.degraded, "sample {i}: duplicates degraded");
+        assert_eq!(
+            (
+                duplicated.resolution,
+                duplicated.pruned,
+                duplicated.action_pruned,
+                duplicated.predicted_tier,
+                duplicated.confidence_bits
+            ),
+            (
+                healthy.resolution,
+                healthy.pruned,
+                healthy.action_pruned,
+                healthy.predicted_tier,
+                healthy.confidence_bits
+            ),
+            "sample {i}: duplicated log changed the outcome"
+        );
+    }
+}
+
+/// The same contract holds for compaction-mode logs, where corrupt
+/// channel/position entries exercise the scan-chain resolution path.
+#[test]
+fn chaos_campaign_compacted_logs() {
+    let tb = quick_bench(BenchmarkProfile::AesLike);
+    let ctx = DesignContext::new(&tb);
+    let (fw, base) = train_and_sample(&tb, true, 4);
+    let diag = AtpgDiagnosis::new(&ctx.fsim, Some(ctx.chains()), DiagnosisConfig::default());
+    let cfg = CampaignConfig {
+        scenarios: 54, // three catalog cycles
+        seed: 0xBEEF,
+        compacted: true,
+    };
+    let report = run_campaign(&ctx, &fw, &diag, &base, &cfg, &ExecPool::with_threads(4));
+    assert_eq!(report.panics(), 0, "compacted campaign panicked");
+    assert!(
+        report.violations().is_empty(),
+        "compacted contract violations: {:?}",
+        report
+            .violations()
+            .iter()
+            .map(|o| (&o.label, o.expectation, o.degraded, &o.panic))
+            .collect::<Vec<_>>()
+    );
+    assert!(report.degraded() >= report.must_degrade());
+}
