@@ -5,20 +5,26 @@
 # gate (run reports -> BENCH_quick.json -> m3d-obsctl compare against the
 # committed baseline in benchmarks/).
 #
-# Usage: ./ci.sh [--skip-perf] [--skip-chaos]
+# Usage: ./ci.sh [--skip-perf] [--skip-chaos] [--skip-slo]
 #   --skip-perf   run everything except the perf gate (useful on noisy
 #                 or throttled machines; the gate still runs in real CI)
 #   --skip-chaos  run everything except the chaos campaigns (they rerun
 #                 as part of `cargo test`; the dedicated step re-executes
 #                 them serially and in parallel as a focused gate)
+#   --skip-slo    run everything except the SLO gate (absolute per-design
+#                 latency/degradation budgets over the perf-gate run
+#                 reports; implied by --skip-perf, which leaves no reports
+#                 to check)
 set -eu
 
 SKIP_PERF=0
 SKIP_CHAOS=0
+SKIP_SLO=0
 for arg in "$@"; do
     case "$arg" in
         --skip-perf) SKIP_PERF=1 ;;
         --skip-chaos) SKIP_CHAOS=1 ;;
+        --skip-slo) SKIP_SLO=1 ;;
         *) echo "ci.sh: unknown argument '$arg'" >&2; exit 2 ;;
     esac
 done
@@ -75,6 +81,7 @@ M3D_BENCH_SMOKE=1 cargo bench -q -p m3d-fault-loc --bench backtrace
 
 if [ "$SKIP_PERF" = 1 ]; then
     echo "ci.sh: perf gate skipped (--skip-perf)"
+    echo "ci.sh: SLO gate skipped (no perf-gate run reports to check)"
     echo "ci.sh: all green"
     exit 0
 fi
@@ -121,6 +128,18 @@ if [ ! -f "$BASELINE" ]; then
     echo "ci.sh: no committed baseline found — bootstrapped $BASELINE from this run; review and commit it"
 else
     ./target/release/m3d-obsctl compare "$BASELINE" BENCH_quick.json
+fi
+
+if [ "$SKIP_SLO" = 1 ]; then
+    echo "ci.sh: SLO gate skipped (--skip-slo)"
+else
+    echo "== SLO gate =="
+    # Absolute ceilings, as opposed to the relative perf gate above: every
+    # design's diagnosis p95 must stay under the committed baseline's
+    # `framework.diagnose` p95 x 2 headroom, and no design may degrade more
+    # than 10% of its cases. Checked on the perf runs just produced.
+    ./target/release/m3d-obsctl slo "$PERF_DIR/quick-run1.ndjson" \
+        --baseline "$BASELINE" --headroom 2.0 --max-degraded-rate 0.1
 fi
 
 echo "ci.sh: all green"

@@ -459,10 +459,11 @@ pub fn table09(scale: &Scale, profiles: &[BenchmarkProfile]) -> Vec<RuntimeRow> 
             row.t_update
         );
         m3d_obs::out!(
-            "{:<10} backup dictionary ≈ {} bytes/pruned case, {} degraded case(s)",
+            "{:<10} backup dictionary ≈ {} bytes/pruned case, {} degraded case(s) [{}]",
             "",
             eval.backup_bytes,
-            eval.degraded_cases
+            eval.degraded_cases,
+            eval.degraded_breakdown.render()
         );
         rows.push(row);
     }

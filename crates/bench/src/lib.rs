@@ -19,7 +19,8 @@ pub mod scale;
 
 pub use pipeline::{
     build_bench, evaluate_config, fmt_quality, fmt_quality_vs, fmt_tier_loc, profiles_from_args,
-    run_profile, train_framework, ConfigEval, ExperimentConfig, MethodResult, Trained,
+    run_profile, train_framework, ConfigEval, DegradedBreakdown, ExperimentConfig, MethodResult,
+    Trained,
 };
 pub use report::ReportGuard;
 pub use scale::Scale;

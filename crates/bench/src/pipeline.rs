@@ -184,6 +184,41 @@ pub struct ConfigEval {
     /// Test cases that fell back to the unpruned ATPG ranking because the
     /// GNN evidence was unusable (see `m3d_fault_loc::DegradeReason`).
     pub degraded_cases: usize,
+    /// The same fallbacks broken down by reason.
+    pub degraded_breakdown: DegradedBreakdown,
+}
+
+/// Degraded-case counts per [`m3d_fault_loc::DegradeReason`] (the sum
+/// equals [`ConfigEval::degraded_cases`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DegradedBreakdown {
+    /// Cases with an empty back-traced subgraph.
+    pub empty_subgraph: usize,
+    /// Cases whose feature matrix carried NaN/Inf values.
+    pub non_finite_features: usize,
+    /// Cases where inference produced NaN/Inf probabilities.
+    pub non_finite_inference: usize,
+}
+
+impl DegradedBreakdown {
+    /// Tallies one case's degradation reason (no-op for `None`).
+    pub fn add(&mut self, reason: Option<m3d_fault_loc::DegradeReason>) {
+        use m3d_fault_loc::DegradeReason as R;
+        match reason {
+            Some(R::EmptySubgraph) => self.empty_subgraph += 1,
+            Some(R::NonFiniteFeatures) => self.non_finite_features += 1,
+            Some(R::NonFiniteInference) => self.non_finite_inference += 1,
+            None => {}
+        }
+    }
+
+    /// Compact `empty=N nf_feat=N nf_inf=N` rendering for table output.
+    pub fn render(&self) -> String {
+        format!(
+            "empty={} nf_feat={} nf_inf={}",
+            self.empty_subgraph, self.non_finite_features, self.non_finite_inference
+        )
+    }
 }
 
 /// Evaluates one design configuration with all four methods.
@@ -220,6 +255,7 @@ pub fn evaluate_config(
     let mut backup_bytes = 0usize;
     let mut pruned_cases = 0usize;
     let mut degraded_cases = 0usize;
+    let mut degraded_breakdown = DegradedBreakdown::default();
 
     // The diagnosis sweep: every chip is processed independently against
     // the shared read-only framework/diagnosis state, so the cases fan
@@ -272,6 +308,7 @@ pub fn evaluate_config(
         t_gnn += r.t_gnn;
         t_update += r.t_update;
         degraded_cases += usize::from(r.degraded.is_some());
+        degraded_breakdown.add(r.degraded);
 
         let truth_tier = s.fault.tier(&bench).expect("single-fault samples");
         let pre_localized = single_tier_of(&r.atpg_report, &bench.m3d).is_some();
@@ -314,6 +351,7 @@ pub fn evaluate_config(
         t_update,
         backup_bytes: backup_bytes / pruned_cases.max(1),
         degraded_cases,
+        degraded_breakdown,
     }
 }
 

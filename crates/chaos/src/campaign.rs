@@ -7,7 +7,8 @@ use crate::scenario::{Expectation, Scenario};
 use m3d_diagnosis::AtpgDiagnosis;
 use m3d_exec::ExecPool;
 use m3d_fault_loc::{
-    apply_policy, BacktraceConfig, DesignContext, Framework, PolicyAction, PolicyConfig, Sample,
+    apply_policy, BacktraceConfig, DesignContext, DiagnosisAudit, Framework, PolicyAction,
+    PolicyConfig, Sample,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,6 +38,10 @@ pub struct ScenarioOutcome {
     /// Whether the case surfaced a degradation (framework fallback or
     /// policy pass-through).
     pub degraded: bool,
+    /// The specific [`m3d_fault_loc::DegradeReason`] label attributed in
+    /// the scenario's audit record (`None` for a healthy outcome) — every
+    /// MustDegrade corruption must be attributable to one.
+    pub degrade_reason: Option<String>,
     /// Final report resolution.
     pub resolution: usize,
     /// Number of candidates pruned into the backup dictionary.
@@ -67,6 +72,7 @@ impl ScenarioOutcome {
     fn fold_into(&self, h: &mut u64) {
         fnv1a(h, self.label.as_bytes());
         fnv1a(h, &[u8::from(self.degraded), u8::from(self.action_pruned)]);
+        fnv1a(h, self.degrade_reason.as_deref().unwrap_or("-").as_bytes());
         fnv1a(h, &(self.resolution as u64).to_le_bytes());
         fnv1a(h, &(self.pruned as u64).to_le_bytes());
         fnv1a(h, &[self.predicted_tier]);
@@ -109,6 +115,23 @@ impl CampaignReport {
             .filter(|o| o.expectation == Expectation::MustDegrade)
             .count()
     }
+
+    /// Degraded-scenario counts broken down by attributed
+    /// [`m3d_fault_loc::DegradeReason`] label, label-sorted. Degraded
+    /// outcomes with no attribution appear under `"unattributed"` (always
+    /// absent under the audit contract).
+    pub fn degraded_by_reason(&self) -> Vec<(String, usize)> {
+        let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+        for o in self.outcomes.iter().filter(|o| o.degraded) {
+            *counts
+                .entry(o.degrade_reason.as_deref().unwrap_or("unattributed"))
+                .or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect()
+    }
 }
 
 /// Runs one scenario against a base sample and reports what happened.
@@ -126,10 +149,10 @@ pub fn run_scenario(
     compacted: bool,
     rng: &mut StdRng,
 ) -> ScenarioOutcome {
-    let (degraded, outcome) = match scenario {
+    let (degrade_reason, outcome) = match scenario {
         Scenario::Healthy => {
             let r = fw.process_case(ctx, diag, base);
-            (r.degraded.is_some(), r.outcome)
+            (r.degraded.map(|d| d.as_str().to_string()), r.outcome)
         }
         Scenario::Log(chaos) => {
             let log = inject_log(&base.log, chaos, rng);
@@ -141,7 +164,7 @@ pub fn run_scenario(
                 truth: base.truth.clone(),
             };
             let r = fw.process_case(ctx, diag, &sample);
-            (r.degraded.is_some(), r.outcome)
+            (r.degraded.map(|d| d.as_str().to_string()), r.outcome)
         }
         Scenario::Graph(chaos) => {
             let sample = Sample {
@@ -151,14 +174,23 @@ pub fn run_scenario(
                 truth: base.truth.clone(),
             };
             let r = fw.process_case(ctx, diag, &sample);
-            (r.degraded.is_some(), r.outcome)
+            (r.degraded.map(|d| d.as_str().to_string()), r.outcome)
         }
         Scenario::Gnn(chaos) => {
+            // This arm bypasses `process_case` (corrupt probabilities are
+            // fed straight into the policy), so the flight-recorder audit
+            // that `process_case` would emit is synthesized here: every
+            // scenario of a campaign leaves an audit record.
+            let span = m3d_obs::SpanGuard::enter_root("chaos.gnn.diagnose");
+            let t0 = std::time::Instant::now();
             let report = diag.diagnose(&base.log);
+            let t_atpg = t0.elapsed();
+            let tier_probs = chaos.tier_probs();
+            let t1 = std::time::Instant::now();
             let out = apply_policy(
                 &report,
                 &ctx.bench.m3d,
-                &chaos.tier_probs(),
+                &tier_probs,
                 &chaos.miv_probs(),
                 None,
                 &base.subgraph,
@@ -167,13 +199,55 @@ pub fn run_scenario(
                     ..PolicyConfig::default()
                 },
             );
-            (out.degraded, out)
+            let t_update = t1.elapsed();
+            // The framework maps policy-detected corruption (non-finite
+            // or missing probabilities) to NonFiniteInference; attribute
+            // the synthesized audit the same way.
+            let reason = out
+                .degraded
+                .then_some(m3d_fault_loc::DegradeReason::NonFiniteInference.as_str());
+            let audit = DiagnosisAudit {
+                trace_id: span.trace_id(),
+                design: ctx.bench.name.clone(),
+                log_entries: base.log.entries().len(),
+                log_valid: ctx.validate_log(&base.log, compacted).is_ok(),
+                subgraph_nodes: base.subgraph.len(),
+                subgraph_mivs: base.subgraph.miv_rows.len(),
+                backtrace: base.subgraph.stats,
+                features_finite: !base.subgraph.x.has_non_finite(),
+                feature_mean: 0.0, // probabilities injected; features unused
+                tier_probs: [
+                    tier_probs.first().copied().unwrap_or(0.5),
+                    tier_probs.get(1).copied().unwrap_or(0.5),
+                ],
+                argmax_margin: 0.0,
+                predicted_tier: out.predicted_tier.0,
+                confidence: out.confidence,
+                action: match out.action {
+                    PolicyAction::Pruned => "pruned",
+                    PolicyAction::Reordered => "reordered",
+                },
+                kept_candidates: out.report.resolution(),
+                dropped_candidates: out.pruned.len(),
+                faulty_mivs: out.faulty_mivs.len(),
+                t_p: fw.t_p(),
+                t_p_fallback: fw.t_p_is_fallback(),
+                degrade_reason: reason,
+                t_atpg_ms: t_atpg.as_secs_f64() * 1e3,
+                t_gnn_ms: 0.0,
+                t_update_ms: t_update.as_secs_f64() * 1e3,
+            };
+            if m3d_obs::registry::enabled() {
+                m3d_obs::registry::record_extra(audit.to_json_line());
+            }
+            (reason.map(str::to_string), out)
         }
     };
     ScenarioOutcome {
         label: scenario.label(),
         expectation: scenario.expectation(),
-        degraded,
+        degraded: degrade_reason.is_some(),
+        degrade_reason,
         resolution: outcome.report.resolution(),
         pruned: outcome.pruned.len(),
         action_pruned: outcome.action == PolicyAction::Pruned,
@@ -226,6 +300,7 @@ pub fn run_campaign(
                     label: scenario.label(),
                     expectation: scenario.expectation(),
                     degraded: false,
+                    degrade_reason: None,
                     resolution: 0,
                     pruned: 0,
                     action_pruned: false,
@@ -245,16 +320,29 @@ pub fn run_campaign(
         "chaos.scenarios_degraded",
         outcomes.iter().filter(|o| o.degraded).count() as u64
     );
-    m3d_obs::info!(
-        "chaos campaign: {} scenarios, {} degraded, {} panics, hash {outcome_hash:#018x}",
-        outcomes.len(),
-        outcomes.iter().filter(|o| o.degraded).count(),
-        outcomes.iter().filter(|o| o.panic.is_some()).count()
-    );
-    CampaignReport {
+    let report = CampaignReport {
         outcomes,
         outcome_hash,
-    }
+    };
+    let by_reason = report
+        .degraded_by_reason()
+        .iter()
+        .map(|(r, n)| format!("{r}={n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    m3d_obs::info!(
+        "chaos campaign: {} scenarios, {} degraded [{}], {} panics, hash {:#018x}",
+        report.outcomes.len(),
+        report.degraded(),
+        if by_reason.is_empty() {
+            "-"
+        } else {
+            &by_reason
+        },
+        report.panics(),
+        report.outcome_hash
+    );
+    report
 }
 
 /// SplitMix64 finalizer — decorrelates per-scenario seeds.

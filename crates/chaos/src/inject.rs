@@ -140,6 +140,7 @@ pub fn inject_subgraph(sub: &Subgraph, chaos: &GraphChaos, rng: &mut StdRng) -> 
                 graph,
                 x: Matrix::zeros(0, N_FEATURES),
                 miv_rows: vec![],
+                stats: sub.stats,
             }
         }
         GraphChaos::NanFeatures { frac } => poison_rows(sub, *frac, f32::NAN, rng),

@@ -166,6 +166,22 @@ impl ConeMemo {
     }
 }
 
+/// Work counters of one [`backtrace`] call, carried on the resulting
+/// [`Subgraph`] so per-diagnosis audits can report how the subgraph was
+/// produced (the `backtrace.*` counters aggregate the same numbers
+/// run-wide).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BacktraceStats {
+    /// Cone nodes walked while resolving observation-point cones.
+    pub nodes_visited: u64,
+    /// Per-pattern transition-activity screens over memoized cones.
+    pub activity_checks: u64,
+    /// Cone steps avoided by active-set memo hits.
+    pub cone_cache_hits: u64,
+    /// Failure entries dropped for out-of-range pattern numbers.
+    pub dropped_patterns: u64,
+}
+
 /// A back-traced homogeneous subgraph ready for the GNN models.
 #[derive(Debug, Clone)]
 pub struct Subgraph {
@@ -180,6 +196,9 @@ pub struct Subgraph {
     pub x: Matrix,
     /// Rows that are MIV nodes.
     pub miv_rows: Vec<(usize, MivId)>,
+    /// Work counters of the backtrace that produced this subgraph (zeros
+    /// for synthetic subgraphs built outside [`backtrace`]).
+    pub stats: BacktraceStats,
 }
 
 impl Subgraph {
@@ -302,9 +321,17 @@ pub fn backtrace(
              beyond the {pattern_cap} simulated slots (corrupt log?)"
         );
     }
+    let stats = BacktraceStats {
+        nodes_visited,
+        activity_checks,
+        cone_cache_hits,
+        dropped_patterns,
+    };
     let max_support = support.values().copied().max().unwrap_or(0);
     if max_support == 0 {
-        return empty_subgraph();
+        let mut sub = empty_subgraph();
+        sub.stats = stats;
+        return sub;
     }
     let floor = ((f64::from(max_support)) * cfg.keep_frac).ceil().max(1.0) as u32;
     let mut picked: Vec<(HNodeId, u32)> =
@@ -314,7 +341,9 @@ pub fn backtrace(
     picked.truncate(cfg.max_nodes);
     let mut nodes: Vec<HNodeId> = picked.into_iter().map(|(n, _)| n).collect();
     nodes.sort_unstable();
-    build_subgraph(hetero, features, nodes)
+    let mut sub = build_subgraph(hetero, features, nodes);
+    sub.stats = stats;
+    sub
 }
 
 fn empty_subgraph() -> Subgraph {
@@ -325,6 +354,7 @@ fn empty_subgraph() -> Subgraph {
         graph,
         x: Matrix::zeros(0, N_FEATURES),
         miv_rows: vec![],
+        stats: BacktraceStats::default(),
     }
 }
 
@@ -365,6 +395,7 @@ pub fn build_subgraph(
         nodes,
         x,
         miv_rows,
+        stats: BacktraceStats::default(),
     }
 }
 

@@ -2,6 +2,7 @@
 //! failure log — run ATPG diagnosis and GNN inference side by side and
 //! fuse them with the pruning/reordering policy.
 
+use crate::audit::DiagnosisAudit;
 use crate::backtrace::Subgraph;
 use crate::classifier::{ClassifierConfig, PruneClassifier};
 use crate::dataset::{DesignContext, Sample};
@@ -142,6 +143,9 @@ pub struct FrameworkResult {
     pub t_gnn: Duration,
     /// Wall time of the pruning/reordering update.
     pub t_update: Duration,
+    /// The structured per-case audit record (also registered with the
+    /// m3d-obs registry as an `audit` report line when recording is on).
+    pub audit: DiagnosisAudit,
 }
 
 /// The trained framework.
@@ -281,13 +285,20 @@ impl Framework {
 
     /// Runs the full per-chip flow: ATPG diagnosis, GNN inference, and the
     /// policy update.
+    ///
+    /// Each call opens a fresh trace (`framework.diagnose` root span), so
+    /// every diagnosis — wherever its worker thread ran — reconstructs
+    /// into its own span tree in the run report, joined by trace id to
+    /// the [`DiagnosisAudit`] the call emits.
     pub fn process_case(
         &self,
         ctx: &DesignContext<'_>,
         diag: &AtpgDiagnosis<'_, '_>,
         sample: &Sample,
     ) -> FrameworkResult {
-        let _span = m3d_obs::span!("framework.diagnose");
+        let _span = m3d_obs::SpanGuard::enter_root("framework.diagnose");
+        let trace_id = _span.trace_id();
+        let t_case = Instant::now();
         let t0 = Instant::now();
         let atpg_report = diag.diagnose(&sample.log);
         let t_atpg = t0.elapsed();
@@ -352,6 +363,48 @@ impl Framework {
             );
         }
 
+        // Tester logs only carry channel/position entries when they went
+        // through the response compactor; validate in the matching mode.
+        let compacted = sample
+            .log
+            .entries()
+            .iter()
+            .any(|e| matches!(e.obs, m3d_sim::FailObs::Channel { .. }));
+        let audit = DiagnosisAudit {
+            trace_id,
+            design: ctx.bench.name.clone(),
+            log_entries: sample.log.entries().len(),
+            log_valid: ctx.validate_log(&sample.log, compacted).is_ok(),
+            subgraph_nodes: sample.subgraph.len(),
+            subgraph_mivs: sample.subgraph.miv_rows.len(),
+            backtrace: sample.subgraph.stats,
+            features_finite: !sample.subgraph.x.has_non_finite(),
+            feature_mean: feature_mean(&sample.subgraph.x),
+            tier_probs,
+            argmax_margin: (tier_probs[1] - tier_probs[0]).abs(),
+            predicted_tier: outcome.predicted_tier.0,
+            confidence: outcome.confidence,
+            action: match outcome.action {
+                crate::policy::PolicyAction::Pruned => "pruned",
+                crate::policy::PolicyAction::Reordered => "reordered",
+            },
+            kept_candidates: outcome.report.resolution(),
+            dropped_candidates: outcome.pruned.len(),
+            faulty_mivs: outcome.faulty_mivs.len(),
+            t_p: self.policy.t_p,
+            t_p_fallback: self.t_p_fallback,
+            degrade_reason: degraded.map(DegradeReason::as_str),
+            t_atpg_ms: t_atpg.as_secs_f64() * 1e3,
+            t_gnn_ms: t_gnn.as_secs_f64() * 1e3,
+            t_update_ms: t_update.as_secs_f64() * 1e3,
+        };
+        // Serialization and the per-design SLO keys cost allocations, so
+        // the disabled path (obs-overhead budget) skips them entirely.
+        if m3d_obs::registry::enabled() {
+            m3d_obs::registry::record_extra(audit.to_json_line());
+            record_slo(&audit, t_case.elapsed());
+        }
+
         FrameworkResult {
             atpg_report,
             outcome,
@@ -360,8 +413,43 @@ impl Framework {
             t_atpg,
             t_gnn,
             t_update,
+            audit,
         }
     }
+}
+
+/// Mean of a feature matrix (0 for an empty one) — a coarse drift
+/// fingerprint for the audit record.
+fn feature_mean(x: &m3d_gnn::Matrix) -> f64 {
+    let (rows, cols) = (x.rows(), x.cols());
+    if rows == 0 || cols == 0 {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    for r in 0..rows {
+        for &v in x.row(r) {
+            sum += f64::from(v);
+        }
+    }
+    sum / (rows * cols) as f64
+}
+
+/// Rolls one diagnosis into the per-design SLO telemetry: a latency
+/// histogram (`slo.diagnose.<design>` span) plus counters from which
+/// degradation and mean-resolution rates derive
+/// (`slo.{cases,degraded,resolution_sum}.<design>`). Callers check the
+/// budgets with `m3d-obsctl slo`.
+fn record_slo(audit: &DiagnosisAudit, elapsed: Duration) {
+    let design = &audit.design;
+    m3d_obs::registry::record_span(&format!("slo.diagnose.{design}"), elapsed);
+    m3d_obs::counter!(&format!("slo.cases.{design}"), 1);
+    if audit.degrade_reason.is_some() {
+        m3d_obs::counter!(&format!("slo.degraded.{design}"), 1);
+    }
+    m3d_obs::counter!(
+        &format!("slo.resolution_sum.{design}"),
+        audit.kept_candidates as u64
+    );
 }
 
 #[cfg(test)]
@@ -453,6 +541,7 @@ mod tests {
             graph: g,
             x: Matrix::zeros(0, N_FEATURES),
             miv_rows: vec![],
+            stats: Default::default(),
         };
         let r = fw.process_case(&ctx, &diag, &empty);
         assert_eq!(r.degraded, Some(DegradeReason::EmptySubgraph));

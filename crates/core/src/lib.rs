@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod audit;
 mod backtrace;
 mod classifier;
 mod dataset;
@@ -75,7 +76,10 @@ mod oversample;
 mod pipeline;
 mod policy;
 
-pub use backtrace::{backtrace, build_subgraph, BacktraceConfig, ConeMemo, Subgraph};
+pub use audit::DiagnosisAudit;
+pub use backtrace::{
+    backtrace, build_subgraph, BacktraceConfig, BacktraceStats, ConeMemo, Subgraph,
+};
 pub use classifier::{ClassifierConfig, PruneClassifier, CLASS_PRUNE, CLASS_REORDER};
 pub use dataset::{
     generate_samples, generate_samples_with_pool, DatasetConfig, DesignContext, InjectedFault,

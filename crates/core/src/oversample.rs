@@ -62,6 +62,7 @@ pub fn with_dummy_buffers(sub: &Subgraph, host_row: usize, chain_len: usize) -> 
         graph,
         x,
         miv_rows: sub.miv_rows.clone(),
+        stats: sub.stats,
     }
 }
 

@@ -286,6 +286,7 @@ mod tests {
             graph: g,
             x: Matrix::zeros(0, crate::features::N_FEATURES),
             miv_rows: vec![],
+            stats: Default::default(),
         }
     }
 

@@ -28,7 +28,11 @@
 //!
 //! Each worker of a parallel region runs under an `exec.worker` obs span,
 //! so `m3d-obsctl trace` renders the fan-out as parallel tracks in
-//! Perfetto.
+//! Perfetto. The caller's [`m3d_obs::TraceCtx`] is captured at the `map`
+//! call site and installed on every worker, so worker spans (and any span
+//! the mapped closure opens, e.g. a per-diagnosis root) stay causally
+//! attached to the submitting span's trace tree across the thread
+//! boundary.
 //!
 //! ```
 //! let pool = m3d_exec::ExecPool::with_threads(4);
@@ -138,6 +142,9 @@ impl ExecPool {
         // rebalance stragglers, but never zero.
         let chunk = (n / (workers * 4)).max(1);
         let cursor = AtomicUsize::new(0);
+        // Captured on the submitting thread; installed on each worker so
+        // the fan-out stays on the caller's trace.
+        let trace_ctx = m3d_obs::TraceCtx::current();
         let mut parts: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -147,6 +154,7 @@ impl ExecPool {
                         // span opens, so steady-state `exec.worker` spans
                         // allocate nothing.
                         let mut local: Vec<(usize, R)> = Vec::with_capacity(n);
+                        let _trace = trace_ctx.install();
                         let _span = m3d_obs::span!("exec.worker");
                         loop {
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);

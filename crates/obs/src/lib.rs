@@ -6,7 +6,11 @@
 //!
 //! - **Span timers** — [`span!`] returns an RAII guard; each named span
 //!   aggregates call count, min/mean/max, and p50/p95 from a fixed-bucket
-//!   histogram in a thread-safe global registry. Spans nest freely.
+//!   histogram in a thread-safe global registry. Spans nest freely and
+//!   carry **causal trace context**: [`SpanGuard::enter_root`] opens a
+//!   fresh trace (one per logical request), nested spans parent under the
+//!   enclosing one, and [`TraceCtx`] carries the causal position across
+//!   thread boundaries so each request's spans reconstruct into a tree.
 //! - **Counters and gauges** — [`counter!`] / [`gauge!`] (e.g.
 //!   `backtrace.nodes_visited`, `atpg.patterns_generated`,
 //!   `policy.candidates_pruned`).
@@ -59,7 +63,7 @@ pub use registry::{
     current_tid, reset, set_enabled, snapshot, EpochPoint, Snapshot, SpanEvent, SpanSnapshot,
 };
 pub use report::{write_from_env, RunReport};
-pub use span::{timed, SpanGuard};
+pub use span::{timed, SpanGuard, TraceCtx, TraceCtxGuard};
 
 /// Starts an RAII span timer: `let _g = m3d_obs::span!("stage.name");`.
 #[macro_export]

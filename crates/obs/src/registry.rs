@@ -5,7 +5,7 @@
 
 use crate::hist::Histogram;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -33,7 +33,8 @@ pub struct EpochPoint {
 }
 
 /// One completed span occurrence on the process timeline, for trace
-/// export (Chrome Trace Event / Perfetto).
+/// export (Chrome Trace Event / Perfetto) and causal-tree reconstruction
+/// (`m3d-obsctl explain`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanEvent {
     /// Span name.
@@ -44,6 +45,14 @@ pub struct SpanEvent {
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub dur_ns: u64,
+    /// The trace (logical request) this span served; 0 = outside any
+    /// trace.
+    pub trace_id: u64,
+    /// Process-unique span id (1-based).
+    pub span_id: u64,
+    /// Span id of the enclosing span on the same trace; 0 = trace root
+    /// (or outside any trace).
+    pub parent_id: u64,
 }
 
 /// Events kept per run before new ones are dropped (the count of drops is
@@ -51,6 +60,11 @@ pub struct SpanEvent {
 /// this bound is generous; it exists to keep a runaway hot-loop span from
 /// exhausting memory.
 const EVENT_CAP: usize = 1 << 16;
+
+/// Extra records (pre-serialized NDJSON lines, e.g. diagnosis audits)
+/// kept per run before new ones are dropped. One audit is recorded per
+/// diagnosed failure log, so this bound is generous.
+const EXTRA_CAP: usize = 1 << 14;
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -60,6 +74,8 @@ struct Inner {
     curves: BTreeMap<String, Vec<EpochPoint>>,
     events: Vec<SpanEvent>,
     events_dropped: u64,
+    extras: Vec<String>,
+    extras_dropped: u64,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
@@ -115,6 +131,19 @@ pub fn current_tid() -> u32 {
     TID.with(|t| *t)
 }
 
+/// Allocates a process-unique span id (1-based; 0 means "none").
+pub(crate) fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Allocates a process-unique trace id (1-based; 0 means "none"). Ids are
+/// unique, not ordered: concurrent roots claim them in scheduling order.
+pub fn next_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
 /// Records one completed span duration under `name`.
 pub fn record_span(name: &str, duration: Duration) {
     if !enabled() {
@@ -139,8 +168,16 @@ fn record_stat(inner: &mut Inner, name: &str, ns: u64) {
 }
 
 /// Records one completed span occurrence with its position on the process
-/// timeline: aggregate statistics plus a [`SpanEvent`] for trace export.
-pub fn record_span_event(name: &str, start_ns: u64, dur_ns: u64) {
+/// timeline and in its trace's causal tree: aggregate statistics plus a
+/// [`SpanEvent`] for trace export and tree reconstruction.
+pub fn record_span_event(
+    name: &str,
+    start_ns: u64,
+    dur_ns: u64,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+) {
     if !enabled() {
         return;
     }
@@ -153,10 +190,30 @@ pub fn record_span_event(name: &str, start_ns: u64, dur_ns: u64) {
             tid,
             start_ns,
             dur_ns,
+            trace_id,
+            span_id,
+            parent_id,
         });
     } else {
         inner.events_dropped += 1;
     }
+}
+
+/// Records one extra NDJSON record to be emitted verbatim in the run
+/// report (e.g. a `{"type":"audit",...}` diagnosis audit). The caller
+/// must pass one complete single-line JSON object with a `type` field the
+/// schema's consumers either know or skip; newlines are rejected (the
+/// record is dropped and counted) since they would corrupt the stream.
+pub fn record_extra(line: String) {
+    if !enabled() {
+        return;
+    }
+    let mut inner = locked();
+    if line.contains('\n') || inner.extras.len() >= EXTRA_CAP {
+        inner.extras_dropped += 1;
+        return;
+    }
+    inner.extras.push(line);
 }
 
 /// Adds `delta` to the counter `name` (created at 0 on first use).
@@ -228,6 +285,11 @@ pub struct Snapshot {
     pub events: Vec<SpanEvent>,
     /// Span events discarded after the in-memory cap was reached.
     pub events_dropped: u64,
+    /// Extra pre-serialized NDJSON records in recording order (e.g.
+    /// diagnosis audits), emitted verbatim by the report writer.
+    pub extras: Vec<String>,
+    /// Extra records discarded after the in-memory cap was reached.
+    pub extras_dropped: u64,
 }
 
 impl Snapshot {
@@ -286,5 +348,7 @@ pub fn snapshot() -> Snapshot {
             .collect(),
         events: inner.events.clone(),
         events_dropped: inner.events_dropped,
+        extras: inner.extras.clone(),
+        extras_dropped: inner.extras_dropped,
     }
 }

@@ -10,14 +10,21 @@
 //! {"type":"counter","name":"policy.candidates_pruned","value":17}
 //! {"type":"gauge","name":"framework.t_p","value":0.93}
 //! {"type":"epoch","model":"tier-predictor","epoch":0,"loss":0.69,"wall_ms":3.1}
-//! {"type":"span_event","name":"framework.train","tid":1,"start_ns":120,"dur_ns":4500}
+//! {"type":"span_event","name":"framework.train","tid":1,"start_ns":120,"dur_ns":4500,
+//!  "trace_id":3,"span_id":9,"parent_id":8}
+//! {"type":"audit","trace_id":3,...}
 //! ```
 //!
 //! `span_event` lines carry each span occurrence's begin offset on the
-//! process timeline plus the recording thread, which is what
-//! `m3d-obsctl trace` converts to Chrome Trace Event JSON. Consumers must
-//! ignore record types they do not know (forward compatibility within
-//! schema `m3d-obs/1`).
+//! process timeline plus the recording thread (what `m3d-obsctl trace`
+//! converts to Chrome Trace Event JSON) and its causal ids: `trace_id`
+//! groups one logical request's spans, `span_id` is process-unique, and
+//! `parent_id` names the enclosing span (0 = root). `m3d-obsctl explain`
+//! reconstructs one trace's tree from them. Extra records registered via
+//! [`crate::registry::record_extra`] — e.g. per-diagnosis `audit` records
+//! — are emitted verbatim, one per line. Consumers must ignore record
+//! types they do not know (forward compatibility within schema
+//! `m3d-obs/1`).
 
 use crate::registry::{self, Snapshot};
 use std::io::Write;
@@ -26,8 +33,10 @@ use std::path::{Path, PathBuf};
 /// Environment variable naming the report output path.
 pub const REPORT_ENV: &str = "M3D_OBS_REPORT";
 
-/// Escapes and quotes a JSON string.
-fn json_string(out: &mut String, s: &str) {
+/// Appends `s` to `out` as an escaped, double-quoted JSON string. Public
+/// so crates serializing extra records (e.g. diagnosis audits) share one
+/// escaping implementation.
+pub fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -45,8 +54,9 @@ fn json_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// Writes a finite number, or `null` for NaN/infinity (invalid in JSON).
-fn json_number(out: &mut String, v: f64) {
+/// Appends a finite number to `out`, or `null` for NaN/infinity (invalid
+/// in JSON). Public for the same reason as [`json_string`].
+pub fn json_number(out: &mut String, v: f64) {
     if v.is_finite() {
         out.push_str(&format!("{v}"));
     } else {
@@ -161,14 +171,24 @@ impl RunReport {
             out.push_str("{\"type\":\"span_event\",\"name\":");
             json_string(&mut out, &e.name);
             out.push_str(&format!(
-                ",\"tid\":{},\"start_ns\":{},\"dur_ns\":{}}}\n",
-                e.tid, e.start_ns, e.dur_ns
+                ",\"tid\":{},\"start_ns\":{},\"dur_ns\":{},\"trace_id\":{},\"span_id\":{},\"parent_id\":{}}}\n",
+                e.tid, e.start_ns, e.dur_ns, e.trace_id, e.span_id, e.parent_id
             ));
+        }
+        for extra in &self.snapshot.extras {
+            out.push_str(extra);
+            out.push('\n');
         }
         if self.snapshot.events_dropped > 0 {
             out.push_str(&format!(
                 "{{\"type\":\"counter\",\"name\":\"obs.span_events_dropped\",\"value\":{}}}\n",
                 self.snapshot.events_dropped
+            ));
+        }
+        if self.snapshot.extras_dropped > 0 {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":\"obs.extra_records_dropped\",\"value\":{}}}\n",
+                self.snapshot.extras_dropped
             ));
         }
         out

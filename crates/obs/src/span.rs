@@ -1,21 +1,125 @@
-//! RAII span timers. A [`SpanGuard`] measures from construction to drop
-//! and records into the global registry; guards nest freely (each records
-//! its own inclusive time) and are reentrancy- and thread-safe.
+//! RAII span timers with causal trace context. A [`SpanGuard`] measures
+//! from construction to drop and records into the global registry; guards
+//! nest freely (each records its own inclusive time) and are reentrancy-
+//! and thread-safe.
 //!
 //! Besides the aggregate statistics, every completed guard leaves a
 //! [`crate::registry::SpanEvent`] carrying its begin offset on the shared
-//! process timeline and the recording thread's id, which is what
-//! `m3d-obsctl trace` turns into a Chrome Trace Event file. With the
-//! `alloc-profile` feature (and [`crate::alloc::CountingAllocator`]
-//! installed), each span additionally accumulates the bytes its own
-//! thread allocated while it was live into an `alloc.span.<name>.bytes`
-//! counter (other threads' traffic is never attributed to it).
+//! process timeline, the recording thread's id, and its **causal
+//! position**: a process-unique span id, the id of the enclosing span on
+//! the same trace (0 for a root), and a trace id grouping one logical
+//! request's spans into a reconstructible tree. `m3d-obsctl trace` turns
+//! the events into a Chrome Trace Event file and `m3d-obsctl explain`
+//! renders one trace's tree.
+//!
+//! Causality is tracked per thread: each thread keeps a stack of live
+//! `(trace_id, span_id)` frames. [`SpanGuard::enter`] parents under the
+//! top frame and inherits its trace; [`SpanGuard::enter_root`] starts a
+//! fresh trace (new trace id, no parent). To carry causality across a
+//! thread boundary — e.g. into worker threads of a fan-out region —
+//! capture [`TraceCtx::current`] on the spawning thread and
+//! [`TraceCtx::install`] it on each worker before opening spans there.
+//!
+//! With the `alloc-profile` feature (and
+//! [`crate::alloc::CountingAllocator`] installed), each span additionally
+//! accumulates the bytes its own thread allocated while it was live into
+//! an `alloc.span.<name>.bytes` counter (other threads' traffic is never
+//! attributed to it).
 
 use crate::registry;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
 
 thread_local! {
     static DEPTH: Cell<usize> = const { Cell::new(0) };
+    /// Live `(trace_id, span_id)` frames on this thread, innermost last.
+    /// Frames come from open [`SpanGuard`]s and installed [`TraceCtx`]s.
+    static TRACE_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn stack_push(trace_id: u64, span_id: u64) {
+    TRACE_STACK.with(|s| s.borrow_mut().push((trace_id, span_id)));
+}
+
+/// Removes the newest matching frame (normally the top — out-of-order
+/// guard drops only cost a short backwards scan, never corruption).
+fn stack_remove(trace_id: u64, span_id: u64) {
+    TRACE_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        if let Some(i) = stack.iter().rposition(|&f| f == (trace_id, span_id)) {
+            stack.remove(i);
+        }
+    });
+}
+
+/// A causal position in the span tree: which trace the current code is
+/// serving and which span encloses it. The zero value means "no active
+/// trace" (events then record trace/parent id 0).
+///
+/// `TraceCtx` is how causality crosses threads: capture it where work is
+/// submitted, install it where work runs.
+///
+/// ```
+/// let root = m3d_obs::SpanGuard::enter_root("request");
+/// let ctx = m3d_obs::TraceCtx::current();
+/// std::thread::scope(|s| {
+///     s.spawn(move || {
+///         let _ctx = ctx.install();
+///         // Spans opened here parent under `root` on `root`'s trace.
+///         let _work = m3d_obs::span!("request.worker");
+///     });
+/// });
+/// drop(root);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// The trace (logical request) being served; 0 = none.
+    pub trace_id: u64,
+    /// The innermost live span; 0 = none.
+    pub span_id: u64,
+}
+
+impl TraceCtx {
+    /// The calling thread's current causal position (the innermost live
+    /// span frame, or the zero context outside any span).
+    pub fn current() -> TraceCtx {
+        TRACE_STACK.with(|s| {
+            s.borrow()
+                .last()
+                .map_or(TraceCtx::default(), |&(trace_id, span_id)| TraceCtx {
+                    trace_id,
+                    span_id,
+                })
+        })
+    }
+
+    /// Installs this context on the calling thread until the returned
+    /// guard drops: spans opened meanwhile parent under `self.span_id` on
+    /// `self.trace_id`. Install before the first span of a worker closure.
+    pub fn install(self) -> TraceCtxGuard {
+        stack_push(self.trace_id, self.span_id);
+        TraceCtxGuard {
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+/// Uninstalls the [`TraceCtx`] frame on drop. Not `Send`: the frame lives
+/// in the installing thread's stack and must be removed there.
+#[derive(Debug)]
+#[must_use = "the context is uninstalled when the guard drops; binding it to `_` drops immediately"]
+pub struct TraceCtxGuard {
+    trace_id: u64,
+    span_id: u64,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for TraceCtxGuard {
+    fn drop(&mut self) {
+        stack_remove(self.trace_id, self.span_id);
+    }
 }
 
 /// Live timer for one span; records on drop.
@@ -26,26 +130,57 @@ pub struct SpanGuard {
     /// Begin offset from the process epoch; `None` when recording was
     /// disabled at entry (the guard is inert).
     start_ns: Option<u64>,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
     #[cfg(feature = "alloc-profile")]
     allocated_at_enter: u64,
 }
 
 impl SpanGuard {
-    /// Starts timing `name`. When recording is disabled the guard is inert
-    /// (no clock read, no registry write on drop).
+    /// Starts timing `name`, parenting under the calling thread's current
+    /// causal position (see [`TraceCtx`]). When recording is disabled the
+    /// guard is inert (no clock read, no registry write on drop).
     pub fn enter(name: &'static str) -> SpanGuard {
+        SpanGuard::enter_inner(name, None)
+    }
+
+    /// Starts timing `name` as the **root of a fresh trace**: a new
+    /// process-unique trace id is allocated and the span has no parent.
+    /// Use once per logical request (e.g. one diagnosis call); every span
+    /// entered beneath it reconstructs into that request's tree.
+    pub fn enter_root(name: &'static str) -> SpanGuard {
+        SpanGuard::enter_inner(name, Some(registry::next_trace_id()))
+    }
+
+    fn enter_inner(name: &'static str, new_trace: Option<u64>) -> SpanGuard {
         if !registry::enabled() {
             return SpanGuard {
                 name,
                 start_ns: None,
+                trace_id: 0,
+                span_id: 0,
+                parent_id: 0,
                 #[cfg(feature = "alloc-profile")]
                 allocated_at_enter: 0,
             };
         }
         DEPTH.with(|d| d.set(d.get() + 1));
+        let (trace_id, parent_id) = match new_trace {
+            Some(fresh) => (fresh, 0),
+            None => {
+                let ctx = TraceCtx::current();
+                (ctx.trace_id, ctx.span_id)
+            }
+        };
+        let span_id = registry::next_span_id();
+        stack_push(trace_id, span_id);
         SpanGuard {
             name,
             start_ns: Some(registry::epoch_ns()),
+            trace_id,
+            span_id,
+            parent_id,
             #[cfg(feature = "alloc-profile")]
             allocated_at_enter: crate::alloc::thread_total_allocated(),
         }
@@ -54,6 +189,16 @@ impl SpanGuard {
     /// The span's name.
     pub fn name(&self) -> &'static str {
         self.name
+    }
+
+    /// The trace this span belongs to (0 when inert or outside a trace).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// The span's process-unique id (0 when inert).
+    pub fn span_id(&self) -> u64 {
+        self.span_id
     }
 
     /// Nesting depth of live spans on the current thread (this guard
@@ -67,6 +212,7 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(start_ns) = self.start_ns {
             DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            stack_remove(self.trace_id, self.span_id);
             let dur_ns = registry::epoch_ns().saturating_sub(start_ns);
             // Read the allocation delta before any registry bookkeeping so
             // the registry's own map/string allocations are not attributed
@@ -74,7 +220,14 @@ impl Drop for SpanGuard {
             #[cfg(feature = "alloc-profile")]
             let delta =
                 crate::alloc::thread_total_allocated().saturating_sub(self.allocated_at_enter);
-            registry::record_span_event(self.name, start_ns, dur_ns);
+            registry::record_span_event(
+                self.name,
+                start_ns,
+                dur_ns,
+                self.trace_id,
+                self.span_id,
+                self.parent_id,
+            );
             #[cfg(feature = "alloc-profile")]
             if crate::alloc::installed() {
                 registry::counter_add(&format!("alloc.span.{}.bytes", self.name), delta);

@@ -5,13 +5,15 @@
 //! m3d-obsctl summarize <report.ndjson>...
 //! m3d-obsctl bench <report.ndjson>... [--scale <name>] [-o BENCH_<scale>.json]
 //! m3d-obsctl compare <baseline.json> <current.json> [--tol-rel <f>] [--tol-abs-ms <f>]
+//! m3d-obsctl explain <report.ndjson> <trace-id>
+//! m3d-obsctl slo <report.ndjson> --baseline <BENCH.json> [--headroom <f>] [--max-degraded-rate <f>]
 //! ```
 //!
-//! Exit codes: 0 success / within tolerance, 1 perf regression, 2 usage
-//! or I/O error.
+//! Exit codes: 0 success / within tolerance, 1 perf regression or SLO
+//! violation, 2 usage or I/O error.
 
 use m3d_obsctl::bench::{self, Tolerance};
-use m3d_obsctl::{chrome_trace, report, summarize};
+use m3d_obsctl::{chrome_trace, explain, report, slo, summarize};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -19,7 +21,9 @@ const USAGE: &str = "usage:
   m3d-obsctl trace <report.ndjson> [-o trace.json]
   m3d-obsctl summarize <report.ndjson>...
   m3d-obsctl bench <report.ndjson>... [--scale <name>] [-o <BENCH.json>]
-  m3d-obsctl compare <baseline.json> <current.json> [--tol-rel <f>] [--tol-abs-ms <f>]";
+  m3d-obsctl compare <baseline.json> <current.json> [--tol-rel <f>] [--tol-abs-ms <f>]
+  m3d-obsctl explain <report.ndjson> <trace-id>
+  m3d-obsctl slo <report.ndjson> --baseline <BENCH.json> [--headroom <f>] [--max-degraded-rate <f>]";
 
 fn usage_error(message: &str) -> ExitCode {
     m3d_obs::error!("{message}");
@@ -153,6 +157,61 @@ fn cmd_compare(mut args: Vec<String>) -> Result<ExitCode, String> {
     }
 }
 
+fn cmd_explain(args: Vec<String>) -> Result<ExitCode, String> {
+    let [path, id] = args.as_slice() else {
+        return Err("explain takes a report and a trace id".to_string());
+    };
+    let trace_id: u64 = id
+        .parse()
+        .map_err(|_| format!("trace id `{id}` is not an integer"))?;
+    let report = report::load(Path::new(path))?;
+    m3d_obs::out!("{}", explain::explain(&report, trace_id)?.trim_end());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_slo(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let baseline = take_option(&mut args, "--baseline")?;
+    let parse_f64 = |flag: &str, v: Option<String>, default: f64| -> Result<f64, String> {
+        match v {
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("{flag} `{s}` is not a number")),
+            None => Ok(default),
+        }
+    };
+    let headroom = parse_f64("--headroom", take_option(&mut args, "--headroom")?, 2.0)?;
+    let max_degraded_rate = parse_f64(
+        "--max-degraded-rate",
+        take_option(&mut args, "--max-degraded-rate")?,
+        0.1,
+    )?;
+    let [path] = args.as_slice() else {
+        return Err("slo takes exactly one report".to_string());
+    };
+    let base_path = baseline.ok_or("slo needs --baseline <BENCH.json> to derive the budget")?;
+    let text = std::fs::read_to_string(&base_path)
+        .map_err(|e| format!("{base_path}: cannot read: {e}"))?;
+    let base = bench::parse_json(&text).map_err(|e| format!("{base_path}: {e}"))?;
+    let budget = slo::SloBudget {
+        p95_ms: slo::budget_from_baseline(&base, headroom)?,
+        max_degraded_rate,
+    };
+    let report = report::load(Path::new(path))?;
+    let outcome = slo::check(&report, budget)?;
+    m3d_obs::out!("{}", outcome.render().trim_end());
+    if outcome.violated() {
+        m3d_obs::error!(
+            "SLO gate FAILED against {base_path} (p95 {:.2}ms = baseline x {headroom}, \
+             degraded rate cap {:.1}%)",
+            budget.p95_ms,
+            max_degraded_rate * 100.0
+        );
+        Ok(ExitCode::from(1))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -164,6 +223,8 @@ fn main() -> ExitCode {
         "summarize" => cmd_summarize(args),
         "bench" => cmd_bench(args),
         "compare" => cmd_compare(args),
+        "explain" => cmd_explain(args),
+        "slo" => cmd_slo(args),
         "-h" | "--help" | "help" => {
             m3d_obs::out!("{USAGE}");
             Ok(ExitCode::SUCCESS)

@@ -402,6 +402,39 @@ mod tests {
     }
 
     #[test]
+    fn rejects_bare_nan_and_infinity_tokens() {
+        // JSON has no NaN/Infinity literals; the producer writes `null`
+        // instead, and the grammar here must reject the bare tokens (and
+        // Rust-float spellings like `inf`) rather than parse them as
+        // numbers.
+        for bad in ["NaN", "nan", "Infinity", "-Infinity", "inf", "-inf", "1e"] {
+            assert!(parse(bad).is_err(), "{bad:?} must fail");
+        }
+        // ...while `null` (the producer's non-finite encoding) parses.
+        assert_eq!(parse("null").unwrap(), Json::Null);
+    }
+
+    #[test]
+    fn parses_deeply_nested_arrays() {
+        let v = parse("[[[[[1,2],[3]],[]],[4]],[5,[6,[7]]]]").unwrap();
+        let outer = v.as_arr().unwrap();
+        assert_eq!(outer.len(), 2);
+        assert_eq!(
+            outer[0].as_arr().unwrap()[0].as_arr().unwrap()[0]
+                .as_arr()
+                .unwrap()[0]
+                .as_arr()
+                .unwrap()[1]
+                .as_u64(),
+            Some(2)
+        );
+        assert_eq!(
+            outer[1].as_arr().unwrap()[1].as_arr().unwrap()[0].as_u64(),
+            Some(6)
+        );
+    }
+
+    #[test]
     fn write_string_round_trips_through_parse() {
         let original = "weird \"name\"\\with\nescapes\tand\u{1}control";
         let mut s = String::new();

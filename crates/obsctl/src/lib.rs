@@ -11,6 +11,10 @@
 //! - [`bench`] — aggregation of runs into canonical `BENCH_<scale>.json`
 //!   snapshots, plus the noise-aware [`bench::compare`] regression gate
 //!   that `ci.sh` runs on every build.
+//! - [`explain`] — flight-recorder playback: one diagnosis rendered
+//!   end-to-end (causal span tree + audit narrative) from its trace id.
+//! - [`slo`] — absolute latency/degradation budgets per design, with the
+//!   latency ceiling derived from the committed perf baseline.
 //!
 //! The `m3d-obsctl` binary exposes all of it on the command line; see
 //! EXPERIMENTS.md § "Profiling & perf gate".
@@ -19,8 +23,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bench;
+pub mod explain;
 pub mod json;
 pub mod report;
+pub mod slo;
 pub mod summarize;
 pub mod trace;
 

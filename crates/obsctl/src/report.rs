@@ -81,6 +81,45 @@ pub struct SpanEvent {
     pub start_ns: u64,
     /// Duration, nanoseconds.
     pub dur_ns: u64,
+    /// Trace the span belongs to (0 = outside any trace; also 0 for
+    /// reports from producers predating causal ids).
+    pub trace_id: u64,
+    /// Process-unique span id (0 on pre-causality reports).
+    pub span_id: u64,
+    /// Enclosing span's id on the same trace (0 = root).
+    pub parent_id: u64,
+}
+
+/// One per-diagnosis audit record (`{"type":"audit",...}`), the flight
+/// recorder's structured verdict for a single failure log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Audit {
+    /// Trace id joining the audit to its span tree (0 when the producer
+    /// recorded with tracing disabled).
+    pub trace_id: u64,
+    /// The full record, retained for field-by-field rendering; producers
+    /// may add fields without breaking this consumer.
+    pub fields: Json,
+}
+
+impl Audit {
+    /// The string value of a field, if present.
+    pub fn str_of(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).and_then(Json::as_str)
+    }
+
+    /// The numeric value of a field, if present.
+    pub fn num_of(&self, key: &str) -> Option<f64> {
+        self.fields.get(key).and_then(Json::as_f64)
+    }
+
+    /// The boolean value of a field, if present.
+    pub fn bool_of(&self, key: &str) -> Option<bool> {
+        match self.fields.get(key) {
+            Some(Json::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// A fully parsed run report.
@@ -98,6 +137,8 @@ pub struct RunReport {
     pub epochs: Vec<Epoch>,
     /// Span events in file order.
     pub events: Vec<SpanEvent>,
+    /// Per-diagnosis audit records in file order.
+    pub audits: Vec<Audit>,
     /// Records skipped because their `type` was unknown.
     pub unknown_records: usize,
 }
@@ -228,6 +269,15 @@ pub fn parse(text: &str) -> Result<RunReport, ParseError> {
                 tid: u64_field(&v, "tid", line_no)? as u32,
                 start_ns: u64_field(&v, "start_ns", line_no)?,
                 dur_ns: u64_field(&v, "dur_ns", line_no)?,
+                // Causal ids default to 0 so reports from producers
+                // predating them still parse.
+                trace_id: v.get("trace_id").and_then(Json::as_u64).unwrap_or(0),
+                span_id: v.get("span_id").and_then(Json::as_u64).unwrap_or(0),
+                parent_id: v.get("parent_id").and_then(Json::as_u64).unwrap_or(0),
+            }),
+            "audit" => report.audits.push(Audit {
+                trace_id: u64_field(&v, "trace_id", line_no)?,
+                fields: v,
             }),
             _ => report.unknown_records += 1,
         }

@@ -1,0 +1,287 @@
+//! `m3d-obsctl slo`: latency and degradation budgets over a run report.
+//!
+//! The framework records per-design SLO telemetry on every diagnosis:
+//! a `slo.diagnose.<design>` span plus `slo.cases.<design>` /
+//! `slo.degraded.<design>` counters. This module turns those into a CI
+//! gate. The latency budget is *derived*, not hand-picked: the committed
+//! `BENCH_<scale>.json` baseline's `framework.diagnose` p95, scaled by a
+//! headroom factor — so the gate tightens automatically when the
+//! pipeline gets faster and the baseline is re-recorded, and a budget
+//! bump always shows up as a reviewed baseline diff.
+//!
+//! Unlike [`crate::bench::compare`] (which flags *regressions* relative
+//! to the last snapshot), the SLO gate enforces *absolute* ceilings: no
+//! single design may exceed the budget even if the aggregate picture
+//! looks fine, and the degradation rate may not drift past its cap.
+
+use crate::bench::BenchSnapshot;
+use crate::report::RunReport;
+use std::fmt::Write as _;
+
+/// Span prefix of the per-design diagnosis latency histograms.
+pub const DIAGNOSE_PREFIX: &str = "slo.diagnose.";
+/// Counter prefix of per-design diagnosis case counts.
+pub const CASES_PREFIX: &str = "slo.cases.";
+/// Counter prefix of per-design degraded-case counts.
+pub const DEGRADED_PREFIX: &str = "slo.degraded.";
+
+/// The budgets one [`check`] run enforces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloBudget {
+    /// Ceiling on per-design (and overall) diagnosis p95, milliseconds.
+    pub p95_ms: f64,
+    /// Ceiling on `degraded / cases` per design, in `[0, 1]`.
+    pub max_degraded_rate: f64,
+}
+
+/// Derives the latency budget from a committed perf baseline:
+/// `framework.diagnose` p95 scaled by `headroom`.
+///
+/// # Errors
+///
+/// The baseline must carry a finite, positive `framework.diagnose` p95
+/// and `headroom` must be at least 1 (a sub-unity headroom would demand
+/// runs *faster* than the baseline's best-of-N, which is noise-chasing).
+pub fn budget_from_baseline(base: &BenchSnapshot, headroom: f64) -> Result<f64, String> {
+    if !(headroom >= 1.0 && headroom.is_finite()) {
+        return Err(format!(
+            "headroom must be a finite number >= 1, got {headroom}"
+        ));
+    }
+    let stage = base.stage("framework.diagnose").ok_or_else(|| {
+        format!(
+            "baseline (scale `{}`) has no `framework.diagnose` stage — not a pipeline snapshot?",
+            base.scale
+        )
+    })?;
+    if !(stage.p95_ms.is_finite() && stage.p95_ms > 0.0) {
+        return Err(format!(
+            "baseline `framework.diagnose` p95 is {} — cannot derive a budget",
+            stage.p95_ms
+        ));
+    }
+    Ok(stage.p95_ms * headroom)
+}
+
+/// One enforced budget comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloCheck {
+    /// What was checked, e.g. `p95 slo.diagnose.aes/base`.
+    pub label: String,
+    /// Preformatted `actual <= budget` detail.
+    pub detail: String,
+    /// Whether the budget held.
+    pub pass: bool,
+}
+
+/// The result of one [`check`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloOutcome {
+    /// The budgets that were enforced.
+    pub budget: SloBudget,
+    /// Every comparison made, in report order.
+    pub checks: Vec<SloCheck>,
+}
+
+impl SloOutcome {
+    /// True when any budget was exceeded.
+    pub fn violated(&self) -> bool {
+        self.checks.iter().any(|c| !c.pass)
+    }
+
+    /// Renders the gate verdict as plain text, one line per check.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "SLO gate: p95 budget {:.2}ms, max degraded rate {:.1}%",
+            self.budget.p95_ms,
+            self.budget.max_degraded_rate * 100.0
+        );
+        let label_w = self.checks.iter().map(|c| c.label.len()).max().unwrap_or(0);
+        for c in &self.checks {
+            let _ = writeln!(
+                out,
+                "  {}  {:<label_w$}  {}",
+                if c.pass { "PASS" } else { "FAIL" },
+                c.label,
+                c.detail
+            );
+        }
+        let failed = self.checks.iter().filter(|c| !c.pass).count();
+        if failed > 0 {
+            let _ = writeln!(
+                out,
+                "SLO gate FAILED: {failed} of {} check(s) over budget",
+                self.checks.len()
+            );
+        } else {
+            let _ = writeln!(out, "SLO gate passed: {} check(s)", self.checks.len());
+        }
+        out
+    }
+}
+
+/// Checks every SLO the report carries against `budget`.
+///
+/// Enforced: the overall `framework.diagnose` p95, each per-design
+/// `slo.diagnose.<design>` p95, and each design's degradation rate
+/// (`slo.degraded.<d> / slo.cases.<d>`; a missing degraded counter means
+/// zero degraded cases).
+///
+/// # Errors
+///
+/// The report must carry *some* diagnosis telemetry — a report with
+/// neither a `framework.diagnose` span nor any `slo.*` record would pass
+/// every check vacuously, which is exactly how a silently-broken
+/// recorder slips through CI, so it is rejected instead.
+pub fn check(report: &RunReport, budget: SloBudget) -> Result<SloOutcome, String> {
+    let mut checks = Vec::new();
+    let p95_check = |name: &str, p95_ms: f64| SloCheck {
+        label: format!("p95 {name}"),
+        detail: format!("{p95_ms:.2}ms <= {:.2}ms", budget.p95_ms),
+        // NaN p95 (from a `null` in the report) must fail, not pass.
+        pass: p95_ms <= budget.p95_ms,
+    };
+    if let Some(s) = report.span("framework.diagnose") {
+        checks.push(p95_check(&s.name, s.p95_ms));
+    }
+    for s in &report.spans {
+        if s.name.starts_with(DIAGNOSE_PREFIX) {
+            checks.push(p95_check(&s.name, s.p95_ms));
+        }
+    }
+    for &(ref name, cases) in &report.counters {
+        let Some(design) = name.strip_prefix(CASES_PREFIX) else {
+            continue;
+        };
+        let degraded = report
+            .counter(&format!("{DEGRADED_PREFIX}{design}"))
+            .unwrap_or(0);
+        let rate = if cases == 0 {
+            0.0
+        } else {
+            degraded as f64 / cases as f64
+        };
+        checks.push(SloCheck {
+            label: format!("degraded rate {design}"),
+            detail: format!(
+                "{:.1}% <= {:.1}% ({degraded}/{cases})",
+                rate * 100.0,
+                budget.max_degraded_rate * 100.0
+            ),
+            pass: rate <= budget.max_degraded_rate,
+        });
+    }
+    if checks.is_empty() {
+        return Err(
+            "report carries no diagnosis telemetry (no `framework.diagnose` span, no `slo.*` \
+             records) — refusing to pass an SLO gate vacuously"
+                .to_string(),
+        );
+    }
+    Ok(SloOutcome { budget, checks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::StageStat;
+    use crate::report::SpanStat;
+
+    fn span(name: &str, p95_ms: f64) -> SpanStat {
+        SpanStat {
+            name: name.to_string(),
+            count: 10,
+            total_ms: p95_ms * 10.0,
+            min_ms: p95_ms / 2.0,
+            mean_ms: p95_ms / 1.5,
+            p50_ms: p95_ms / 1.5,
+            p95_ms,
+            max_ms: p95_ms * 1.2,
+        }
+    }
+
+    fn budget() -> SloBudget {
+        SloBudget {
+            p95_ms: 20.0,
+            max_degraded_rate: 0.1,
+        }
+    }
+
+    #[test]
+    fn derives_budget_from_baseline_p95() {
+        let base = BenchSnapshot {
+            scale: "quick".to_string(),
+            stages: vec![StageStat {
+                name: "framework.diagnose".to_string(),
+                count: 80,
+                p50_ms: 0.8,
+                p95_ms: 14.0,
+                max_ms: 28.0,
+                total_ms: 256.0,
+            }],
+            ..BenchSnapshot::default()
+        };
+        assert_eq!(budget_from_baseline(&base, 2.0).unwrap(), 28.0);
+        assert!(budget_from_baseline(&base, 0.5).is_err());
+        let empty = BenchSnapshot::default();
+        assert!(budget_from_baseline(&empty, 2.0).is_err());
+    }
+
+    #[test]
+    fn passes_within_budget_and_fails_over() {
+        let mut report = RunReport::default();
+        report.spans.push(span("framework.diagnose", 12.0));
+        report.spans.push(span("slo.diagnose.aes/base", 11.0));
+        report.spans.push(span("slo.diagnose.tate/base", 35.0));
+        report.counters.push(("slo.cases.aes/base".to_string(), 20));
+        report
+            .counters
+            .push(("slo.degraded.aes/base".to_string(), 1));
+        report
+            .counters
+            .push(("slo.cases.tate/base".to_string(), 20));
+        let out = check(&report, budget()).unwrap();
+        assert!(out.violated());
+        let rendered = out.render();
+        assert!(
+            rendered.contains("FAIL  p95 slo.diagnose.tate/base"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("PASS  p95 slo.diagnose.aes/base"),
+            "{rendered}"
+        );
+        // aes degrades 1/20 = 5% <= 10%; tate has no degraded counter = 0%.
+        assert!(rendered.contains("5.0% <= 10.0% (1/20)"), "{rendered}");
+        assert!(rendered.contains("0.0% <= 10.0% (0/20)"), "{rendered}");
+    }
+
+    #[test]
+    fn degradation_rate_over_cap_fails() {
+        let mut report = RunReport::default();
+        report.spans.push(span("slo.diagnose.aes/base", 5.0));
+        report.counters.push(("slo.cases.aes/base".to_string(), 10));
+        report
+            .counters
+            .push(("slo.degraded.aes/base".to_string(), 3));
+        let out = check(&report, budget()).unwrap();
+        assert!(out.violated());
+        assert!(out.render().contains("FAIL  degraded rate aes/base"));
+    }
+
+    #[test]
+    fn non_finite_p95_fails_closed() {
+        let mut report = RunReport::default();
+        report.spans.push(span("framework.diagnose", f64::NAN));
+        let out = check(&report, budget()).unwrap();
+        assert!(out.violated());
+    }
+
+    #[test]
+    fn telemetry_free_report_is_rejected_not_passed() {
+        let report = RunReport::default();
+        assert!(check(&report, budget()).is_err());
+    }
+}

@@ -104,6 +104,37 @@ pub fn summarize(report: &RunReport) -> String {
             threads.len(),
         );
     }
+    if !report.audits.is_empty() {
+        let degraded = report
+            .audits
+            .iter()
+            .filter(|a| a.str_of("degrade_reason").is_some())
+            .count();
+        let _ = writeln!(
+            out,
+            "audits: {} diagnosis record(s), {degraded} degraded (use `m3d-obsctl explain <trace-id>`)",
+            report.audits.len(),
+        );
+    }
+    if let Some(dropped) = report.counter("obs.span_events_dropped") {
+        if dropped > 0 {
+            let _ = writeln!(
+                out,
+                "\nWARNING: {dropped} span event(s) were DROPPED at the in-memory cap — \
+                 the timeline and trace trees above under-report; raise the cap or \
+                 shorten the run before trusting per-trace analysis"
+            );
+        }
+    }
+    if let Some(dropped) = report.counter("obs.extra_records_dropped") {
+        if dropped > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: {dropped} extra record(s) (diagnosis audits) were DROPPED at \
+                 the in-memory cap — audit coverage is incomplete"
+            );
+        }
+    }
     if report.unknown_records > 0 {
         let _ = writeln!(
             out,

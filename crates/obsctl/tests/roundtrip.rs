@@ -117,6 +117,73 @@ fn full_capture_round_trips() {
     );
 }
 
+/// Causal ids (trace/span/parent) and audit extras survive the NDJSON
+/// boundary: a root+child span pair recorded live keeps its parent link
+/// after parsing, and a `record_extra` audit line comes back as a typed
+/// [`report::Audit`] joined on the same trace id.
+#[test]
+fn causal_ids_and_audits_round_trip() {
+    let trace_id;
+    {
+        let root = m3d_obs::SpanGuard::enter_root("test.rt.causal_root");
+        trace_id = root.trace_id();
+        assert_ne!(trace_id, 0, "root span allocates a trace id");
+        let _child = m3d_obs::SpanGuard::enter("test.rt.causal_child");
+        m3d_obs::registry::record_extra(format!(
+            "{{\"type\":\"audit\",\"trace_id\":{trace_id},\"design\":\"rt/probe\",\
+             \"degrade_reason\":null}}"
+        ));
+    }
+    let produced = RunReport::capture(&[("bin", "roundtrip".to_string())]);
+    let parsed = report::parse(&produced.to_ndjson()).expect("parse");
+
+    let root = parsed
+        .events
+        .iter()
+        .find(|e| e.name == "test.rt.causal_root" && e.trace_id == trace_id)
+        .expect("root event parsed");
+    let child = parsed
+        .events
+        .iter()
+        .find(|e| e.name == "test.rt.causal_child" && e.trace_id == trace_id)
+        .expect("child event parsed");
+    assert_eq!(root.parent_id, 0, "enter_root has no parent");
+    assert_ne!(root.span_id, 0);
+    assert_eq!(child.parent_id, root.span_id, "child links to root");
+    assert_ne!(child.span_id, root.span_id);
+
+    let audit = parsed
+        .audits
+        .iter()
+        .find(|a| a.trace_id == trace_id)
+        .expect("audit record parsed");
+    assert_eq!(audit.str_of("design"), Some("rt/probe"));
+    assert_eq!(audit.str_of("degrade_reason"), None, "null stays absent");
+
+    // The joined view renders: explain finds both streams by trace id.
+    let text = m3d_obsctl::explain::explain(&parsed, trace_id).expect("explainable");
+    assert!(text.contains("test.rt.causal_root"), "{text}");
+    assert!(text.contains("design     rt/probe"), "{text}");
+}
+
+/// Span events recorded outside any `enter_root` trace parse back with
+/// all-zero causal ids, matching reports from pre-causality producers.
+#[test]
+fn untraced_events_carry_zero_ids() {
+    {
+        let _g = m3d_obs::span!("test.rt.untraced");
+    }
+    let produced = RunReport::capture(&[("bin", "roundtrip".to_string())]);
+    let parsed = report::parse(&produced.to_ndjson()).expect("parse");
+    let ev = parsed
+        .events
+        .iter()
+        .find(|e| e.name == "test.rt.untraced")
+        .expect("event parsed");
+    assert_eq!(ev.trace_id, 0);
+    assert_eq!(ev.parent_id, 0);
+}
+
 /// Unknown record types (a future producer) are skipped and counted, not
 /// errors; structurally broken lines still fail loudly.
 #[test]

@@ -4,7 +4,7 @@
 //! counted degradation, semantic no-ops must leave results bit-identical,
 //! and the whole campaign must hash to the same value at any thread count.
 
-use m3d_chaos::{run_campaign, run_scenario, CampaignConfig, LogChaos, Scenario};
+use m3d_chaos::{run_campaign, run_scenario, CampaignConfig, Expectation, LogChaos, Scenario};
 use m3d_diagnosis::{AtpgDiagnosis, DiagnosisConfig};
 use m3d_exec::ExecPool;
 use m3d_fault_loc::{
@@ -95,6 +95,28 @@ fn campaign_contract(profile: BenchmarkProfile) {
     assert!(serial.must_degrade() > 0);
     assert!(serial.degraded() >= serial.must_degrade());
     assert_eq!(serial.outcomes.len(), SCENARIOS);
+    // Attribution: a degradation the flight recorder cannot explain is a
+    // contract violation — every must-degrade corruption (and in fact
+    // every degraded outcome) names its specific DegradeReason.
+    for o in &serial.outcomes {
+        if o.expectation == Expectation::MustDegrade || o.degraded {
+            assert!(
+                o.degrade_reason.is_some(),
+                "{profile:?}: `{}` degraded without an attributable reason",
+                o.label
+            );
+        }
+    }
+    let by_reason = serial.degraded_by_reason();
+    assert!(
+        !by_reason.iter().any(|(r, _)| r == "unattributed"),
+        "{profile:?}: unattributed degradations in breakdown: {by_reason:?}"
+    );
+    assert_eq!(
+        by_reason.iter().map(|&(_, n)| n).sum::<usize>(),
+        serial.degraded(),
+        "{profile:?}: per-reason breakdown does not cover every degraded case"
+    );
 
     let parallel = run_campaign(&ctx, &fw, &diag, &base, &cfg, &ExecPool::with_threads(4));
     assert_eq!(

@@ -1,0 +1,169 @@
+//! Flight-recorder acceptance: every diagnosis produces a causal span
+//! tree and a `DiagnosisAudit` that `m3d-obsctl explain` can reconstruct
+//! from the NDJSON report, the tree shapes are invariant to the thread
+//! count running the case fan-out, and the per-design SLO telemetry the
+//! gate consumes is present and coherent.
+//!
+//! Trace ids themselves are *not* deterministic across thread counts
+//! (allocation order follows the schedule), so the invariance check
+//! compares multisets of canonical tree shapes, never raw ids.
+
+use m3d_diagnosis::{AtpgDiagnosis, DiagnosisConfig};
+use m3d_exec::ExecPool;
+use m3d_fault_loc::{
+    generate_samples, DatasetConfig, DesignConfig, DesignContext, Framework, FrameworkConfig,
+    ModelTrainConfig, TestBench, TestBenchConfig, TrainingSet,
+};
+use m3d_netlist::BenchmarkProfile;
+use m3d_obsctl::report::SpanEvent;
+use m3d_obsctl::slo::{self, SloBudget};
+
+/// Canonical shape of the subtree rooted at `span_id`: the span name with
+/// its children's shapes sorted lexicographically (start order within a
+/// diagnosis is deterministic, but sorting makes the comparison immune to
+/// clock granularity ties).
+fn shape(events: &[&SpanEvent], span_id: u64) -> String {
+    let e = events
+        .iter()
+        .find(|e| e.span_id == span_id)
+        .expect("span id resolves within its trace");
+    let mut kids: Vec<String> = events
+        .iter()
+        .filter(|c| c.parent_id == span_id)
+        .map(|c| shape(events, c.span_id))
+        .collect();
+    kids.sort();
+    if kids.is_empty() {
+        e.name.clone()
+    } else {
+        format!("{}({})", e.name, kids.join(","))
+    }
+}
+
+fn capture_and_parse() -> m3d_obsctl::RunReport {
+    let produced = m3d_obs::RunReport::capture(&[("bin", "flight_recorder".to_string())]);
+    m3d_obsctl::report::parse(&produced.to_ndjson()).expect("self-produced report parses")
+}
+
+#[test]
+fn every_diagnosis_is_reconstructible_and_trees_are_thread_invariant() {
+    let bench = TestBench::build(&TestBenchConfig::quick(
+        BenchmarkProfile::AesLike,
+        DesignConfig::Syn1,
+    ));
+    let ctx = DesignContext::new(&bench);
+    let train = generate_samples(&ctx, &DatasetConfig::single(48, 3));
+    let mut ts = TrainingSet::new();
+    ts.add(&bench, &train);
+    let fw = Framework::train(
+        &ts,
+        &FrameworkConfig {
+            model: ModelTrainConfig {
+                epochs: 10,
+                restarts: 1,
+                ..ModelTrainConfig::default()
+            },
+            ..FrameworkConfig::default()
+        },
+    );
+    let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
+    let chips = generate_samples(&ctx, &DatasetConfig::single(8, 77));
+
+    let mut shapes_by_threads: Vec<Vec<String>> = Vec::new();
+    for threads in [1usize, 4] {
+        m3d_obs::reset();
+        let pool = ExecPool::with_threads(threads);
+        let results = pool.map(&chips, |_, s| fw.process_case(&ctx, &diag, s));
+        for r in &results {
+            assert_ne!(r.audit.trace_id, 0, "live diagnosis carries a trace id");
+        }
+        let parsed = capture_and_parse();
+        assert_eq!(
+            parsed.audits.len(),
+            chips.len(),
+            "one audit per diagnosis at {threads} thread(s)"
+        );
+
+        let mut shapes: Vec<String> = Vec::new();
+        for a in &parsed.audits {
+            assert_ne!(a.trace_id, 0);
+            let text =
+                m3d_obsctl::explain::explain(&parsed, a.trace_id).expect("trace reconstructs");
+            assert!(text.contains("framework.diagnose"), "{text}");
+            assert!(text.contains("audit:"), "{text}");
+            assert!(a.str_of("design").is_some(), "audit names its design");
+
+            let evs: Vec<&SpanEvent> = parsed
+                .events
+                .iter()
+                .filter(|e| e.trace_id == a.trace_id)
+                .collect();
+            assert!(!evs.is_empty(), "spans recorded for trace {}", a.trace_id);
+            let roots: Vec<&&SpanEvent> = evs.iter().filter(|e| e.parent_id == 0).collect();
+            assert_eq!(roots.len(), 1, "exactly one root per diagnosis trace");
+            assert_eq!(roots[0].name, "framework.diagnose");
+            shapes.push(shape(&evs, roots[0].span_id));
+        }
+        shapes.sort();
+
+        // The SLO gate's inputs: per-design latency span + case counters.
+        let design = parsed.audits[0]
+            .str_of("design")
+            .expect("checked above")
+            .to_string();
+        assert_eq!(
+            parsed.counter(&format!("slo.cases.{design}")),
+            Some(chips.len() as u64),
+            "every case counted toward its design's SLO"
+        );
+        assert!(
+            parsed
+                .spans
+                .iter()
+                .any(|s| s.name == format!("slo.diagnose.{design}")),
+            "per-design latency histogram recorded"
+        );
+        let outcome = slo::check(
+            &parsed,
+            SloBudget {
+                p95_ms: f64::MAX,
+                max_degraded_rate: 1.0,
+            },
+        )
+        .expect("report carries SLO telemetry");
+        assert!(!outcome.violated(), "infinite budget cannot be violated");
+
+        shapes_by_threads.push(shapes);
+    }
+    assert_eq!(
+        shapes_by_threads[0], shapes_by_threads[1],
+        "span-tree shapes differ between 1 and 4 threads"
+    );
+
+    // TraceCtx propagation across the pool: a fan-out submitted from
+    // inside a root span parents every `exec.worker` under that span,
+    // even though the workers run on scope threads.
+    m3d_obs::reset();
+    let (fan_trace, fan_span);
+    {
+        let root = m3d_obs::SpanGuard::enter_root("fr.fanout");
+        fan_trace = root.trace_id();
+        fan_span = root.span_id();
+        let pool = ExecPool::with_threads(4);
+        let _ = pool.map(&[0u32; 8], |i, _| i);
+    }
+    let parsed = capture_and_parse();
+    let workers: Vec<&SpanEvent> = parsed
+        .events
+        .iter()
+        .filter(|e| e.name == "exec.worker")
+        .collect();
+    assert!(!workers.is_empty(), "parallel map records worker spans");
+    for w in &workers {
+        assert_eq!(w.trace_id, fan_trace, "worker span on the caller's trace");
+        assert_eq!(
+            w.parent_id, fan_span,
+            "worker span parented under the fan-out"
+        );
+    }
+}
