@@ -5,7 +5,7 @@
 # gate (run reports -> BENCH_quick.json -> m3d-obsctl compare against the
 # committed baseline in benchmarks/).
 #
-# Usage: ./ci.sh [--skip-perf] [--skip-chaos] [--skip-slo]
+# Usage: ./ci.sh [--skip-perf] [--skip-chaos] [--skip-slo] [--skip-trend]
 #   --skip-perf   run everything except the perf gate (useful on noisy
 #                 or throttled machines; the gate still runs in real CI)
 #   --skip-chaos  run everything except the chaos campaigns (they rerun
@@ -15,16 +15,23 @@
 #                 latency/degradation budgets over the perf-gate run
 #                 reports; implied by --skip-perf, which leaves no reports
 #                 to check)
+#   --skip-trend  run everything except the cross-run trend gate (skips
+#                 both archiving this run's snapshot into
+#                 benchmarks/history/ and the `m3d-obsctl trend` drift
+#                 check; implied by --skip-perf, which produces no
+#                 snapshot to archive)
 set -eu
 
 SKIP_PERF=0
 SKIP_CHAOS=0
 SKIP_SLO=0
+SKIP_TREND=0
 for arg in "$@"; do
     case "$arg" in
         --skip-perf) SKIP_PERF=1 ;;
         --skip-chaos) SKIP_CHAOS=1 ;;
         --skip-slo) SKIP_SLO=1 ;;
+        --skip-trend) SKIP_TREND=1 ;;
         *) echo "ci.sh: unknown argument '$arg'" >&2; exit 2 ;;
     esac
 done
@@ -82,6 +89,7 @@ M3D_BENCH_SMOKE=1 cargo bench -q -p m3d-fault-loc --bench backtrace
 if [ "$SKIP_PERF" = 1 ]; then
     echo "ci.sh: perf gate skipped (--skip-perf)"
     echo "ci.sh: SLO gate skipped (no perf-gate run reports to check)"
+    echo "ci.sh: trend gate skipped (no fresh snapshot to archive)"
     echo "ci.sh: all green"
     exit 0
 fi
@@ -102,18 +110,39 @@ mkdir -p "$PERF_DIR"
 
 # Best-of-2 quick-scale deployment pipeline (Fig. 9 workload, aes
 # profile): two runs bound the scheduler noise, `m3d-obsctl bench` keeps
-# the per-stage minima.
+# the per-stage minima. Run 1 additionally streams live telemetry so the
+# sink path is exercised on every CI pass (and its perf cost is part of
+# the measurement the perf gate judges).
+STREAM="$PERF_DIR/quick-run1.stream.ndjson"
+rm -f "$STREAM"
+for s in 1 2 3 4 5 6 7 8; do rm -f "$STREAM.$s"; done
 for i in 1 2; do
     report="$PERF_DIR/quick-run$i.ndjson"
     rm -f "$report"
     echo "-- perf run $i/2 (fig09_runtime --scale quick --profile aes)"
-    M3D_OBS_REPORT="$report" M3D_GIT_REV="$GIT_REV" \
-        ./target/release/fig09_runtime --scale quick --profile aes >/dev/null
+    if [ "$i" = 1 ]; then
+        M3D_OBS_REPORT="$report" M3D_OBS_STREAM="$STREAM" M3D_GIT_REV="$GIT_REV" \
+            ./target/release/fig09_runtime --scale quick --profile aes >/dev/null
+        if [ ! -s "$STREAM" ]; then
+            echo "ci.sh: fig09_runtime did not stream telemetry to $STREAM although M3D_OBS_STREAM was set" >&2
+            exit 1
+        fi
+        # The rotated stream must parse whole and fold back into totals.
+        ./target/release/m3d-obsctl top "$STREAM" >/dev/null
+    else
+        M3D_OBS_REPORT="$report" M3D_GIT_REV="$GIT_REV" \
+            ./target/release/fig09_runtime --scale quick --profile aes >/dev/null
+    fi
     if [ ! -s "$report" ]; then
         echo "ci.sh: fig09_runtime did not flush a run report to $report although M3D_OBS_REPORT was set" >&2
         exit 1
     fi
 done
+
+echo "== strict telemetry audit (no dropped records) =="
+# A full report with drops means the caps or the stream ring were sized
+# wrong for this workload; fail loud rather than ship partial telemetry.
+./target/release/m3d-obsctl summarize --strict "$PERF_DIR/quick-run1.ndjson" >/dev/null
 
 ./target/release/m3d-obsctl bench \
     "$PERF_DIR/quick-run1.ndjson" "$PERF_DIR/quick-run2.ndjson" \
@@ -140,6 +169,35 @@ else
     # than 10% of its cases. Checked on the perf runs just produced.
     ./target/release/m3d-obsctl slo "$PERF_DIR/quick-run1.ndjson" \
         --baseline "$BASELINE" --headroom 2.0 --max-degraded-rate 0.1
+fi
+
+if [ "$SKIP_TREND" = 1 ]; then
+    echo "ci.sh: trend gate skipped (--skip-trend)"
+else
+    echo "== trend gate (cross-run drift over benchmarks/history) =="
+    # The per-run perf gate tolerates +50% before failing; a +8%/run leak
+    # sails under it forever. The trend gate archives every CI snapshot
+    # and fails on sustained monotonic p50 growth across recent runs.
+    HISTORY=benchmarks/history
+    mkdir -p "$HISTORY"
+    if [ -z "$(ls "$HISTORY" 2>/dev/null)" ] && [ -f "$BASELINE" ]; then
+        # Empty history: seed it from the committed baseline so the gate
+        # has a fixed reference point from run one.
+        cp "$BASELINE" "$HISTORY/0000000000-seed-BENCH_quick.json"
+        echo "ci.sh: seeded $HISTORY from $BASELINE"
+    fi
+    # Timestamp-prefixed names keep filename order == chronological order,
+    # which is the ordering contract `m3d-obsctl trend` relies on.
+    cp BENCH_quick.json "$HISTORY/$(date +%s)-$GIT_REV-BENCH_quick.json"
+    # Cap the archive: drop the oldest entries beyond the newest 24.
+    excess=$(($(ls "$HISTORY" | wc -l) - 24))
+    if [ "$excess" -gt 0 ]; then
+        for old in $(ls "$HISTORY" | sort | head -n "$excess"); do
+            rm -f "$HISTORY/$old"
+        done
+        echo "ci.sh: trimmed $excess old snapshot(s) from $HISTORY"
+    fi
+    ./target/release/m3d-obsctl trend "$HISTORY"
 fi
 
 echo "ci.sh: all green"

@@ -54,21 +54,27 @@ pub struct ReportGuard {
 }
 
 impl ReportGuard {
-    /// Arms the guard with the run's config echo.
+    /// Arms the guard with the run's config echo. If `M3D_OBS_STREAM`
+    /// names a path, live telemetry streaming is attached here too, so
+    /// every harness binary is stream-capable without per-bin wiring.
     pub fn new(scale: &Scale, profiles: &[BenchmarkProfile]) -> ReportGuard {
         let profile_list = profiles
             .iter()
             .map(|p| p.name())
             .collect::<Vec<_>>()
             .join(",");
-        ReportGuard {
-            config: vec![
-                ("bin", bin_name()),
-                ("scale", scale.name.to_string()),
-                ("profiles", profile_list),
-                ("git_rev", git_rev()),
-            ],
+        let mut config = vec![
+            ("bin", bin_name()),
+            ("scale", scale.name.to_string()),
+            ("profiles", profile_list),
+            ("git_rev", git_rev()),
+        ];
+        if m3d_obs::stream::init_from_env() {
+            if let Ok(stream) = std::env::var(m3d_obs::stream::STREAM_ENV) {
+                config.push(("stream", stream));
+            }
         }
+        ReportGuard { config }
     }
 }
 
@@ -86,5 +92,8 @@ impl Drop for ReportGuard {
         if let Err(e) = m3d_obs::write_from_env(&config) {
             m3d_obs::error!("failed to write run report: {e}");
         }
+        // After the report (so its stream-drop counter is captured):
+        // final delta + stream_summary, then the sink closes.
+        m3d_obs::stream::shutdown();
     }
 }

@@ -74,6 +74,44 @@ impl Histogram {
         self.total == 0
     }
 
+    /// Iterates the non-zero buckets as `(bucket_index, count)` pairs, in
+    /// bucket order. Together with [`Histogram::add_bucket`] this is the
+    /// wire format of streamed delta snapshots: a histogram transfers as
+    /// its sparse bucket counts and reconstructs exactly (quantiles of the
+    /// reconstruction equal quantiles of the original).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (b, c))
+    }
+
+    /// Adds `count` occurrences directly to bucket index `bucket` (the
+    /// consumer half of [`Histogram::nonzero_buckets`]). Out-of-range
+    /// indices clamp to the last bucket rather than panicking: a malformed
+    /// stream must not take down the reader.
+    pub fn add_bucket(&mut self, bucket: usize, count: u64) {
+        self.counts[bucket.min(BUCKETS - 1)] += count;
+        self.total += count;
+    }
+
+    /// The sparse bucket-count difference `self - prev` for a histogram
+    /// that only grew (the registry's cumulative span histograms). Buckets
+    /// where `prev` is ahead (impossible under monotonic growth) saturate
+    /// to zero.
+    pub fn diff_nonzero(&self, prev: &Histogram) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .zip(prev.counts.iter())
+            .enumerate()
+            .filter_map(|(b, (&cur, &old))| {
+                let d = cur.saturating_sub(old);
+                (d > 0).then_some((b, d))
+            })
+            .collect()
+    }
+
     /// The value at quantile `q` in `[0, 1]` (nearest-rank, bucket
     /// midpoint; relative error ≤ 6.25%). Returns 0 when empty.
     pub fn quantile(&self, q: f64) -> u64 {
@@ -109,6 +147,44 @@ mod tests {
         // Rank 7 or 8 of 0..=15.
         let mid = h.quantile(0.5);
         assert!(mid == 7 || mid == 8, "median {mid}");
+    }
+
+    #[test]
+    fn sparse_bucket_round_trip_preserves_quantiles() {
+        let mut h = Histogram::new();
+        for v in [3u64, 17, 17, 999, 12_345, 7_000_000, u64::MAX / 2] {
+            h.record(v);
+        }
+        let mut rebuilt = Histogram::new();
+        for (b, c) in h.nonzero_buckets() {
+            rebuilt.add_bucket(b, c);
+        }
+        assert_eq!(rebuilt.len(), h.len());
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(rebuilt.quantile(q), h.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn diff_nonzero_transfers_exactly_the_new_records() {
+        let mut old = Histogram::new();
+        old.record(5);
+        old.record(900);
+        let mut new = old.clone();
+        new.record(5);
+        new.record(77_000);
+        let mut rebuilt = old.clone();
+        for (b, c) in new.diff_nonzero(&old) {
+            rebuilt.add_bucket(b, c);
+        }
+        assert_eq!(rebuilt.len(), new.len());
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(rebuilt.quantile(q), new.quantile(q), "q={q}");
+        }
+        assert!(
+            old.diff_nonzero(&new).is_empty(),
+            "shrink saturates to zero"
+        );
     }
 
     #[test]

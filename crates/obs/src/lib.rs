@@ -26,6 +26,12 @@
 //!   in `M3D_OBS_REPORT`. The `m3d-obsctl` binary (crate `obsctl`)
 //!   consumes these: Chrome-trace export, stage summaries, `BENCH_*.json`
 //!   snapshots, and the perf-regression gate.
+//! - **Live streaming** — [`mod@stream`] attaches a rotating NDJSON sink
+//!   (`M3D_OBS_STREAM`) fed by a background flusher: span events and
+//!   audits as they happen, plus periodic **delta snapshots** of
+//!   counters/histograms from which the final report's totals
+//!   reconstruct exactly. Bounded, drop-counted, never blocks the hot
+//!   path; `m3d-obsctl tail` / `top` consume it live.
 //! - **Allocation profiling** — with the off-by-default `alloc-profile`
 //!   feature, [`mod@alloc`] provides a counting global allocator; spans
 //!   then attribute allocated bytes per stage and reports carry
@@ -56,6 +62,7 @@ pub mod logger;
 pub mod registry;
 pub mod report;
 mod span;
+pub mod stream;
 
 pub use hist::Histogram;
 pub use logger::{set_filter, Filter, Level};

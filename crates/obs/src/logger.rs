@@ -157,13 +157,24 @@ pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
     if !log_enabled(level, target) {
         return;
     }
-    eprintln!(
-        "[{:10.3}s {:5} {}] {}",
-        uptime(),
-        level.name(),
-        target,
-        args
-    );
+    let uptime = uptime();
+    if crate::stream::active() {
+        // Mirror the record into the live stream so `m3d-obsctl tail`
+        // can follow diagnostics remotely (same filter as stderr).
+        let message = args.to_string();
+        let mut line = String::with_capacity(64 + target.len() + message.len());
+        line.push_str(&format!(
+            "{{\"type\":\"log\",\"uptime_s\":{uptime:.3},\"level\":"
+        ));
+        crate::report::json_string(&mut line, level.name());
+        line.push_str(",\"target\":");
+        crate::report::json_string(&mut line, target);
+        line.push_str(",\"msg\":");
+        crate::report::json_string(&mut line, &message);
+        line.push('}');
+        crate::stream::publish_line(&line);
+    }
+    eprintln!("[{:10.3}s {:5} {}] {}", uptime, level.name(), target, args);
 }
 
 /// Emits one line of primary program output (tables, figures) on stdout.

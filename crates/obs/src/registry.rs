@@ -55,16 +55,52 @@ pub struct SpanEvent {
     pub parent_id: u64,
 }
 
-/// Events kept per run before new ones are dropped (the count of drops is
-/// still tracked). Spans are recorded at pipeline-stage granularity, so
-/// this bound is generous; it exists to keep a runaway hot-loop span from
-/// exhausting memory.
-const EVENT_CAP: usize = 1 << 16;
+/// Default cap on events kept per run before new ones are dropped (the
+/// count of drops is still tracked). Spans are recorded at
+/// pipeline-stage granularity, so this bound is generous; it exists to
+/// keep a runaway hot-loop span from exhausting memory. Overridable via
+/// [`EVENT_CAP_ENV`] for long or unusually span-dense runs.
+const DEFAULT_EVENT_CAP: usize = 1 << 16;
 
-/// Extra records (pre-serialized NDJSON lines, e.g. diagnosis audits)
-/// kept per run before new ones are dropped. One audit is recorded per
-/// diagnosed failure log, so this bound is generous.
-const EXTRA_CAP: usize = 1 << 14;
+/// Default cap on extra records (pre-serialized NDJSON lines, e.g.
+/// diagnosis audits) kept per run before new ones are dropped. One audit
+/// is recorded per diagnosed failure log, so this bound is generous.
+/// Overridable via [`EXTRA_CAP_ENV`].
+const DEFAULT_EXTRA_CAP: usize = 1 << 14;
+
+/// Environment variable overriding the in-memory span-event cap.
+pub const EVENT_CAP_ENV: &str = "M3D_OBS_EVENT_CAP";
+
+/// Environment variable overriding the in-memory extra-record cap.
+pub const EXTRA_CAP_ENV: &str = "M3D_OBS_EXTRA_CAP";
+
+/// Reads a positive integer cap from `var`, falling back to `default`
+/// when unset, empty, or unparsable (a malformed override must not turn
+/// telemetry off or unbounded).
+fn cap_from_env(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// The active span-event cap (env read once, first use).
+pub fn event_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| cap_from_env(EVENT_CAP_ENV, DEFAULT_EVENT_CAP))
+}
+
+/// The active extra-record cap (env read once, first use).
+pub fn extra_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| cap_from_env(EXTRA_CAP_ENV, DEFAULT_EXTRA_CAP))
+}
+
+/// One-shot latches so the first dropped record of each kind is loudly
+/// visible in the log instead of only post-hoc in `summarize`.
+static EVENT_DROP_WARNED: AtomicBool = AtomicBool::new(false);
+static EXTRA_DROP_WARNED: AtomicBool = AtomicBool::new(false);
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -102,10 +138,15 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Clears every recorded metric (used between runs and by tests).
+/// Clears every recorded metric (used between runs and by tests). The
+/// one-shot drop warnings re-arm so the next run warns again.
 pub fn reset() {
-    let mut inner = locked();
-    *inner = Inner::default();
+    {
+        let mut inner = locked();
+        *inner = Inner::default();
+    }
+    EVENT_DROP_WARNED.store(false, Ordering::Relaxed);
+    EXTRA_DROP_WARNED.store(false, Ordering::Relaxed);
 }
 
 /// The process-wide time origin for span events. First call pins it;
@@ -169,7 +210,10 @@ fn record_stat(inner: &mut Inner, name: &str, ns: u64) {
 
 /// Records one completed span occurrence with its position on the process
 /// timeline and in its trace's causal tree: aggregate statistics plus a
-/// [`SpanEvent`] for trace export and tree reconstruction.
+/// [`SpanEvent`] for trace export and tree reconstruction. With a live
+/// stream (see [`crate::stream`]) the occurrence is also published as a
+/// `span_event` NDJSON line — streaming is not subject to the in-memory
+/// cap, which is exactly why it exists.
 pub fn record_span_event(
     name: &str,
     start_ns: u64,
@@ -182,20 +226,38 @@ pub fn record_span_event(
         return;
     }
     let tid = current_tid();
-    let mut inner = locked();
-    record_stat(&mut inner, name, dur_ns);
-    if inner.events.len() < EVENT_CAP {
-        inner.events.push(SpanEvent {
-            name: name.to_string(),
-            tid,
-            start_ns,
-            dur_ns,
-            trace_id,
-            span_id,
-            parent_id,
-        });
-    } else {
-        inner.events_dropped += 1;
+    if crate::stream::active() {
+        crate::stream::publish_line(&crate::report::span_event_line(
+            name, tid, start_ns, dur_ns, trace_id, span_id, parent_id,
+        ));
+    }
+    let dropped = {
+        let mut inner = locked();
+        record_stat(&mut inner, name, dur_ns);
+        if inner.events.len() < event_cap() {
+            inner.events.push(SpanEvent {
+                name: name.to_string(),
+                tid,
+                start_ns,
+                dur_ns,
+                trace_id,
+                span_id,
+                parent_id,
+            });
+            false
+        } else {
+            inner.events_dropped += 1;
+            true
+        }
+    };
+    // The warning goes out after the registry lock is released: the
+    // logger (and a live stream) must never run under it.
+    if dropped && !EVENT_DROP_WARNED.swap(true, Ordering::Relaxed) {
+        crate::warn!(
+            "span-event cap ({}) reached — further span events are dropped from the \
+             in-memory report (raise {EVENT_CAP_ENV} or stream with M3D_OBS_STREAM)",
+            event_cap()
+        );
     }
 }
 
@@ -208,12 +270,37 @@ pub fn record_extra(line: String) {
     if !enabled() {
         return;
     }
-    let mut inner = locked();
-    if line.contains('\n') || inner.extras.len() >= EXTRA_CAP {
-        inner.extras_dropped += 1;
+    if line.contains('\n') {
+        // A multi-line record would corrupt both the report and the
+        // stream: reject it outright (counted, never framed).
+        locked().extras_dropped += 1;
+        if !EXTRA_DROP_WARNED.swap(true, Ordering::Relaxed) {
+            crate::warn!(
+                "extra record rejected: embedded newline would corrupt the NDJSON framing"
+            );
+        }
         return;
     }
-    inner.extras.push(line);
+    if crate::stream::active() {
+        crate::stream::publish_line(&line);
+    }
+    let dropped = {
+        let mut inner = locked();
+        if inner.extras.len() >= extra_cap() {
+            inner.extras_dropped += 1;
+            true
+        } else {
+            inner.extras.push(line);
+            false
+        }
+    };
+    if dropped && !EXTRA_DROP_WARNED.swap(true, Ordering::Relaxed) {
+        crate::warn!(
+            "extra-record cap ({}) reached — further audit/extra records are dropped from \
+             the in-memory report (raise {EXTRA_CAP_ENV} or stream with M3D_OBS_STREAM)",
+            extra_cap()
+        );
+    }
 }
 
 /// Adds `delta` to the counter `name` (created at 0 on first use).
@@ -315,6 +402,114 @@ impl Snapshot {
     }
 }
 
+/// Cumulative per-span state a [`DeltaCursor`] remembers between deltas.
+#[derive(Debug, Default, Clone)]
+struct SpanCursor {
+    count: u64,
+    total_ns: u64,
+    hist: Histogram,
+}
+
+/// Opaque bookmark for [`take_delta`]: remembers the cumulative registry
+/// state already emitted, so each call returns only what was recorded
+/// since the previous one. A fresh cursor's first delta therefore covers
+/// everything recorded since process start — folding every delta of a
+/// stream reconstructs the full registry state, which is the streaming
+/// lossless-reconstruction contract.
+#[derive(Debug, Default)]
+pub struct DeltaCursor {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    spans: BTreeMap<String, SpanCursor>,
+}
+
+/// The growth of one span's aggregate since the previous delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanDelta {
+    /// Span name.
+    pub name: String,
+    /// Occurrences completed since the last delta.
+    pub count: u64,
+    /// Nanoseconds accumulated since the last delta.
+    pub total_ns: u64,
+    /// Cumulative minimum (not a difference — minima only shrink).
+    pub min_ns: u64,
+    /// Cumulative maximum (not a difference — maxima only grow).
+    pub max_ns: u64,
+    /// Sparse histogram bucket increments (`(bucket, count)` pairs in the
+    /// [`Histogram`] bucket scheme).
+    pub hist: Vec<(usize, u64)>,
+}
+
+/// Everything recorded since a cursor's previous [`take_delta`] call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Delta {
+    /// Spans that grew, name-sorted.
+    pub spans: Vec<SpanDelta>,
+    /// Counter increments (only counters that changed), name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges whose value changed, with their current value, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+}
+
+impl Delta {
+    /// Whether nothing changed since the cursor's last call.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.gauges.is_empty()
+    }
+}
+
+/// Computes the registry's growth since `cursor` last saw it and advances
+/// the cursor. One registry lock per call; the flusher thread calls this
+/// on its emission interval, so recording sites never pay for it.
+pub fn take_delta(cursor: &mut DeltaCursor) -> Delta {
+    let inner = locked();
+    let mut delta = Delta::default();
+    for (name, stat) in &inner.spans {
+        let seen = cursor.spans.entry(name.clone()).or_default();
+        if stat.count == seen.count {
+            continue;
+        }
+        delta.spans.push(SpanDelta {
+            name: name.clone(),
+            count: stat.count - seen.count,
+            total_ns: stat.total_ns - seen.total_ns,
+            min_ns: stat.min_ns,
+            max_ns: stat.max_ns,
+            hist: stat.hist.diff_nonzero(&seen.hist),
+        });
+        seen.count = stat.count;
+        seen.total_ns = stat.total_ns;
+        seen.hist = stat.hist.clone();
+    }
+    for (name, &value) in &inner.counters {
+        let seen = cursor.counters.entry(name.clone()).or_insert(0);
+        if value > *seen {
+            delta.counters.push((name.clone(), value - *seen));
+            *seen = value;
+        }
+    }
+    for (name, &value) in &inner.gauges {
+        // Bit-compare: gauges are last-write-wins, so "changed" means the
+        // exact representation moved (NaN-safe, no epsilon policy).
+        let bits = value.to_bits();
+        let seen = cursor.gauges.entry(name.clone());
+        match seen {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                if *e.get() != bits {
+                    e.insert(bits);
+                    delta.gauges.push((name.clone(), value));
+                }
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(bits);
+                delta.gauges.push((name.clone(), value));
+            }
+        }
+    }
+    delta
+}
+
 const NS_PER_MS: f64 = 1e6;
 
 /// Captures a snapshot of the registry.
@@ -350,5 +545,115 @@ pub fn snapshot() -> Snapshot {
         events_dropped: inner.events_dropped,
         extras: inner.extras.clone(),
         extras_dropped: inner.extras_dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_parsing_falls_back_on_garbage() {
+        // Unique var names: unit tests share the process environment.
+        std::env::set_var("M3D_OBS_TEST_CAP_A", "64");
+        assert_eq!(cap_from_env("M3D_OBS_TEST_CAP_A", 10), 64);
+        std::env::set_var("M3D_OBS_TEST_CAP_B", "not-a-number");
+        assert_eq!(cap_from_env("M3D_OBS_TEST_CAP_B", 10), 10);
+        std::env::set_var("M3D_OBS_TEST_CAP_C", "0");
+        assert_eq!(
+            cap_from_env("M3D_OBS_TEST_CAP_C", 10),
+            10,
+            "zero = off is not allowed"
+        );
+        std::env::set_var("M3D_OBS_TEST_CAP_D", "");
+        assert_eq!(cap_from_env("M3D_OBS_TEST_CAP_D", 10), 10);
+        assert_eq!(cap_from_env("M3D_OBS_TEST_CAP_UNSET", 10), 10);
+    }
+
+    #[test]
+    fn deltas_carry_only_growth_and_fold_back_to_totals() {
+        // Unique names: the registry is process-global and other tests in
+        // this binary may be recording concurrently.
+        let mut cursor = DeltaCursor::default();
+        counter_add("test.registry.delta_counter", 5);
+        record_span("test.registry.delta_span", Duration::from_micros(100));
+        let first = take_delta(&mut cursor);
+        let c = first
+            .counters
+            .iter()
+            .find(|(n, _)| n == "test.registry.delta_counter")
+            .expect("first delta covers everything since process start");
+        assert_eq!(c.1, 5);
+        let s = first
+            .spans
+            .iter()
+            .find(|s| s.name == "test.registry.delta_span")
+            .expect("span in first delta");
+        assert_eq!(s.count, 1);
+        assert_eq!(s.hist.iter().map(|&(_, n)| n).sum::<u64>(), 1);
+
+        // Nothing new for these names → they vanish from the next delta.
+        let quiet = take_delta(&mut cursor);
+        assert!(!quiet
+            .counters
+            .iter()
+            .any(|(n, _)| n == "test.registry.delta_counter"));
+        assert!(!quiet
+            .spans
+            .iter()
+            .any(|s| s.name == "test.registry.delta_span"));
+
+        counter_add("test.registry.delta_counter", 2);
+        record_span("test.registry.delta_span", Duration::from_micros(300));
+        let second = take_delta(&mut cursor);
+        let c = second
+            .counters
+            .iter()
+            .find(|(n, _)| n == "test.registry.delta_counter")
+            .expect("grown counter reappears");
+        assert_eq!(c.1, 2, "increment, not cumulative value");
+        let s = second
+            .spans
+            .iter()
+            .find(|s| s.name == "test.registry.delta_span")
+            .expect("grown span reappears");
+        assert_eq!(s.count, 1);
+        assert!(s.min_ns <= s.max_ns, "min/max are cumulative bounds");
+        // Folding both deltas reconstructs the cumulative aggregate.
+        let folded: u64 = [&first, &second]
+            .iter()
+            .flat_map(|d| d.spans.iter())
+            .filter(|s| s.name == "test.registry.delta_span")
+            .map(|s| s.count)
+            .sum();
+        let snap = snapshot();
+        assert_eq!(
+            folded,
+            snap.span("test.registry.delta_span").expect("snap").count
+        );
+    }
+
+    #[test]
+    fn gauge_deltas_use_bit_identity() {
+        let mut cursor = DeltaCursor::default();
+        gauge_set("test.registry.delta_gauge", 1.25);
+        let first = take_delta(&mut cursor);
+        assert!(first
+            .gauges
+            .iter()
+            .any(|(n, v)| n == "test.registry.delta_gauge" && *v == 1.25));
+        // Rewriting the identical value is not a change.
+        gauge_set("test.registry.delta_gauge", 1.25);
+        let same = take_delta(&mut cursor);
+        assert!(!same
+            .gauges
+            .iter()
+            .any(|(n, _)| n == "test.registry.delta_gauge"));
+        gauge_set("test.registry.delta_gauge", 2.5);
+        let moved = take_delta(&mut cursor);
+        assert!(moved
+            .gauges
+            .iter()
+            .any(|(n, v)| n == "test.registry.delta_gauge" && *v == 2.5));
     }
 }

@@ -64,6 +64,27 @@ pub fn json_number(out: &mut String, v: f64) {
     }
 }
 
+/// Serializes one span occurrence as a `span_event` NDJSON line (no
+/// trailing newline). Shared by the end-of-run report writer and the
+/// live stream so both emit byte-identical records.
+pub(crate) fn span_event_line(
+    name: &str,
+    tid: u32,
+    start_ns: u64,
+    dur_ns: u64,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+) -> String {
+    let mut out = String::with_capacity(96 + name.len());
+    out.push_str("{\"type\":\"span_event\",\"name\":");
+    json_string(&mut out, name);
+    out.push_str(&format!(
+        ",\"tid\":{tid},\"start_ns\":{start_ns},\"dur_ns\":{dur_ns},\"trace_id\":{trace_id},\"span_id\":{span_id},\"parent_id\":{parent_id}}}"
+    ));
+    out
+}
+
 /// A captured run report: config echo plus a registry snapshot.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -93,6 +114,16 @@ impl RunReport {
                 "alloc.peak_live_bytes".to_string(),
                 crate::alloc::peak_live_bytes(),
             ));
+            snapshot.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        // Streaming backpressure drops are a property of the live sink,
+        // not the registry; surface them in the report's counters so
+        // `summarize --strict` sees one uniform drop accounting.
+        let stream_dropped = crate::stream::records_dropped();
+        if stream_dropped > 0 {
+            snapshot
+                .counters
+                .push(("obs.stream_records_dropped".to_string(), stream_dropped));
             snapshot.counters.sort_by(|a, b| a.0.cmp(&b.0));
         }
         RunReport {
@@ -168,12 +199,16 @@ impl RunReport {
             }
         }
         for e in &self.snapshot.events {
-            out.push_str("{\"type\":\"span_event\",\"name\":");
-            json_string(&mut out, &e.name);
-            out.push_str(&format!(
-                ",\"tid\":{},\"start_ns\":{},\"dur_ns\":{},\"trace_id\":{},\"span_id\":{},\"parent_id\":{}}}\n",
-                e.tid, e.start_ns, e.dur_ns, e.trace_id, e.span_id, e.parent_id
+            out.push_str(&span_event_line(
+                &e.name,
+                e.tid,
+                e.start_ns,
+                e.dur_ns,
+                e.trace_id,
+                e.span_id,
+                e.parent_id,
             ));
+            out.push('\n');
         }
         for extra in &self.snapshot.extras {
             out.push_str(extra);

@@ -1,0 +1,37 @@
+//! Env-configurable in-memory caps (`M3D_OBS_EVENT_CAP` /
+//! `M3D_OBS_EXTRA_CAP`). Own test binary: the caps are read once per
+//! process, so the env must be set before any span or extra is recorded
+//! — a single #[test] keeps the ordering deterministic.
+
+#[test]
+fn caps_come_from_env_and_overflow_is_counted() {
+    // Must run before the registry's OnceLock caps initialize.
+    std::env::set_var(m3d_obs::registry::EVENT_CAP_ENV, "8");
+    std::env::set_var(m3d_obs::registry::EXTRA_CAP_ENV, "4");
+
+    for _ in 0..12 {
+        let _g = m3d_obs::span!("test.caps.span");
+    }
+    for i in 0..7 {
+        m3d_obs::registry::record_extra(format!("{{\"type\":\"audit\",\"trace_id\":0,\"i\":{i}}}"));
+    }
+    // An embedded newline is rejected (counted), never framed.
+    m3d_obs::registry::record_extra("{\"type\":\"audit\",\n\"bad\":true}".to_string());
+
+    let snap = m3d_obs::snapshot();
+    assert_eq!(snap.events.len(), 8, "event cap honoured from env");
+    assert_eq!(snap.events_dropped, 4, "overflowing events counted");
+    assert_eq!(snap.extras.len(), 4, "extra cap honoured from env");
+    assert_eq!(snap.extras_dropped, 4, "3 over cap + 1 newline-rejected");
+
+    // Aggregates keep counting past the event cap: only the per-event
+    // list is bounded, not the statistics.
+    let span = snap.span("test.caps.span").expect("span aggregated");
+    assert_eq!(span.count, 12);
+
+    // A malformed override falls back to the default instead of
+    // disabling or unbounding telemetry.
+    std::env::set_var(m3d_obs::registry::EVENT_CAP_ENV, "not-a-number");
+    // (The active cap is latched for this process; the parse path is
+    // covered by unit tests in the registry module.)
+}

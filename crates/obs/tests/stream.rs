@@ -1,0 +1,209 @@
+//! Streaming sink behaviour: line framing, rotation, drop-counted
+//! backpressure, and lifecycle. Semantic reconstruction (deltas → report
+//! totals) is covered end-to-end in the workspace streaming test and the
+//! obsctl reader tests; here we pin the producer-side contracts with
+//! plain string checks.
+//!
+//! The stream and registry are process-global, so tests serialize on one
+//! mutex and use unique metric names.
+
+use m3d_obs::stream::{self, StreamConfig};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Duration;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "m3d-obs-stream-{}-{name}.ndjson",
+        std::process::id()
+    ))
+}
+
+/// Removes the base segment and every rotated sibling.
+fn cleanup(base: &PathBuf) {
+    let _ = std::fs::remove_file(base);
+    for i in 1..=16 {
+        let _ = std::fs::remove_file(stream::rotated_path(base, i));
+    }
+}
+
+/// All existing segments, oldest first, as (path, contents).
+fn read_segments(base: &PathBuf) -> Vec<(PathBuf, String)> {
+    let mut out = Vec::new();
+    for i in (1..=16).rev() {
+        let p = stream::rotated_path(base, i);
+        if let Ok(text) = std::fs::read_to_string(&p) {
+            out.push((p, text));
+        }
+    }
+    let text = std::fs::read_to_string(base).expect("active segment exists");
+    out.push((base.clone(), text));
+    out
+}
+
+#[test]
+fn framing_rotation_and_summary() {
+    let _lock = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    let base = temp_path("framing");
+    cleanup(&base);
+
+    let mut config = StreamConfig::new(&base);
+    config.rotate_bytes = 400; // force several segments
+    config.keep = 8;
+    config.interval = Duration::from_millis(10);
+    stream::init(config).expect("stream attaches");
+    assert!(stream::active());
+
+    for round in 0..6u64 {
+        {
+            let _g = m3d_obs::span!("test.stream.framing");
+        }
+        m3d_obs::counter!("test.stream.framing_counter", 1 + round);
+        m3d_obs::registry::record_extra(format!(
+            "{{\"type\":\"audit\",\"trace_id\":0,\"round\":{round},\"pad\":\"{}\"}}",
+            "x".repeat(64)
+        ));
+        stream::flush();
+    }
+    stream::shutdown();
+    assert!(!stream::active());
+
+    let segments = read_segments(&base);
+    assert!(
+        segments.len() >= 2,
+        "rotation at 400 bytes must produce rotated segments, got {}",
+        segments.len()
+    );
+    let mut all_lines: Vec<String> = Vec::new();
+    for (path, text) in &segments {
+        assert!(
+            text.ends_with('\n'),
+            "{}: cleanly closed segments end at a line boundary",
+            path.display()
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines[0].contains("\"type\":\"stream_meta\""),
+            "{}: segments open with stream_meta, got {}",
+            path.display(),
+            lines[0]
+        );
+        for line in &lines {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "{}: torn or non-object line: {line}",
+                path.display()
+            );
+        }
+        all_lines.extend(lines.iter().map(|s| s.to_string()));
+    }
+    let text = all_lines.join("\n");
+    assert!(
+        text.contains("\"type\":\"span_event\""),
+        "span events streamed"
+    );
+    assert!(
+        text.contains("test.stream.framing_counter"),
+        "counter deltas streamed"
+    );
+    assert!(text.contains("\"round\":5"), "extras streamed");
+    assert!(
+        all_lines
+            .last()
+            .expect("nonempty")
+            .contains("\"type\":\"stream_summary\""),
+        "stream closes with a summary"
+    );
+    // Segment ordinals are strictly increasing across the chain.
+    let ordinals: Vec<u64> = all_lines
+        .iter()
+        .filter(|l| l.contains("\"type\":\"stream_meta\""))
+        .map(|l| {
+            let tail = l.split("\"segment\":").nth(1).expect("segment field");
+            tail.split(|c: char| !c.is_ascii_digit())
+                .next()
+                .expect("digits")
+                .parse::<u64>()
+                .expect("ordinal")
+        })
+        .collect();
+    assert!(
+        ordinals.windows(2).all(|w| w[0] < w[1]),
+        "segment ordinals out of order: {ordinals:?}"
+    );
+
+    cleanup(&base);
+}
+
+#[test]
+fn full_ring_drops_and_counts_instead_of_blocking() {
+    let _lock = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    let base = temp_path("backpressure");
+    cleanup(&base);
+
+    let mut config = StreamConfig::new(&base);
+    config.ring_capacity = 2;
+    // Long interval: the flusher must not drain between pushes, so the
+    // ring genuinely fills.
+    config.interval = Duration::from_secs(30);
+    stream::init(config).expect("stream attaches");
+
+    for i in 0..50 {
+        m3d_obs::registry::record_extra(format!("{{\"type\":\"audit\",\"trace_id\":0,\"i\":{i}}}"));
+    }
+    let dropped = stream::records_dropped();
+    assert!(
+        dropped >= 48,
+        "2-slot ring must drop the rest, got {dropped}"
+    );
+
+    // The drop count surfaces in captured reports...
+    let report = m3d_obs::RunReport::capture(&[]);
+    let ndjson = report.to_ndjson();
+    assert!(
+        ndjson.contains("\"obs.stream_records_dropped\""),
+        "report carries the stream drop counter"
+    );
+    stream::shutdown();
+
+    // ...and in the closing summary record.
+    let text = std::fs::read_to_string(&base).expect("active segment exists");
+    let summary = text
+        .lines()
+        .rev()
+        .find(|l| l.contains("\"type\":\"stream_summary\""))
+        .expect("summary written");
+    assert!(
+        summary.contains("\"records_dropped\":"),
+        "summary reports drops: {summary}"
+    );
+    cleanup(&base);
+}
+
+#[test]
+fn init_replaces_and_shutdown_is_idempotent() {
+    let _lock = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    let first = temp_path("replace-first");
+    let second = temp_path("replace-second");
+    cleanup(&first);
+    cleanup(&second);
+
+    stream::init(StreamConfig::new(&first)).expect("first stream");
+    m3d_obs::counter!("test.stream.replace", 1);
+    stream::init(StreamConfig::new(&second)).expect("second stream replaces");
+    assert!(stream::active());
+    stream::shutdown();
+    stream::shutdown(); // no-op
+
+    let first_text = std::fs::read_to_string(&first).expect("first flushed on replace");
+    assert!(
+        first_text.contains("\"type\":\"stream_summary\""),
+        "replaced stream was cleanly finalized"
+    );
+    let second_text = std::fs::read_to_string(&second).expect("second flushed on shutdown");
+    assert!(second_text.contains("\"type\":\"stream_summary\""));
+    cleanup(&first);
+    cleanup(&second);
+}

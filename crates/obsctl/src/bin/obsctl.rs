@@ -1,29 +1,37 @@
-//! `m3d-obsctl` — command-line consumer for `m3d-obs/1` run reports.
+//! `m3d-obsctl` — command-line consumer for `m3d-obs/1` run reports and
+//! `m3d-obs-stream/1` live telemetry streams.
 //!
 //! ```text
 //! m3d-obsctl trace <report.ndjson> [-o trace.json]
-//! m3d-obsctl summarize <report.ndjson>...
+//! m3d-obsctl summarize <report.ndjson>... [--strict]
 //! m3d-obsctl bench <report.ndjson>... [--scale <name>] [-o BENCH_<scale>.json]
 //! m3d-obsctl compare <baseline.json> <current.json> [--tol-rel <f>] [--tol-abs-ms <f>]
 //! m3d-obsctl explain <report.ndjson> <trace-id>
 //! m3d-obsctl slo <report.ndjson> --baseline <BENCH.json> [--headroom <f>] [--max-degraded-rate <f>]
+//! m3d-obsctl tail <stream.ndjson> [--follow] [--design <d>] [--span <prefix>] [--level <lvl>]
+//! m3d-obsctl top <stream.ndjson> [-n <k>]
+//! m3d-obsctl trend <history-dir> [--last <n>] [--min-runs <n>] [--tol-rel <f>] [--abs-floor-ms <f>]
 //! ```
 //!
-//! Exit codes: 0 success / within tolerance, 1 perf regression or SLO
-//! violation, 2 usage or I/O error.
+//! Exit codes: 0 success / within tolerance, 1 perf regression, SLO
+//! violation, dropped records under `--strict`, or sustained drift;
+//! 2 usage or I/O error.
 
 use m3d_obsctl::bench::{self, Tolerance};
-use m3d_obsctl::{chrome_trace, explain, report, slo, summarize};
+use m3d_obsctl::{chrome_trace, explain, report, slo, stream, summarize, tail, top, trend};
 use std::path::Path;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   m3d-obsctl trace <report.ndjson> [-o trace.json]
-  m3d-obsctl summarize <report.ndjson>...
+  m3d-obsctl summarize <report.ndjson>... [--strict]
   m3d-obsctl bench <report.ndjson>... [--scale <name>] [-o <BENCH.json>]
   m3d-obsctl compare <baseline.json> <current.json> [--tol-rel <f>] [--tol-abs-ms <f>]
   m3d-obsctl explain <report.ndjson> <trace-id>
-  m3d-obsctl slo <report.ndjson> --baseline <BENCH.json> [--headroom <f>] [--max-degraded-rate <f>]";
+  m3d-obsctl slo <report.ndjson> --baseline <BENCH.json> [--headroom <f>] [--max-degraded-rate <f>]
+  m3d-obsctl tail <stream.ndjson> [--follow] [--design <d>] [--span <prefix>] [--level <lvl>]
+  m3d-obsctl top <stream.ndjson> [-n <k>]
+  m3d-obsctl trend <history-dir> [--last <n>] [--min-runs <n>] [--tol-rel <f>] [--abs-floor-ms <f>]";
 
 fn usage_error(message: &str) -> ExitCode {
     m3d_obs::error!("{message}");
@@ -72,13 +80,36 @@ fn cmd_trace(mut args: Vec<String>) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_summarize(args: Vec<String>) -> Result<ExitCode, String> {
+/// Removes a value-less `--flag` from `args`, returning whether it was
+/// present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn cmd_summarize(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let strict = take_flag(&mut args, "--strict");
     if args.is_empty() {
         return Err("summarize takes at least one report".to_string());
     }
+    let mut dropped_total = 0u64;
     for path in &args {
         let report = report::load(Path::new(path))?;
         m3d_obs::out!("{}", summarize(&report).trim_end());
+        dropped_total += summarize::dropped_records(&report);
+    }
+    if strict && dropped_total > 0 {
+        m3d_obs::error!(
+            "strict summarize FAILED: {dropped_total} record(s) dropped across {} report(s) \
+             (events/extras at the in-memory caps or stream records at the ring)",
+            args.len()
+        );
+        return Ok(ExitCode::from(1));
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -212,6 +243,91 @@ fn cmd_slo(mut args: Vec<String>) -> Result<ExitCode, String> {
     }
 }
 
+fn cmd_tail(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let follow = take_flag(&mut args, "--follow") || take_flag(&mut args, "-f");
+    let filter = tail::TailFilter {
+        design: take_option(&mut args, "--design")?,
+        span: take_option(&mut args, "--span")?,
+        level: take_option(&mut args, "--level")?
+            .map(|s| tail::level_from_arg(&s))
+            .transpose()?,
+    };
+    let poll_ms: u64 = match take_option(&mut args, "--poll-ms")? {
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("--poll-ms `{s}` is not an integer"))?,
+        None => 200,
+    };
+    let [path] = args.as_slice() else {
+        return Err("tail takes exactly one stream path".to_string());
+    };
+    tail::run(
+        Path::new(path),
+        &filter,
+        follow,
+        std::time::Duration::from_millis(poll_ms.max(1)),
+    )?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_top(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let limit: usize = match take_option(&mut args, "-n")? {
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("-n `{s}` is not an integer"))?,
+        None => 15,
+    };
+    let [path] = args.as_slice() else {
+        return Err("top takes exactly one stream path".to_string());
+    };
+    let dump = stream::read(Path::new(path))?;
+    m3d_obs::out!("{}", top::render(&dump, limit).trim_end());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_trend(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let mut config = trend::TrendConfig::default();
+    let parse_usize = |flag: &str, v: Option<String>, default: usize| -> Result<usize, String> {
+        match v {
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("{flag} `{s}` is not an integer")),
+            None => Ok(default),
+        }
+    };
+    config.last = parse_usize("--last", take_option(&mut args, "--last")?, config.last)?;
+    config.min_runs = parse_usize(
+        "--min-runs",
+        take_option(&mut args, "--min-runs")?,
+        config.min_runs,
+    )?;
+    if let Some(rel) = take_option(&mut args, "--tol-rel")? {
+        config.tol_rel = rel
+            .parse()
+            .map_err(|_| format!("--tol-rel `{rel}` is not a number"))?;
+    }
+    if let Some(floor) = take_option(&mut args, "--abs-floor-ms")? {
+        config.abs_floor_ms = floor
+            .parse()
+            .map_err(|_| format!("--abs-floor-ms `{floor}` is not a number"))?;
+    }
+    let [dir] = args.as_slice() else {
+        return Err("trend takes exactly one history directory".to_string());
+    };
+    let history = trend::load_history(Path::new(dir))?;
+    let report = trend::analyze(&history, &config);
+    m3d_obs::out!("{}", trend::render(&report, &history, &config).trim_end());
+    if report.drifted() {
+        m3d_obs::error!(
+            "trend gate FAILED over {dir} — sustained monotonic regression(s); \
+             investigate or refresh the baseline history"
+        );
+        Ok(ExitCode::from(1))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -225,6 +341,9 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(args),
         "explain" => cmd_explain(args),
         "slo" => cmd_slo(args),
+        "tail" => cmd_tail(args),
+        "top" => cmd_top(args),
+        "trend" => cmd_trend(args),
         "-h" | "--help" | "help" => {
             m3d_obs::out!("{USAGE}");
             Ok(ExitCode::SUCCESS)

@@ -15,6 +15,15 @@
 //!   end-to-end (causal span tree + audit narrative) from its trace id.
 //! - [`slo`] — absolute latency/degradation budgets per design, with the
 //!   latency ceiling derived from the committed perf baseline.
+//! - [`stream`] — reader for `m3d-obs-stream/1` live-telemetry streams
+//!   (rotated segment discovery, torn-tail tolerance) and lossless
+//!   reconstruction of registry totals from streamed delta snapshots.
+//! - [`tail`] / [`top`] — follow a live stream with design/span/level
+//!   filters; hottest spans, counter rates, and per-design SLO health
+//!   computed from deltas mid-run.
+//! - [`trend`] — the cross-run drift gate: flags stages whose p50 rose
+//!   strictly monotonically across the last N archived runs, catching
+//!   slow leaks the per-run perf gate's tolerance hides.
 //!
 //! The `m3d-obsctl` binary exposes all of it on the command line; see
 //! EXPERIMENTS.md § "Profiling & perf gate".
@@ -27,10 +36,15 @@ pub mod explain;
 pub mod json;
 pub mod report;
 pub mod slo;
+pub mod stream;
 pub mod summarize;
+pub mod tail;
+pub mod top;
 pub mod trace;
+pub mod trend;
 
 pub use bench::{aggregate, compare, BenchSnapshot, Comparison, Tolerance};
 pub use report::RunReport;
+pub use stream::{Reconstruction, StreamDump, StreamRecord};
 pub use summarize::summarize;
 pub use trace::chrome_trace;

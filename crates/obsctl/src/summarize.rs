@@ -16,6 +16,21 @@ fn fmt_ms(ms: f64) -> String {
     }
 }
 
+/// Telemetry records the run dropped anywhere — span events or extras at
+/// the in-memory caps, stream records at the ring. `summarize --strict`
+/// fails a run whose total is nonzero: a report produced under drop
+/// pressure is not trustworthy evidence for per-trace analysis.
+pub fn dropped_records(report: &RunReport) -> u64 {
+    [
+        "obs.span_events_dropped",
+        "obs.extra_records_dropped",
+        "obs.stream_records_dropped",
+    ]
+    .iter()
+    .filter_map(|name| report.counter(name))
+    .sum()
+}
+
 /// Renders the summary as plain text (one table per section).
 pub fn summarize(report: &RunReport) -> String {
     let mut out = String::new();
@@ -132,6 +147,16 @@ pub fn summarize(report: &RunReport) -> String {
                 out,
                 "WARNING: {dropped} extra record(s) (diagnosis audits) were DROPPED at \
                  the in-memory cap — audit coverage is incomplete"
+            );
+        }
+    }
+    if let Some(dropped) = report.counter("obs.stream_records_dropped") {
+        if dropped > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: {dropped} telemetry stream record(s) were DROPPED at the ring \
+                 buffer — the streamed NDJSON under-reports span events/audits (delta \
+                 snapshots are unaffected)"
             );
         }
     }

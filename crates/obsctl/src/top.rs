@@ -1,0 +1,224 @@
+//! `m3d-obsctl top` — a point-in-time health view computed from a
+//! telemetry stream's delta snapshots: hottest spans by accumulated
+//! time, counter rates over the covered window, and per-design SLO
+//! health (case counts, degradation rate, diagnosis p95) from the
+//! `slo.*` metric families.
+//!
+//! Everything here derives from [`crate::stream::Reconstruction`], i.e.
+//! from `delta` records alone — `top` works identically on a live
+//! stream mid-run (totals so far) and on a finished one (final totals,
+//! equal to the end-of-process report by the reconstruction contract).
+
+use crate::slo::{CASES_PREFIX, DEGRADED_PREFIX, DIAGNOSE_PREFIX};
+use crate::stream::{Reconstruction, StreamDump, StreamRecord};
+use std::fmt::Write as _;
+
+fn fmt_ms(ms: f64) -> String {
+    if ms >= 10_000.0 {
+        format!("{:.1}s", ms / 1e3)
+    } else if ms >= 1.0 {
+        format!("{ms:.2}ms")
+    } else {
+        format!("{:.1}us", ms * 1e3)
+    }
+}
+
+/// Renders the top view of `dump`, listing at most `limit` spans and
+/// counters (0 = unlimited).
+pub fn render(dump: &StreamDump, limit: usize) -> String {
+    let rec = Reconstruction::from_dump(dump);
+    let limit = if limit == 0 { usize::MAX } else { limit };
+    let mut out = String::new();
+
+    let window = rec
+        .window_secs
+        .map_or(0, |(first, last)| last.saturating_sub(first));
+    let _ = writeln!(
+        out,
+        "stream: {} delta(s) over {}s{}",
+        rec.deltas,
+        window,
+        if rec.seq_gap {
+            " — WARNING: sequence gap (rotated segments expired; totals under-report)"
+        } else {
+            ""
+        }
+    );
+    if let Some(StreamRecord::Summary {
+        records,
+        records_dropped,
+        ..
+    }) = dump.summary()
+    {
+        let _ = writeln!(
+            out,
+            "closed: {records} streamed record(s), {records_dropped} dropped at the ring"
+        );
+    }
+
+    // Hottest spans by total accumulated time.
+    let mut spans: Vec<_> = rec.spans.iter().collect();
+    spans.sort_by_key(|s| std::cmp::Reverse(s.1.total_ns));
+    if !spans.is_empty() {
+        let name_w = spans
+            .iter()
+            .take(limit)
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0)
+            .max("span".len());
+        let _ = writeln!(
+            out,
+            "\n{:<name_w$} {:>8} {:>10} {:>10} {:>10}",
+            "span", "count", "p50", "p95", "total"
+        );
+        for (name, s) in spans.iter().take(limit) {
+            let _ = writeln!(
+                out,
+                "{:<name_w$} {:>8} {:>10} {:>10} {:>10}",
+                name,
+                s.count,
+                fmt_ms(s.quantile_ms(0.5)),
+                fmt_ms(s.quantile_ms(0.95)),
+                fmt_ms(s.total_ns as f64 / 1e6),
+            );
+        }
+    }
+
+    // Counter totals and rates over the covered window (rates need a
+    // window of at least a second to mean anything).
+    let mut counters: Vec<_> = rec.counters.iter().collect();
+    counters.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+    if !counters.is_empty() {
+        let _ = writeln!(out, "\ncounters (total | per-second over window):");
+        for (name, &value) in counters.iter().take(limit) {
+            if window > 0 {
+                let _ = writeln!(
+                    out,
+                    "  {name} = {value} | {:.1}/s",
+                    value as f64 / window as f64
+                );
+            } else {
+                let _ = writeln!(out, "  {name} = {value}");
+            }
+        }
+    }
+
+    // Per-design SLO health from the slo.* families.
+    let mut designs: Vec<&str> = rec
+        .counters
+        .keys()
+        .filter_map(|n| n.strip_prefix(CASES_PREFIX))
+        .collect();
+    designs.sort_unstable();
+    if !designs.is_empty() {
+        let _ = writeln!(out, "\nSLO health per design:");
+        for design in designs {
+            let cases = rec.counter(&format!("{CASES_PREFIX}{design}")).unwrap_or(0);
+            let degraded = rec
+                .counter(&format!("{DEGRADED_PREFIX}{design}"))
+                .unwrap_or(0);
+            let rate = if cases > 0 {
+                degraded as f64 / cases as f64 * 100.0
+            } else {
+                0.0
+            };
+            let p95 = rec
+                .spans
+                .get(&format!("{DIAGNOSE_PREFIX}{design}"))
+                .map(|s| fmt_ms(s.quantile_ms(0.95)))
+                .unwrap_or_else(|| "n/a".to_string());
+            let _ = writeln!(
+                out,
+                "  {design}: {cases} case(s), {degraded} degraded ({rate:.1}%), diagnose p95 {p95}"
+            );
+        }
+    }
+
+    if rec.deltas == 0 {
+        let _ = writeln!(
+            out,
+            "(no delta records yet — the producer has not completed a flush interval)"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{DeltaRec, SpanDelta};
+
+    fn dump_with(deltas: Vec<DeltaRec>) -> StreamDump {
+        StreamDump {
+            records: deltas.into_iter().map(StreamRecord::Delta).collect(),
+            torn_lines: 0,
+        }
+    }
+
+    #[test]
+    fn renders_spans_counters_and_slo_health() {
+        let d = DeltaRec {
+            seq: 1,
+            unix_secs: 100,
+            uptime_ns: 1,
+            spans: vec![
+                SpanDelta {
+                    name: "slo.diagnose.b14".to_string(),
+                    count: 10,
+                    total_ns: 50_000_000,
+                    min_ns: 1_000_000,
+                    max_ns: 9_000_000,
+                    hist: vec![(300, 10)],
+                },
+                SpanDelta {
+                    name: "atpg.generate".to_string(),
+                    count: 2,
+                    total_ns: 400_000_000,
+                    min_ns: 100_000_000,
+                    max_ns: 300_000_000,
+                    hist: vec![(500, 2)],
+                },
+            ],
+            counters: vec![
+                ("slo.cases.b14".to_string(), 10),
+                ("slo.degraded.b14".to_string(), 2),
+            ],
+            gauges: vec![],
+        };
+        let mut d2 = DeltaRec {
+            seq: 2,
+            unix_secs: 110,
+            ..DeltaRec::default()
+        };
+        d2.counters.push(("slo.cases.b14".to_string(), 10));
+        let text = render(&dump_with(vec![d, d2]), 0);
+        assert!(text.contains("2 delta(s) over 10s"), "{text}");
+        assert!(
+            text.contains("b14: 20 case(s), 2 degraded (10.0%)"),
+            "{text}"
+        );
+        assert!(text.contains("slo.cases.b14 = 20 | 2.0/s"), "{text}");
+        // Hottest span (by total) sorts first.
+        let atpg = text.find("atpg.generate").expect("span listed");
+        let slo = text.find("slo.diagnose.b14").expect("span listed");
+        assert!(atpg < slo, "hotter span first:\n{text}");
+    }
+
+    #[test]
+    fn empty_stream_says_so() {
+        let text = render(&dump_with(vec![]), 5);
+        assert!(text.contains("no delta records yet"), "{text}");
+    }
+
+    #[test]
+    fn seq_gap_warns() {
+        let mk = |seq| DeltaRec {
+            seq,
+            unix_secs: 100 + seq,
+            ..DeltaRec::default()
+        };
+        let text = render(&dump_with(vec![mk(1), mk(3)]), 0);
+        assert!(text.contains("sequence gap"), "{text}");
+    }
+}

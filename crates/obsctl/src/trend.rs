@@ -1,0 +1,380 @@
+//! `m3d-obsctl trend` — the cross-run drift gate.
+//!
+//! The perf gate ([`crate::bench::compare`]) is deliberately loose
+//! (+50% / 5 ms) so one noisy CI run never blocks a merge — which means
+//! a slow leak that adds 5% per commit sails under it indefinitely. This
+//! module closes that hole: it ingests a *history* directory of
+//! benchmark snapshots (`*.json`, `m3d-bench/1`) and raw run reports
+//! (`*.ndjson`, `m3d-obs/1`, condensed on the fly), orders runs by
+//! filename (the CI archiver prefixes a Unix timestamp so lexical order
+//! is chronological), and flags any stage whose p50 rose **strictly
+//! monotonically** across the whole window of the last N runs by more
+//! than the tolerance. Monotonicity across ≥ 3 independent runs is the
+//! noise filter: CI jitter goes both ways, sustained one-directional
+//! movement is a real trend.
+//!
+//! A least-squares slope per drifting stage is reported alongside, so
+//! the log answers "how fast is it getting worse" and not only "it got
+//! worse".
+
+use crate::bench::{self, BenchSnapshot};
+use crate::report;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One historical run: its filename label and condensed snapshot.
+#[derive(Debug, Clone)]
+pub struct HistoryEntry {
+    /// Filename (the chronological sort key).
+    pub label: String,
+    /// Per-stage statistics of the run.
+    pub snapshot: BenchSnapshot,
+}
+
+/// A loaded history directory.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// Entries in filename (chronological) order.
+    pub entries: Vec<HistoryEntry>,
+    /// Files that looked like history but did not parse, with reasons —
+    /// surfaced, never fatal (one corrupt archive must not kill the gate).
+    pub skipped: Vec<(String, String)>,
+}
+
+/// Loads every `*.json` benchmark snapshot and `*.ndjson` run report in
+/// `dir`, in filename order.
+///
+/// # Errors
+///
+/// Only directory-level I/O failures; unparsable files are collected in
+/// [`History::skipped`].
+pub fn load_history(dir: &Path) -> Result<History, String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: cannot read history dir: {e}", dir.display()))?
+        .filter_map(|entry| Some(entry.ok()?.file_name().to_string_lossy().into_owned()))
+        .filter(|name| name.ends_with(".json") || name.ends_with(".ndjson"))
+        .collect();
+    names.sort_unstable();
+    let mut history = History::default();
+    for name in names {
+        let path = dir.join(&name);
+        let parsed = if name.ends_with(".ndjson") {
+            report::load(&path).and_then(|r| bench::aggregate(&[r], None))
+        } else {
+            std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read: {e}"))
+                .and_then(|text| bench::parse_json(&text))
+        };
+        match parsed {
+            Ok(snapshot) => history.entries.push(HistoryEntry {
+                label: name,
+                snapshot,
+            }),
+            Err(reason) => history.skipped.push((name, reason)),
+        }
+    }
+    Ok(history)
+}
+
+/// Tuning of the drift detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendConfig {
+    /// Window: the last N runs considered.
+    pub last: usize,
+    /// Minimum runs in the window before the gate can fire at all.
+    pub min_runs: usize,
+    /// Relative rise across the window that counts as drift (0.10 = +10%).
+    pub tol_rel: f64,
+    /// Absolute floor in milliseconds the rise must also clear, so
+    /// microsecond stages never gate on timer granularity.
+    pub abs_floor_ms: f64,
+}
+
+impl Default for TrendConfig {
+    /// Last 5 runs, at least 3, +10% with a 0.5 ms floor: tight enough to
+    /// catch a 5%-per-commit leak within a handful of merges, loose
+    /// enough that three monotone coin-flips (12.5% of triples) still
+    /// need a real rise to fire.
+    fn default() -> Self {
+        TrendConfig {
+            last: 5,
+            min_runs: 3,
+            tol_rel: 0.10,
+            abs_floor_ms: 0.5,
+        }
+    }
+}
+
+/// One stage whose p50 drifted up across the window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drift {
+    /// Stage name.
+    pub name: String,
+    /// p50 in the oldest run of the window, milliseconds.
+    pub first_ms: f64,
+    /// p50 in the newest run, milliseconds.
+    pub last_ms: f64,
+    /// Least-squares slope, milliseconds per run.
+    pub slope_ms_per_run: f64,
+    /// Runs in the window.
+    pub runs: usize,
+}
+
+/// Outcome of a trend analysis.
+#[derive(Debug, Clone, Default)]
+pub struct TrendReport {
+    /// Labels of the runs in the analyzed window, oldest first.
+    pub window: Vec<String>,
+    /// Stages that drifted (the gate fires when non-empty).
+    pub drifts: Vec<Drift>,
+    /// Stages checked (present in every run of the window).
+    pub stages_checked: usize,
+    /// Whether the window was too small to gate.
+    pub too_few_runs: bool,
+}
+
+impl TrendReport {
+    /// Whether the gate should fail the build.
+    pub fn drifted(&self) -> bool {
+        !self.drifts.is_empty()
+    }
+}
+
+fn least_squares_slope(values: &[f64]) -> f64 {
+    // x = 0..n run indices; textbook simple regression.
+    let n = values.len() as f64;
+    let mean_x = (values.len() as f64 - 1.0) / 2.0;
+    let mean_y: f64 = values.iter().sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, &y) in values.iter().enumerate() {
+        let dx = i as f64 - mean_x;
+        num += dx * (y - mean_y);
+        den += dx * dx;
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+/// Analyzes the last `config.last` runs of `history` for sustained
+/// monotonic p50 drift.
+pub fn analyze(history: &History, config: &TrendConfig) -> TrendReport {
+    let start = history.entries.len().saturating_sub(config.last.max(1));
+    let window = &history.entries[start..];
+    let mut report = TrendReport {
+        window: window.iter().map(|e| e.label.clone()).collect(),
+        ..TrendReport::default()
+    };
+    if window.len() < config.min_runs.max(2) {
+        report.too_few_runs = true;
+        return report;
+    }
+    let newest = &window[window.len() - 1].snapshot;
+    for stage in &newest.stages {
+        let values: Vec<f64> = window
+            .iter()
+            .filter_map(|e| e.snapshot.stage(&stage.name).map(|s| s.p50_ms))
+            .collect();
+        // Only stages every run in the window measured are comparable —
+        // a stage that appeared mid-window has no trend yet.
+        if values.len() < window.len() || values.iter().any(|v| !v.is_finite()) {
+            continue;
+        }
+        report.stages_checked += 1;
+        let monotone = values.windows(2).all(|w| w[1] > w[0]);
+        let first = values[0];
+        let last = values[values.len() - 1];
+        let rise = last - first;
+        if monotone && rise > (first * config.tol_rel).max(config.abs_floor_ms) {
+            report.drifts.push(Drift {
+                name: stage.name.clone(),
+                first_ms: first,
+                last_ms: last,
+                slope_ms_per_run: least_squares_slope(&values),
+                runs: values.len(),
+            });
+        }
+    }
+    report
+        .drifts
+        .sort_by(|a, b| (b.last_ms - b.first_ms).total_cmp(&(a.last_ms - a.first_ms)));
+    report
+}
+
+/// Renders the analysis as plain text (`DRIFT` lines first).
+pub fn render(report: &TrendReport, history: &History, config: &TrendConfig) -> String {
+    let mut out = String::new();
+    for d in &report.drifts {
+        let _ = writeln!(
+            out,
+            "DRIFT {}: p50 {:.3}ms -> {:.3}ms over {} run(s), {:+.3}ms/run",
+            d.name, d.first_ms, d.last_ms, d.runs, d.slope_ms_per_run
+        );
+    }
+    for (name, reason) in &history.skipped {
+        let _ = writeln!(out, "skipped {name}: {reason}");
+    }
+    if report.too_few_runs {
+        let _ = writeln!(
+            out,
+            "trend: only {} run(s) in history (need {}) — gate inactive until more runs accumulate",
+            report.window.len(),
+            config.min_runs.max(2)
+        );
+    } else if report.drifted() {
+        let _ = writeln!(
+            out,
+            "trend gate FAILED: {} stage(s) rose monotonically across the last {} run(s) \
+             (tolerance +{:.0}% / {:.1}ms)",
+            report.drifts.len(),
+            report.window.len(),
+            config.tol_rel * 100.0,
+            config.abs_floor_ms
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "trend OK: {} stage(s) stable across the last {} run(s) ({} … {})",
+            report.stages_checked,
+            report.window.len(),
+            report.window.first().map_or("?", String::as_str),
+            report.window.last().map_or("?", String::as_str),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::StageStat;
+
+    fn entry(label: &str, p50s: &[(&str, f64)]) -> HistoryEntry {
+        HistoryEntry {
+            label: label.to_string(),
+            snapshot: BenchSnapshot {
+                scale: "quick".to_string(),
+                git_rev: "test".to_string(),
+                runs: 1,
+                stages: p50s
+                    .iter()
+                    .map(|&(name, p50)| StageStat {
+                        name: name.to_string(),
+                        count: 1,
+                        p50_ms: p50,
+                        p95_ms: p50,
+                        max_ms: p50,
+                        total_ms: p50,
+                    })
+                    .collect(),
+                counters: vec![],
+            },
+        }
+    }
+
+    fn history(entries: Vec<HistoryEntry>) -> History {
+        History {
+            entries,
+            skipped: vec![],
+        }
+    }
+
+    #[test]
+    fn flat_history_passes() {
+        let h = history(vec![
+            entry("1-a.json", &[("stage", 10.0)]),
+            entry("2-b.json", &[("stage", 10.4)]),
+            entry("3-c.json", &[("stage", 9.9)]),
+            entry("4-d.json", &[("stage", 10.2)]),
+        ]);
+        let r = analyze(&h, &TrendConfig::default());
+        assert!(!r.drifted(), "{:?}", r.drifts);
+        assert_eq!(r.stages_checked, 1);
+        assert!(render(&r, &h, &TrendConfig::default()).contains("trend OK"));
+    }
+
+    #[test]
+    fn monotonic_three_run_drift_is_flagged() {
+        let h = history(vec![
+            entry("1.json", &[("stage", 10.0)]),
+            entry("2.json", &[("stage", 12.0)]),
+            entry("3.json", &[("stage", 14.5)]),
+        ]);
+        let cfg = TrendConfig::default();
+        let r = analyze(&h, &cfg);
+        assert!(r.drifted());
+        let d = &r.drifts[0];
+        assert_eq!(d.name, "stage");
+        assert_eq!(d.runs, 3);
+        assert!(
+            (d.slope_ms_per_run - 2.25).abs() < 1e-9,
+            "{}",
+            d.slope_ms_per_run
+        );
+        assert!(render(&r, &h, &cfg).contains("DRIFT stage"));
+    }
+
+    #[test]
+    fn non_monotonic_rise_does_not_gate() {
+        // Net +40% but with a dip: noise, not a trend.
+        let h = history(vec![
+            entry("1.json", &[("stage", 10.0)]),
+            entry("2.json", &[("stage", 9.0)]),
+            entry("3.json", &[("stage", 14.0)]),
+        ]);
+        assert!(!analyze(&h, &TrendConfig::default()).drifted());
+    }
+
+    #[test]
+    fn tiny_monotone_rises_stay_under_the_floor() {
+        // Strictly rising, but by microseconds: under both tolerances.
+        let h = history(vec![
+            entry("1.json", &[("stage", 0.010)]),
+            entry("2.json", &[("stage", 0.011)]),
+            entry("3.json", &[("stage", 0.012)]),
+        ]);
+        assert!(!analyze(&h, &TrendConfig::default()).drifted());
+    }
+
+    #[test]
+    fn window_limits_and_min_runs_apply() {
+        // Drift happened long ago; the recent window is flat.
+        let mut entries = vec![
+            entry("1.json", &[("stage", 1.0)]),
+            entry("2.json", &[("stage", 5.0)]),
+        ];
+        for i in 3..8 {
+            entries.push(entry(
+                &format!("{i}.json"),
+                &[("stage", 10.0 + (i % 2) as f64)],
+            ));
+        }
+        let h = history(entries);
+        assert!(!analyze(&h, &TrendConfig::default()).drifted());
+
+        let short = history(vec![
+            entry("1.json", &[("stage", 1.0)]),
+            entry("2.json", &[("stage", 9.0)]),
+        ]);
+        let r = analyze(&short, &TrendConfig::default());
+        assert!(r.too_few_runs);
+        assert!(!r.drifted(), "too-small windows never gate");
+    }
+
+    #[test]
+    fn stage_missing_from_part_of_window_is_not_compared() {
+        let h = history(vec![
+            entry("1.json", &[("old", 1.0)]),
+            entry("2.json", &[("old", 1.1), ("new", 5.0)]),
+            entry("3.json", &[("old", 1.2), ("new", 9.0)]),
+        ]);
+        let r = analyze(&h, &TrendConfig::default());
+        assert!(
+            !r.drifts.iter().any(|d| d.name == "new"),
+            "mid-window stages have no trend yet"
+        );
+    }
+}

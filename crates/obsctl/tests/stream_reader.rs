@@ -1,0 +1,160 @@
+//! Reader-side integration tests over a stream produced by the real
+//! `m3d-obs` producer in this process: segment discovery across
+//! rotation, end-to-end reconstruction equality against the registry
+//! snapshot, and the tail cursor over files on disk.
+
+use m3d_obs::stream::{self as producer, StreamConfig};
+use m3d_obsctl::stream as reader;
+use m3d_obsctl::{tail, top};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp_base(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "m3d-obsctl-stream-{}-{name}.ndjson",
+        std::process::id()
+    ))
+}
+
+fn cleanup(base: &PathBuf) {
+    let _ = std::fs::remove_file(base);
+    for i in 1..=16 {
+        let _ = std::fs::remove_file(producer::rotated_path(base, i));
+    }
+}
+
+/// One producer run in this process feeding every reader-side check
+/// (the stream and registry are process-global, so a single #[test]
+/// keeps ordering deterministic).
+#[test]
+fn reads_rotated_stream_and_reconstructs_registry_totals() {
+    let base = temp_base("roundtrip");
+    cleanup(&base);
+
+    let mut config = StreamConfig::new(&base);
+    // Small enough to force several rotations over ~20 KB of records,
+    // large enough that the keep chain retains every segment (losing one
+    // would break the reconstruction-equality assertion below, by design).
+    config.rotate_bytes = 4096;
+    config.keep = 16;
+    config.interval = Duration::from_millis(5);
+    producer::init(config).expect("stream attaches");
+
+    for i in 0..40u64 {
+        {
+            let _root = m3d_obs::SpanGuard::enter_root("reader_test.case");
+            let _inner = m3d_obs::span!("reader_test.inner");
+            std::hint::black_box(i * i);
+        }
+        m3d_obs::counter!("reader_test.items", 3);
+        m3d_obs::registry::record_extra(format!(
+            "{{\"type\":\"audit\",\"trace_id\":0,\"design\":\"b14\",\"case\":{i}}}"
+        ));
+        if i % 8 == 0 {
+            m3d_obs::gauge!("reader_test.progress", i as f64 / 40.0);
+            producer::flush();
+        }
+    }
+    // Snapshot BEFORE shutdown so later tests in other binaries cannot
+    // interfere; shutdown writes the final delta covering everything.
+    producer::shutdown();
+    let snap = m3d_obs::snapshot();
+
+    // Segment discovery: rotation produced a chain, ordered oldest-first.
+    let segs = reader::segments(&base);
+    assert!(segs.len() >= 2, "expected rotation, got {segs:?}");
+    assert_eq!(segs.last().expect("nonempty"), &base, "active segment last");
+
+    let dump = reader::read(&base).expect("stream parses");
+    assert_eq!(dump.torn_lines, 0, "clean shutdown leaves no torn tail");
+    assert!(
+        dump.summary().is_some(),
+        "clean shutdown ends with a summary"
+    );
+
+    // Streamed span events carry causal ids from the real span path.
+    let spans: Vec<_> = dump
+        .records
+        .iter()
+        .filter_map(|r| match r {
+            reader::StreamRecord::Span(e) => Some(e),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        spans
+            .iter()
+            .any(|e| e.name == "reader_test.inner" && e.trace_id != 0 && e.parent_id != 0),
+        "nested spans stream with trace/parent ids"
+    );
+
+    // Audits stream verbatim as extras.
+    let audits = dump
+        .records
+        .iter()
+        .filter(|r| r.extra_type() == Some("audit"))
+        .count();
+    assert_eq!(audits, 40, "every audit streamed");
+
+    // THE reconstruction contract: folding the streamed deltas alone
+    // yields the registry's exact totals — counts, total time, and
+    // histogram quantiles.
+    let rec = reader::Reconstruction::from_dump(&dump);
+    assert!(!rec.seq_gap, "keep=16 retains every segment of this run");
+    assert_eq!(rec.counter("reader_test.items"), Some(120));
+    assert_eq!(rec.gauges.get("reader_test.progress"), Some(&0.8));
+    for name in ["reader_test.case", "reader_test.inner"] {
+        let snap_span = snap.span(name).expect("span in registry");
+        let rec_span = rec.spans.get(name).expect("span reconstructed");
+        assert_eq!(rec_span.count, snap_span.count, "{name} count");
+        assert_eq!(
+            rec_span.hist.len(),
+            snap_span.count,
+            "{name} histogram mass"
+        );
+        let total_ms = rec_span.total_ns as f64 / 1e6;
+        assert!(
+            (total_ms - snap_span.total_ms).abs() < 1e-9,
+            "{name} total: {} vs {}",
+            total_ms,
+            snap_span.total_ms
+        );
+        for (q, expect) in [(0.5, snap_span.p50_ms), (0.95, snap_span.p95_ms)] {
+            let got = rec_span.quantile_ms(q);
+            assert!(
+                (got - expect).abs() < 1e-9,
+                "{name} q{q}: reconstructed {got} vs registry {expect}"
+            );
+        }
+    }
+
+    // `top` renders the same totals.
+    let rendered = top::render(&dump, 0);
+    assert!(rendered.contains("reader_test.case"), "{rendered}");
+    assert!(rendered.contains("reader_test.items = 120"), "{rendered}");
+
+    // `tail` over the finished stream: the summary ends the follow loop
+    // immediately, and filters narrow the output.
+    let all = tail::run(
+        &base,
+        &tail::TailFilter::default(),
+        true, // --follow exits on the summary
+        Duration::from_millis(1),
+    )
+    .expect("tail runs");
+    assert!(all > 80, "spans + audits + summary, got {all}");
+    let only_b14 = tail::run(
+        &base,
+        &tail::TailFilter {
+            design: Some("b14".to_string()),
+            ..tail::TailFilter::default()
+        },
+        false,
+        Duration::from_millis(1),
+    )
+    .expect("filtered tail runs");
+    // 40 b14 audits + the always-shown closing summary line.
+    assert_eq!(only_b14, 41);
+
+    cleanup(&base);
+}

@@ -1,0 +1,185 @@
+//! Acceptance: streaming telemetry under concurrent `ExecPool` load.
+//!
+//! Drives the real producer (`m3d-obs` spans/counters/audits from worker
+//! threads) into a rotating stream with deliberately small segments, at
+//! 1 and then 4 threads, and asserts the streaming contracts end to end:
+//!
+//! - every line in every segment parses (no torn or interleaved NDJSON
+//!   under concurrent publishing);
+//! - every segment opens with its `stream_meta` header and ordinals are
+//!   strictly increasing across the rotation chain;
+//! - the final report's statistics are **exactly** reconstructable from
+//!   the streamed delta records alone — counts, totals, and histogram
+//!   quantiles — at any thread count.
+//!
+//! One #[test]: the stream and registry are process-global, so the two
+//! phases must run in a deterministic order.
+
+use m3d_exec::ExecPool;
+use m3d_obs::stream::{self as producer, StreamConfig};
+use m3d_obsctl::stream as reader;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const CASES: u64 = 60;
+
+fn temp_base(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "m3d-streaming-telemetry-{}-{tag}.ndjson",
+        std::process::id()
+    ))
+}
+
+fn cleanup(base: &PathBuf) {
+    let _ = std::fs::remove_file(base);
+    for i in 1..=64 {
+        let _ = std::fs::remove_file(producer::rotated_path(base, i));
+    }
+}
+
+/// Runs one streamed workload phase and checks every contract against
+/// the registry state at its end. Returns the case count folded from
+/// the stream (cumulative across phases — the registry never resets).
+fn run_phase(threads: usize, base: &PathBuf) -> u64 {
+    cleanup(base);
+    let mut config = StreamConfig::new(base);
+    config.rotate_bytes = 4096; // force rotation under load
+    config.keep = 64; // ...without expiring any segment
+    config.interval = Duration::from_millis(2);
+    producer::init(config).expect("stream attaches");
+
+    let pool = ExecPool::with_threads(threads);
+    let items: Vec<u64> = (0..CASES).collect();
+    let sums = pool.map(&items, |_, &i| {
+        let _root = m3d_obs::SpanGuard::enter_root("stream_test.work");
+        let mut acc = 0u64;
+        {
+            let _inner = m3d_obs::span!("stream_test.inner");
+            for k in 0..500u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k ^ i);
+            }
+        }
+        m3d_obs::counter!("stream_test.items", 1);
+        m3d_obs::registry::record_extra(format!(
+            "{{\"type\":\"audit\",\"trace_id\":0,\"design\":\"t{}\",\"case\":{i}}}",
+            threads
+        ));
+        acc
+    });
+    assert_eq!(sums.len(), CASES as usize);
+    producer::shutdown();
+
+    // The end-of-process report, parsed back through the same consumer
+    // the CI tooling uses.
+    let report_text = m3d_obs::RunReport::capture(&[("scale", "test".to_string())]).to_ndjson();
+    let report = m3d_obsctl::report::parse(&report_text).expect("run report parses");
+
+    // Framing: all segments parse, no torn lines after a clean shutdown,
+    // each opens with stream_meta, ordinals strictly increase.
+    let segs = reader::segments(base);
+    assert!(
+        segs.len() >= 2,
+        "{threads}t: expected rotation, got {segs:?}"
+    );
+    let dump = reader::read(base).expect("all rotated segments parse");
+    assert_eq!(
+        dump.torn_lines, 0,
+        "{threads}t: clean shutdown, no torn tail"
+    );
+    let mut metas = 0u64;
+    let mut last_ordinal = 0u64;
+    for path in &segs {
+        let text = std::fs::read_to_string(path).expect("segment readable");
+        let first = text.lines().next().expect("segment not empty");
+        assert!(
+            first.contains("\"type\":\"stream_meta\""),
+            "{}: first line is {first}",
+            path.display()
+        );
+    }
+    for r in &dump.records {
+        if let reader::StreamRecord::Meta { segment, .. } = r {
+            metas += 1;
+            assert!(
+                *segment > last_ordinal,
+                "{threads}t: ordinal {segment} after {last_ordinal}"
+            );
+            last_ordinal = *segment;
+        }
+    }
+    assert_eq!(metas as usize, segs.len(), "one header per segment");
+    assert!(dump.summary().is_some(), "clean shutdown wrote a summary");
+
+    // No interleaving: every streamed audit is intact and parseable.
+    let audits = dump
+        .records
+        .iter()
+        .filter(|r| r.extra_type() == Some("audit"))
+        .count();
+    assert_eq!(
+        audits as u64, CASES,
+        "{threads}t: every audit streamed whole"
+    );
+
+    // Reconstruction equality: folding the streamed deltas alone yields
+    // the report's exact totals (the first delta of a fresh stream covers
+    // everything since process start, so totals are cumulative).
+    let rec = reader::Reconstruction::from_dump(&dump);
+    assert!(!rec.seq_gap, "{threads}t: no delta lost to rotation");
+    assert_eq!(
+        rec.counter("stream_test.items"),
+        report.counter("stream_test.items"),
+        "{threads}t: counter totals reconstruct"
+    );
+    for name in ["stream_test.work", "stream_test.inner"] {
+        let rep = report
+            .span(name)
+            .unwrap_or_else(|| panic!("{name} in report"));
+        let rc = rec
+            .spans
+            .get(name)
+            .unwrap_or_else(|| panic!("{name} reconstructed"));
+        assert_eq!(rc.count, rep.count, "{threads}t {name}: count");
+        assert_eq!(
+            rc.hist.len(),
+            rep.count,
+            "{threads}t {name}: histogram mass"
+        );
+        assert!(
+            (rc.total_ns as f64 / 1e6 - rep.total_ms).abs() < 1e-9,
+            "{threads}t {name}: total {} vs {}",
+            rc.total_ns as f64 / 1e6,
+            rep.total_ms
+        );
+        for (q, expect) in [(0.5, rep.p50_ms), (0.95, rep.p95_ms)] {
+            let got = rc.quantile_ms(q);
+            assert!(
+                (got - expect).abs() < 1e-9,
+                "{threads}t {name} q{q}: reconstructed {got} vs report {expect}"
+            );
+        }
+        assert!(
+            (rc.min_ns as f64 / 1e6 - rep.min_ms).abs() < 1e-9,
+            "{threads}t {name}: min"
+        );
+        assert!(
+            (rc.max_ns as f64 / 1e6 - rep.max_ms).abs() < 1e-9,
+            "{threads}t {name}: max"
+        );
+    }
+    cleanup(base);
+    rec.spans["stream_test.work"].count
+}
+
+#[test]
+fn streamed_deltas_reconstruct_report_exactly_under_pool_load() {
+    let serial_base = temp_base("serial");
+    let pooled_base = temp_base("pooled");
+    let after_serial = run_phase(1, &serial_base);
+    assert_eq!(after_serial, CASES);
+    // Same contracts under real thread contention; totals are cumulative
+    // because the registry (and thus the fresh stream's first delta)
+    // carries phase 1 forward.
+    let after_pooled = run_phase(4, &pooled_base);
+    assert_eq!(after_pooled, 2 * CASES);
+}
