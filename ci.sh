@@ -6,6 +6,7 @@
 # committed baseline in benchmarks/).
 #
 # Usage: ./ci.sh [--skip-perf] [--skip-chaos] [--skip-slo] [--skip-trend]
+#                [--skip-serve]
 #   --skip-perf   run everything except the perf gate (useful on noisy
 #                 or throttled machines; the gate still runs in real CI)
 #   --skip-chaos  run everything except the chaos campaigns (they rerun
@@ -20,18 +21,23 @@
 #                 benchmarks/history/ and the `m3d-obsctl trend` drift
 #                 check; implied by --skip-perf, which produces no
 #                 snapshot to archive)
+#   --skip-serve  run everything except the serve smoke (train a quick
+#                 artifact, pipe an NDJSON batch through `m3d-serve run`,
+#                 and gate the server's own telemetry with m3d-obsctl)
 set -eu
 
 SKIP_PERF=0
 SKIP_CHAOS=0
 SKIP_SLO=0
 SKIP_TREND=0
+SKIP_SERVE=0
 for arg in "$@"; do
     case "$arg" in
         --skip-perf) SKIP_PERF=1 ;;
         --skip-chaos) SKIP_CHAOS=1 ;;
         --skip-slo) SKIP_SLO=1 ;;
         --skip-trend) SKIP_TREND=1 ;;
+        --skip-serve) SKIP_SERVE=1 ;;
         *) echo "ci.sh: unknown argument '$arg'" >&2; exit 2 ;;
     esac
 done
@@ -85,6 +91,62 @@ echo "== microbench smoke (M3D_BENCH_SMOKE=1, one sample per bench) =="
 # inspected here.
 M3D_BENCH_SMOKE=1 cargo bench -q -p m3d-gnn --bench kernels
 M3D_BENCH_SMOKE=1 cargo bench -q -p m3d-fault-loc --bench backtrace
+
+if [ "$SKIP_SERVE" = 1 ]; then
+    echo "ci.sh: serve smoke skipped (--skip-serve)"
+else
+    echo "== serve smoke (train once -> m3d-serve batch inference) =="
+    SERVE_DIR=target/serve-smoke
+    mkdir -p "$SERVE_DIR"
+    ./target/release/m3d-serve train --profile aes --config syn1 --scale 0.002 \
+        --samples 48 --epochs 8 --restarts 1 -o "$SERVE_DIR/aes-syn1.m3da"
+    ./target/release/m3d-serve requests --artifact "$SERVE_DIR/aes-syn1.m3da" \
+        -n 24 --seed 9 > "$SERVE_DIR/requests.ndjson"
+    # One malformed line rides along: the server must answer it with a
+    # `rejected` record instead of dropping the stream (never-500).
+    echo 'this is not json' >> "$SERVE_DIR/requests.ndjson"
+
+    SERVE_REPORT="$SERVE_DIR/serve-report.ndjson"
+    SERVE_STREAM="$SERVE_DIR/serve-stream.ndjson"
+    rm -f "$SERVE_REPORT" "$SERVE_STREAM"
+    for s in 1 2 3 4 5 6 7 8; do rm -f "$SERVE_STREAM.$s"; done
+    M3D_OBS_REPORT="$SERVE_REPORT" M3D_OBS_STREAM="$SERVE_STREAM" \
+        ./target/release/m3d-serve run --artifact "$SERVE_DIR/aes-syn1.m3da" \
+        --stdin --batch 8 \
+        < "$SERVE_DIR/requests.ndjson" > "$SERVE_DIR/responses.ndjson"
+
+    requests=$(wc -l < "$SERVE_DIR/requests.ndjson")
+    responses=$(wc -l < "$SERVE_DIR/responses.ndjson")
+    if [ "$requests" != "$responses" ]; then
+        echo "ci.sh: m3d-serve answered $responses of $requests requests — every admitted request must get exactly one record" >&2
+        exit 1
+    fi
+    # The response totality contract: every record carries the
+    # degradation provenance keys, even rejected ones.
+    for key in degrade_reason t_p_fallback status; do
+        if [ "$(grep -c "\"$key\":" "$SERVE_DIR/responses.ndjson")" != "$responses" ]; then
+            echo "ci.sh: some m3d-serve response records are missing \"$key\"" >&2
+            exit 1
+        fi
+    done
+    if [ "$(grep -c '"status":"rejected"' "$SERVE_DIR/responses.ndjson")" != 1 ]; then
+        echo "ci.sh: expected exactly the malformed line to be rejected" >&2
+        exit 1
+    fi
+
+    # The server's own telemetry: the flushed report parses strictly, the
+    # live stream folds back into totals, and the per-design SLO budgets
+    # hold against the committed baseline (when one exists yet).
+    ./target/release/m3d-obsctl summarize --strict "$SERVE_REPORT" >/dev/null
+    ./target/release/m3d-obsctl top "$SERVE_STREAM" >/dev/null
+    if [ -f benchmarks/BENCH_quick.json ]; then
+        ./target/release/m3d-obsctl slo "$SERVE_REPORT" \
+            --baseline benchmarks/BENCH_quick.json \
+            --headroom 2.0 --max-degraded-rate 0.1
+    else
+        echo "ci.sh: serve SLO check skipped (no committed baseline yet)"
+    fi
+fi
 
 if [ "$SKIP_PERF" = 1 ]; then
     echo "ci.sh: perf gate skipped (--skip-perf)"

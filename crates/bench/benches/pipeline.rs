@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use m3d_diagnosis::{AtpgDiagnosis, DiagnosisConfig};
 use m3d_fault_loc::{
-    generate_samples, DatasetConfig, DesignConfig, DesignContext, Framework, FrameworkConfig,
-    ModelTrainConfig, TestBench, TestBenchConfig, TrainingSet,
+    generate_samples, DatasetConfig, DesignConfig, DesignContext, ModelTrainConfig,
+    PipelineBuilder, TestBench, TestBenchConfig, TrainingSet,
 };
 use m3d_netlist::BenchmarkProfile;
 
@@ -31,17 +31,15 @@ fn bench_deployment(c: &mut Criterion) {
     let train = generate_samples(&ctx, &DatasetConfig::single(80, 3));
     let mut ts = TrainingSet::new();
     ts.add(&fx.bench, &train);
-    let fw = Framework::train(
-        &ts,
-        &FrameworkConfig {
-            model: ModelTrainConfig {
-                epochs: 15,
-                restarts: 1,
-                ..ModelTrainConfig::default()
-            },
-            ..FrameworkConfig::default()
-        },
-    );
+    let fw = PipelineBuilder::new()
+        .model(ModelTrainConfig {
+            epochs: 15,
+            restarts: 1,
+            ..ModelTrainConfig::default()
+        })
+        .build()
+        .train(&ts)
+        .expect("training set is non-empty");
     let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
     let chips = generate_samples(&ctx, &DatasetConfig::single(10, 77));
 

@@ -109,6 +109,35 @@ impl PruneClassifier {
         Some(PruneClassifier { model })
     }
 
+    /// Serializes the trained Classifier to the `m3d-gnn-model v1` text
+    /// format (the transferred trunk round-trips via its frozen-layer
+    /// count).
+    pub fn save_text(&self) -> String {
+        self.model.save_text()
+    }
+
+    /// Loads a Classifier saved by [`PruneClassifier::save_text`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::LoadModel`] for malformed input, a node-level
+    /// model, or a model without a frozen transfer trunk.
+    pub fn load_text(text: &str) -> crate::Result<Self> {
+        let model = GcnModel::load_text(text)?;
+        if model.task() != m3d_gnn::Task::Graph {
+            return Err(
+                m3d_gnn::LoadModelError::custom("classifiers are graph-level models").into(),
+            );
+        }
+        if model.frozen_layer_count() == 0 {
+            return Err(m3d_gnn::LoadModelError::custom(
+                "classifiers carry a frozen transfer trunk",
+            )
+            .into());
+        }
+        Ok(PruneClassifier { model })
+    }
+
     /// Decision for a subgraph: `(should_prune, p_prune)`.
     pub fn should_prune(&self, sub: &Subgraph) -> (bool, f32) {
         if sub.is_empty() {

@@ -162,25 +162,6 @@ pub struct Framework {
 
 impl Framework {
     /// Trains Tier-predictor, MIV-pinpointer, derives `T_P` from the
-    /// training PR curve, and (optionally) trains the Classifier.
-    ///
-    /// Thin wrapper over [`Framework::try_train`] with the environment-
-    /// resolved [`ExecPool`]; kept for incremental migration — new code
-    /// should configure a [`crate::PipelineBuilder`] and call
-    /// [`crate::Pipeline::train`], which reports failure as a value
-    /// instead of panicking.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `ts.tier_samples` is empty.
-    pub fn train(ts: &TrainingSet, cfg: &FrameworkConfig) -> Self {
-        match Self::try_train(ts, cfg, &ExecPool::default()) {
-            Ok(fw) => fw,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Trains Tier-predictor, MIV-pinpointer, derives `T_P` from the
     /// training PR curve, and (optionally) trains the Classifier, running
     /// every parallelizable stage on `pool`.
     ///
@@ -264,6 +245,43 @@ impl Framework {
         self.miv.as_ref()
     }
 
+    /// The trained prune/reorder Classifier, if any.
+    pub fn classifier(&self) -> Option<&PruneClassifier> {
+        self.classifier.as_ref()
+    }
+
+    /// The policy configuration derived at training time (artifact
+    /// serialization reads it; it is immutable after training).
+    pub(crate) fn policy(&self) -> &PolicyConfig {
+        &self.policy
+    }
+
+    /// The `(use_tier, use_miv)` ablation flags.
+    pub(crate) fn ablation_flags(&self) -> (bool, bool) {
+        (self.use_tier, self.use_miv)
+    }
+
+    /// Reassembles a framework from deserialized parts (artifact loading;
+    /// the policy carries the persisted `T_P`).
+    pub(crate) fn from_parts(
+        tier: TierPredictor,
+        miv: Option<MivPinpointer>,
+        classifier: Option<PruneClassifier>,
+        policy: PolicyConfig,
+        use_miv: bool,
+        t_p_fallback: bool,
+    ) -> Self {
+        Framework {
+            tier,
+            miv,
+            classifier,
+            use_tier: policy.tier_enabled,
+            use_miv,
+            t_p_fallback,
+            policy,
+        }
+    }
+
     /// Predicts the faulty tier of a subgraph: `(tier, confidence)`.
     ///
     /// # Errors
@@ -296,11 +314,26 @@ impl Framework {
         diag: &AtpgDiagnosis<'_, '_>,
         sample: &Sample,
     ) -> FrameworkResult {
+        self.process_log(ctx, diag, &sample.log, &sample.subgraph)
+    }
+
+    /// [`Framework::process_case`] on a raw `(failure log, subgraph)`
+    /// pair — the serving entry point, where no ground-truth
+    /// [`Sample`] exists. The subgraph must be the back-trace of `log`
+    /// (see [`DesignContext::backtrace`]); results are bit-identical to
+    /// [`Framework::process_case`] on a sample carrying the same pair.
+    pub fn process_log(
+        &self,
+        ctx: &DesignContext<'_>,
+        diag: &AtpgDiagnosis<'_, '_>,
+        log: &m3d_sim::FailureLog,
+        subgraph: &Subgraph,
+    ) -> FrameworkResult {
         let _span = m3d_obs::SpanGuard::enter_root("framework.diagnose");
         let trace_id = _span.trace_id();
         let t_case = Instant::now();
         let t0 = Instant::now();
-        let atpg_report = diag.diagnose(&sample.log);
+        let atpg_report = diag.diagnose(log);
         let t_atpg = t0.elapsed();
 
         let t1 = Instant::now();
@@ -310,14 +343,14 @@ impl Framework {
         // the policy to a no-op reorder of the ATPG ranking.
         let tier_probs = if !self.use_tier {
             [0.5, 0.5] // ablation, not degradation
-        } else if sample.subgraph.is_empty() {
+        } else if subgraph.is_empty() {
             degraded = Some(DegradeReason::EmptySubgraph);
             [0.5, 0.5]
-        } else if sample.subgraph.x.has_non_finite() {
+        } else if subgraph.x.has_non_finite() {
             degraded = Some(DegradeReason::NonFiniteFeatures);
             [0.5, 0.5]
         } else {
-            let p = self.tier.predict(&sample.subgraph);
+            let p = self.tier.predict(subgraph);
             if p.iter().all(|v| v.is_finite()) {
                 p
             } else {
@@ -330,7 +363,7 @@ impl Framework {
         let miv_probs = if self.use_miv && degraded.is_none() {
             self.miv
                 .as_ref()
-                .map(|m| m.predict(&sample.subgraph))
+                .map(|m| m.predict(subgraph))
                 .unwrap_or_default()
         } else {
             Vec::new()
@@ -345,7 +378,7 @@ impl Framework {
             &tier_probs,
             &miv_probs,
             self.classifier.as_ref(),
-            &sample.subgraph,
+            subgraph,
             &self.policy,
         );
         let t_update = t2.elapsed();
@@ -365,21 +398,20 @@ impl Framework {
 
         // Tester logs only carry channel/position entries when they went
         // through the response compactor; validate in the matching mode.
-        let compacted = sample
-            .log
+        let compacted = log
             .entries()
             .iter()
             .any(|e| matches!(e.obs, m3d_sim::FailObs::Channel { .. }));
         let audit = DiagnosisAudit {
             trace_id,
             design: ctx.bench.name.clone(),
-            log_entries: sample.log.entries().len(),
-            log_valid: ctx.validate_log(&sample.log, compacted).is_ok(),
-            subgraph_nodes: sample.subgraph.len(),
-            subgraph_mivs: sample.subgraph.miv_rows.len(),
-            backtrace: sample.subgraph.stats,
-            features_finite: !sample.subgraph.x.has_non_finite(),
-            feature_mean: feature_mean(&sample.subgraph.x),
+            log_entries: log.entries().len(),
+            log_valid: ctx.validate_log(log, compacted).is_ok(),
+            subgraph_nodes: subgraph.len(),
+            subgraph_mivs: subgraph.miv_rows.len(),
+            backtrace: subgraph.stats,
+            features_finite: !subgraph.x.has_non_finite(),
+            feature_mean: feature_mean(&subgraph.x),
             tier_probs,
             argmax_margin: (tier_probs[1] - tier_probs[0]).abs(),
             predicted_tier: outcome.predicted_tier.0,
@@ -481,7 +513,8 @@ mod tests {
         let test = generate_samples(&ctx, &DatasetConfig::single(12, 77));
         let mut ts = TrainingSet::new();
         ts.add(&tb, &train);
-        let fw = Framework::train(&ts, &FrameworkConfig::default());
+        let fw = Framework::try_train(&ts, &FrameworkConfig::default(), &ExecPool::default())
+            .expect("non-empty training set");
         assert!(fw.t_p() > 0.0 && fw.t_p() <= 1.0);
 
         let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
@@ -516,7 +549,8 @@ mod tests {
         let train = generate_samples(&ctx, &DatasetConfig::single(30, 5));
         let mut ts = TrainingSet::new();
         ts.add(&tb, &train);
-        let fw = Framework::train(&ts, &FrameworkConfig::default());
+        let fw = Framework::try_train(&ts, &FrameworkConfig::default(), &ExecPool::default())
+            .expect("non-empty training set");
         let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
 
         // NaN feature matrix: inference skipped, case counted as fallback,
@@ -563,14 +597,16 @@ mod tests {
         let test = generate_samples(&ctx, &DatasetConfig::single(6, 91));
         let mut ts = TrainingSet::new();
         ts.add(&tb, &train);
-        let fw = Framework::train(
+        let fw = Framework::try_train(
             &ts,
             &FrameworkConfig {
                 use_tier: false,
                 use_classifier: false,
                 ..FrameworkConfig::default()
             },
-        );
+            &ExecPool::default(),
+        )
+        .expect("non-empty training set");
         let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
         for s in &test {
             let r = fw.process_case(&ctx, &diag, s);

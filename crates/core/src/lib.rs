@@ -25,29 +25,35 @@
 //!     DatasetConfig, DesignConfig, DesignContext, PipelineBuilder, TestBench,
 //!     TestBenchConfig, TrainingSet,
 //! };
-//! use m3d_diagnosis::{AtpgDiagnosis, DiagnosisConfig};
 //! use m3d_netlist::BenchmarkProfile;
 //!
 //! // Prepare a (scaled) AES-like M3D design and its diagnosis context.
-//! let bench = TestBench::build(&TestBenchConfig::quick(
-//!     BenchmarkProfile::AesLike,
-//!     DesignConfig::Syn1,
-//! ));
+//! let cfg = TestBenchConfig::quick(BenchmarkProfile::AesLike, DesignConfig::Syn1);
+//! let bench = TestBench::build(&cfg);
 //! let ctx = DesignContext::new(&bench);
 //!
 //! // Configure the pipeline (paper defaults + a worker-pool budget),
-//! // generate labelled failure-log samples, train, and diagnose.
-//! // Results are bit-identical at any thread count.
+//! // generate labelled failure-log samples, and train. Results are
+//! // bit-identical at any thread count.
 //! let pipeline = PipelineBuilder::new().threads(4).build();
 //! let train = pipeline.generate_samples(&ctx, &DatasetConfig::single(200, 1));
 //! let mut ts = TrainingSet::new();
 //! ts.add(&bench, &train);
 //! let framework = pipeline.train(&ts).expect("training set is non-empty");
 //!
-//! let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
+//! // Persist the whole framework (train once)…
+//! let artifact = pipeline.save_artifact(&cfg, &bench, &framework);
+//! artifact.save("aes-syn1.m3da").expect("writable path");
+//!
+//! // …and serve diagnoses from a sealed read-only session (serve many).
+//! // `Pipeline::open_session` gives the same endpoint without the disk
+//! // round trip; both produce bit-identical results.
+//! let session = pipeline
+//!     .load_artifact(&artifact, &bench)
+//!     .expect("fingerprint matches");
 //! let test = pipeline.generate_samples(&ctx, &DatasetConfig::single(10, 2));
 //! for sample in &test {
-//!     let result = framework.process_case(&ctx, &diag, sample);
+//!     let result = session.diagnose(&sample.log);
 //!     m3d_obs::out!(
 //!         "tier={} conf={:.2} resolution {} -> {}",
 //!         result.outcome.predicted_tier,
@@ -61,6 +67,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod artifact;
 mod audit;
 mod backtrace;
 mod classifier;
@@ -75,7 +82,9 @@ mod models;
 mod oversample;
 mod pipeline;
 mod policy;
+mod session;
 
+pub use artifact::{design_fingerprint, Artifact, ARTIFACT_HEADER};
 pub use audit::DiagnosisAudit;
 pub use backtrace::{
     backtrace, build_subgraph, BacktraceConfig, BacktraceStats, ConeMemo, Subgraph,
@@ -86,7 +95,7 @@ pub use dataset::{
     Sample,
 };
 pub use design::{DesignConfig, TestBench, TestBenchConfig};
-pub use error::{Error, TrainError};
+pub use error::{Error, Result, TrainError};
 pub use features::{
     feature_names, local_degree_feature, FeatureExtractor, F_DTOP_MEAN, F_DTOP_STD,
     F_FANIN_CIRCUIT, F_FANIN_SUB, F_FANOUT_CIRCUIT, F_FANOUT_SUB, F_LOC, F_LVL, F_MIV, F_NMIV_MEAN,
@@ -101,3 +110,4 @@ pub use models::{
 pub use oversample::{balance_with_buffers, with_dummy_buffers};
 pub use pipeline::{Pipeline, PipelineBuilder};
 pub use policy::{apply_policy, BackupDictionary, PolicyAction, PolicyConfig, PolicyOutcome};
+pub use session::DiagnosisSession;

@@ -241,14 +241,14 @@ impl TierPredictor {
     ///
     /// # Errors
     ///
-    /// Returns a [`m3d_gnn::LoadModelError`] for malformed input or a
-    /// node-level model.
-    pub fn load_text(text: &str) -> Result<Self, m3d_gnn::LoadModelError> {
+    /// [`crate::Error::LoadModel`] for malformed input or a node-level
+    /// model.
+    pub fn load_text(text: &str) -> crate::Result<Self> {
         let model = GcnModel::load_text(text)?;
         if model.task() != Task::Graph {
-            return Err(m3d_gnn::LoadModelError::custom(
-                "tier predictors are graph-level models",
-            ));
+            return Err(
+                m3d_gnn::LoadModelError::custom("tier predictors are graph-level models").into(),
+            );
         }
         Ok(TierPredictor { model })
     }
@@ -357,13 +357,14 @@ impl MivPinpointer {
     ///
     /// # Errors
     ///
-    /// Returns a [`m3d_gnn::LoadModelError`] for malformed input.
-    pub fn load_text(text: &str) -> Result<Self, m3d_gnn::LoadModelError> {
+    /// [`crate::Error::LoadModel`] for malformed input or a graph-level
+    /// model.
+    pub fn load_text(text: &str) -> crate::Result<Self> {
         let model = GcnModel::load_text(text)?;
         if model.task() != Task::Node {
-            return Err(m3d_gnn::LoadModelError::custom(
-                "MIV pinpointers are node-level models",
-            ));
+            return Err(
+                m3d_gnn::LoadModelError::custom("MIV pinpointers are node-level models").into(),
+            );
         }
         Ok(MivPinpointer { model })
     }

@@ -13,10 +13,14 @@
 //! assert!(framework.is_err());
 //! ```
 
+use crate::artifact::{design_fingerprint, Artifact};
 use crate::dataset::{generate_samples_with_pool, DatasetConfig, DesignContext, Sample};
-use crate::error::TrainError;
+use crate::design::{TestBench, TestBenchConfig};
+use crate::error::{Error, TrainError};
 use crate::framework::{Framework, FrameworkConfig, TrainingSet};
 use crate::models::ModelTrainConfig;
+use crate::session::DiagnosisSession;
+use m3d_diagnosis::DiagnosisConfig;
 use m3d_exec::ExecPool;
 
 /// Configures and builds a [`Pipeline`].
@@ -136,6 +140,67 @@ impl Pipeline {
     /// parallel; output is identical to the serial generator).
     pub fn generate_samples(&self, ctx: &DesignContext<'_>, cfg: &DatasetConfig) -> Vec<Sample> {
         generate_samples_with_pool(ctx, cfg, &self.pool)
+    }
+
+    /// Captures a trained framework plus the design recipe it was trained
+    /// against into a persistable [`Artifact`] (`m3d-artifact/1` text
+    /// format; see [`Artifact::save`]). `bench` must be the bench built
+    /// from `bench_cfg` — its fingerprint is recorded and re-verified at
+    /// load time.
+    pub fn save_artifact(
+        &self,
+        bench_cfg: &TestBenchConfig,
+        bench: &TestBench,
+        framework: &Framework,
+    ) -> Artifact {
+        Artifact::capture(bench_cfg, bench, framework)
+    }
+
+    /// Opens a sealed, read-only [`DiagnosisSession`] from a persisted
+    /// artifact against `bench` (typically `artifact.build_bench()`).
+    ///
+    /// Verifies the artifact's design fingerprint against `bench` before
+    /// reconstructing the models, so a drifted generator or the wrong
+    /// bench cannot silently serve a mismatched circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DesignMismatch`] on fingerprint disagreement; the
+    /// artifact's load errors when an embedded model block is corrupt.
+    pub fn load_artifact<'a>(
+        &self,
+        artifact: &Artifact,
+        bench: &'a TestBench,
+    ) -> crate::Result<DiagnosisSession<'a>> {
+        let found = design_fingerprint(bench);
+        if found != artifact.fingerprint() {
+            return Err(Error::DesignMismatch {
+                expected: artifact.fingerprint(),
+                found,
+            });
+        }
+        let framework = artifact.rebuild_framework()?;
+        Ok(DiagnosisSession::new(
+            DesignContext::new(bench),
+            framework,
+            DiagnosisConfig::default(),
+        ))
+    }
+
+    /// Seals an in-process training result into a read-only
+    /// [`DiagnosisSession`] — the same endpoint [`Pipeline::load_artifact`]
+    /// produces, without the disk round trip. Diagnoses are bit-identical
+    /// either way.
+    pub fn open_session<'a>(
+        &self,
+        framework: Framework,
+        bench: &'a TestBench,
+    ) -> DiagnosisSession<'a> {
+        DiagnosisSession::new(
+            DesignContext::new(bench),
+            framework,
+            DiagnosisConfig::default(),
+        )
     }
 }
 

@@ -1,0 +1,254 @@
+//! The serving engine: bounded admission, batched inference on the
+//! shared [`ExecPool`], and never-500 response semantics.
+//!
+//! ## Admission and backpressure
+//!
+//! A reader thread feeds request lines into a bounded queue
+//! ([`ServeConfig::queue`]); the inference loop drains up to
+//! [`ServeConfig::batch`] lines at a time and diagnoses the batch on the
+//! pool. When the queue is full the reader *blocks* — admission control
+//! is lossless backpressure (the transport stops accepting), never
+//! silent shedding, so every admitted request gets exactly one response
+//! record, in input order.
+//!
+//! ## Never-500
+//!
+//! No input can take the server down: malformed JSON, unknown designs,
+//! corrupt failure logs, and even panics inside a diagnosis (isolated
+//! per-case by [`ExecPool::map_catch`]) all come back as
+//! `"status":"rejected"` records while the batch's other cases complete
+//! normally. Degraded GNN evidence follows the framework's
+//! [`DegradeReason`](m3d_fault_loc::DegradeReason) contracts and is
+//! reported, not hidden: `"status":"degraded"` plus the reason label.
+
+use std::io::{BufRead, Write};
+use std::sync::mpsc::{Receiver, SyncSender};
+
+use crate::protocol::{parse_request, Response, Status};
+use crate::registry::Registry;
+use m3d_exec::ExecPool;
+use m3d_sim::parse_failure_log;
+
+/// Engine knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Maximum requests diagnosed per pool dispatch.
+    pub batch: usize,
+    /// Bounded admission-queue depth (requests buffered ahead of the
+    /// inference loop before the reader blocks).
+    pub queue: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            batch: 64,
+            queue: 256,
+        }
+    }
+}
+
+/// Tallies for one serving run (one stdin session or one connection).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Lines admitted (= response records written).
+    pub requests: u64,
+    /// Healthy diagnoses.
+    pub ok: u64,
+    /// Completed on the degraded path.
+    pub degraded: u64,
+    /// Never reached a diagnosis.
+    pub rejected: u64,
+    /// Pool dispatches.
+    pub batches: u64,
+}
+
+impl ServeStats {
+    fn absorb(&mut self, r: &Response) {
+        self.requests += 1;
+        match r.status {
+            Status::Ok => self.ok += 1,
+            Status::Degraded => self.degraded += 1,
+            Status::Rejected => self.rejected += 1,
+        }
+    }
+}
+
+/// Diagnoses one request line against the registry. Infallible: every
+/// failure mode maps to a `rejected` record.
+pub fn respond(registry: &Registry<'_, '_>, line: &str) -> Response {
+    let req = match parse_request(line) {
+        Ok(req) => req,
+        Err(e) => return Response::rejected("?", "?", format!("bad request: {e}")),
+    };
+    let Some(session) = registry.find(&req.design) else {
+        return Response::rejected(
+            &req.id,
+            &req.design,
+            format!("unknown design `{}`", req.design),
+        );
+    };
+    let log = match parse_failure_log(&req.log) {
+        Ok(log) => log,
+        Err(e) => {
+            let mut r = Response::rejected(&req.id, &req.design, format!("bad failure log: {e}"));
+            // The design resolved, so the totality contract can still
+            // report the session's threshold provenance.
+            r.t_p_fallback = Some(session.t_p_is_fallback());
+            return r;
+        }
+    };
+    let result = session.diagnose(&log);
+    Response {
+        id: req.id,
+        design: req.design,
+        status: if result.degraded.is_some() {
+            Status::Degraded
+        } else {
+            Status::Ok
+        },
+        degrade_reason: result.degraded.map(|r| r.as_str()),
+        t_p_fallback: Some(result.t_p_fallback),
+        tier: Some(result.outcome.predicted_tier.0),
+        confidence: Some(result.outcome.confidence),
+        action: Some(match result.outcome.action {
+            m3d_fault_loc::PolicyAction::Pruned => "pruned",
+            m3d_fault_loc::PolicyAction::Reordered => "reordered",
+        }),
+        resolution: Some(result.outcome.report.resolution()),
+        atpg_resolution: Some(result.atpg_report.resolution()),
+        pruned: Some(result.outcome.pruned.len()),
+        error: None,
+    }
+}
+
+/// Diagnoses a batch of request lines on the pool, returning responses
+/// in input order. A panicking case is isolated by
+/// [`ExecPool::map_catch`] and surfaces as its own `rejected` record;
+/// the rest of the batch is unaffected.
+pub fn process_batch(
+    registry: &Registry<'_, '_>,
+    pool: &ExecPool,
+    lines: &[String],
+) -> Vec<Response> {
+    let _span = m3d_obs::span!("serve.batch");
+    let out = pool.map_catch(lines, |_, line| respond(registry, line));
+    m3d_obs::counter!("serve.requests", lines.len() as u64);
+    out.into_iter()
+        .zip(lines)
+        .map(|(r, line)| match r {
+            Ok(resp) => resp,
+            Err(panic_msg) => {
+                // Best-effort id recovery for the correlation echo; the
+                // parse itself runs outside the panicking diagnosis.
+                let (id, design) = match parse_request(line) {
+                    Ok(req) => (req.id, req.design),
+                    Err(_) => ("?".to_string(), "?".to_string()),
+                };
+                m3d_obs::counter!("serve.panics_isolated", 1);
+                Response::rejected(&id, &design, format!("internal panic: {panic_msg}"))
+            }
+        })
+        .collect()
+}
+
+/// Drains up to `batch` pending lines: one blocking `recv` (so an idle
+/// loop sleeps), then non-blocking pulls. `None` once the reader is done
+/// and the queue is empty.
+fn drain(rx: &Receiver<String>, batch: usize) -> Option<Vec<String>> {
+    let first = rx.recv().ok()?;
+    let mut lines = vec![first];
+    while lines.len() < batch {
+        match rx.try_recv() {
+            Ok(line) => lines.push(line),
+            Err(_) => break,
+        }
+    }
+    Some(lines)
+}
+
+fn reader_loop(input: impl BufRead, tx: SyncSender<String>) {
+    for line in input.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        // A full queue blocks here: lossless backpressure.
+        if tx.send(line).is_err() {
+            break;
+        }
+    }
+}
+
+/// Serves one NDJSON stream to completion: reads request lines from
+/// `input` through the bounded admission queue, diagnoses in batches on
+/// `pool`, and writes one response record per request to `output` in
+/// input order (flushed per batch). Returns the run's tallies.
+///
+/// # Errors
+///
+/// Only transport write failures propagate; request-level failures are
+/// `rejected` records.
+pub fn serve_lines(
+    registry: &Registry<'_, '_>,
+    pool: &ExecPool,
+    cfg: &ServeConfig,
+    input: impl BufRead + Send,
+    mut output: impl Write,
+) -> std::io::Result<ServeStats> {
+    let (tx, rx) = std::sync::mpsc::sync_channel::<String>(cfg.queue.max(1));
+    let batch = cfg.batch.max(1);
+    let mut stats = ServeStats::default();
+    std::thread::scope(|scope| {
+        scope.spawn(move || reader_loop(input, tx));
+        while let Some(lines) = drain(&rx, batch) {
+            let responses = process_batch(registry, pool, &lines);
+            stats.batches += 1;
+            for r in &responses {
+                stats.absorb(r);
+                writeln!(output, "{}", r.to_json())?;
+            }
+            output.flush()?;
+            m3d_obs::gauge!("serve.queue_high_water", lines.len() as f64);
+        }
+        output.flush()?;
+        Ok(stats)
+    })
+}
+
+/// Accepts connections on `listener` and serves each with
+/// [`serve_lines`]; connections are handled on their own threads and
+/// share the registry and pool. Stops after `max_conns` connections when
+/// given (`None` accepts forever — the production mode).
+///
+/// # Errors
+///
+/// Only accept-loop failures propagate; per-connection transport errors
+/// end that connection alone.
+pub fn serve_tcp(
+    registry: &Registry<'_, '_>,
+    pool: &ExecPool,
+    cfg: &ServeConfig,
+    listener: &std::net::TcpListener,
+    max_conns: Option<usize>,
+) -> std::io::Result<()> {
+    std::thread::scope(|scope| {
+        for (accepted, conn) in listener.incoming().enumerate() {
+            let stream = conn?;
+            m3d_obs::counter!("serve.connections", 1);
+            scope.spawn(move || {
+                let reader = std::io::BufReader::new(match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => return,
+                });
+                // A broken pipe mid-connection is the client's problem;
+                // the server carries on.
+                let _ = serve_lines(registry, pool, cfg, reader, stream);
+            });
+            if max_conns.is_some_and(|m| accepted + 1 >= m) {
+                break;
+            }
+        }
+        Ok(())
+    })
+}

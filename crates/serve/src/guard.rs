@@ -1,0 +1,49 @@
+//! Flush-on-drop telemetry plumbing for the server binary.
+//!
+//! The serving counterpart of `m3d-bench`'s `ReportGuard`, without the
+//! experiment-harness config (scale/profile sweep): arms the live
+//! telemetry stream from the environment (`M3D_OBS_STREAM`) at
+//! construction and writes the NDJSON run report (`M3D_OBS_REPORT`) on
+//! drop — on clean shutdown *and* during panic unwinding — so
+//! `m3d-obsctl top` / `slo` work against a live or crashed server alike.
+
+/// Flush-on-drop report/stream guard. Construct first thing in `main`
+/// with the run's config echo; telemetry recording is switched on here.
+#[derive(Debug)]
+#[must_use = "binding to `_` drops immediately and the report would cover nothing"]
+pub struct ServeGuard {
+    config: Vec<(&'static str, String)>,
+}
+
+impl ServeGuard {
+    /// Arms the guard. `config` is echoed into the report next to the
+    /// binary name and exit status.
+    pub fn new(mut config: Vec<(&'static str, String)>) -> ServeGuard {
+        config.insert(0, ("bin", "m3d-serve".to_string()));
+        m3d_obs::set_enabled(true);
+        if m3d_obs::stream::init_from_env() {
+            if let Ok(stream) = std::env::var(m3d_obs::stream::STREAM_ENV) {
+                config.push(("stream", stream));
+            }
+        }
+        ServeGuard { config }
+    }
+}
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let status = if std::thread::panicking() {
+            "panicked"
+        } else {
+            "ok"
+        };
+        let mut config = std::mem::take(&mut self.config);
+        config.push(("status", status.to_string()));
+        // A failed report write must not take down (or abort, while
+        // unwinding) the server shutdown path.
+        if let Err(e) = m3d_obs::write_from_env(&config) {
+            m3d_obs::error!("failed to write run report: {e}");
+        }
+        m3d_obs::stream::shutdown();
+    }
+}

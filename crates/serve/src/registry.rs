@@ -1,0 +1,52 @@
+//! The design→session registry: the server's routing table.
+//!
+//! Each artifact loads into one sealed [`DiagnosisSession`] keyed by its
+//! design label; requests route by exact label match. Sessions are
+//! per-design isolated by construction — a session owns its own trained
+//! models and per-design diagnosis state, shares nothing mutable, and
+//! exposes no retraining surface, so one design's traffic (or chaos)
+//! cannot perturb another's results.
+
+use m3d_fault_loc::DiagnosisSession;
+
+/// An immutable routing table over loaded sessions.
+#[derive(Clone, Copy)]
+pub struct Registry<'s, 'a> {
+    sessions: &'s [DiagnosisSession<'a>],
+}
+
+impl<'s, 'a> Registry<'s, 'a> {
+    /// Builds the table. Duplicate design labels are a caller bug —
+    /// routing would silently prefer the first — so they panic here, at
+    /// startup, not at request time.
+    pub fn new(sessions: &'s [DiagnosisSession<'a>]) -> Registry<'s, 'a> {
+        for (i, s) in sessions.iter().enumerate() {
+            assert!(
+                !sessions[..i].iter().any(|t| t.design() == s.design()),
+                "duplicate artifact for design {}",
+                s.design()
+            );
+        }
+        Registry { sessions }
+    }
+
+    /// Routes a design label to its session.
+    pub fn find(&self, design: &str) -> Option<&'s DiagnosisSession<'a>> {
+        self.sessions.iter().find(|s| s.design() == design)
+    }
+
+    /// The design labels served, in load order.
+    pub fn designs(&self) -> Vec<&'s str> {
+        self.sessions.iter().map(|s| s.design()).collect()
+    }
+
+    /// Number of designs served.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `true` when no artifact is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}

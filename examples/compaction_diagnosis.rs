@@ -12,8 +12,8 @@
 
 use m3d_diagnosis::{AtpgDiagnosis, DiagnosisConfig};
 use m3d_fault_loc::{
-    generate_samples, DatasetConfig, DesignConfig, DesignContext, Framework, FrameworkConfig,
-    TestBench, TestBenchConfig, TrainingSet,
+    generate_samples, DatasetConfig, DesignConfig, DesignContext, PipelineBuilder, TestBench,
+    TestBenchConfig, TrainingSet,
 };
 use m3d_netlist::BenchmarkProfile;
 
@@ -42,7 +42,10 @@ fn main() {
     );
     let mut ts = TrainingSet::new();
     ts.add(&bench, &train);
-    let framework = Framework::train(&ts, &FrameworkConfig::default());
+    let framework = PipelineBuilder::new()
+        .build()
+        .train(&ts)
+        .expect("training set is non-empty");
 
     let diag_bypass = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
     let diag_edt = AtpgDiagnosis::new(&ctx.fsim, Some(ctx.chains()), DiagnosisConfig::default());

@@ -12,8 +12,8 @@
 
 use m3d_diagnosis::{AtpgDiagnosis, DiagnosisConfig};
 use m3d_fault_loc::{
-    generate_samples, DatasetConfig, DesignConfig, DesignContext, Framework, FrameworkConfig,
-    Sample, TestBench, TestBenchConfig, TrainingSet,
+    generate_samples, DatasetConfig, DesignConfig, DesignContext, PipelineBuilder, Sample,
+    TestBench, TestBenchConfig, TrainingSet,
 };
 use m3d_netlist::BenchmarkProfile;
 use m3d_part::Tier;
@@ -29,7 +29,10 @@ fn main() {
     let train = generate_samples(&ctx, &DatasetConfig::single(250, 7));
     let mut ts = TrainingSet::new();
     ts.add(&bench, &train);
-    let framework = Framework::train(&ts, &FrameworkConfig::default());
+    let framework = PipelineBuilder::new()
+        .build()
+        .train(&ts)
+        .expect("training set is non-empty");
 
     // A failing "lot": every chip carries a defect in the TOP tier (the
     // signature of an immature upper-tier process). We draw from a fresh

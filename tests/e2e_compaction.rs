@@ -4,8 +4,8 @@
 
 use m3d_diagnosis::{AtpgDiagnosis, DiagnosisConfig};
 use m3d_fault_loc::{
-    generate_samples, DatasetConfig, DesignConfig, DesignContext, Framework, FrameworkConfig,
-    TestBench, TestBenchConfig, TrainingSet,
+    generate_samples, DatasetConfig, DesignConfig, DesignContext, PipelineBuilder, TestBench,
+    TestBenchConfig, TrainingSet,
 };
 use m3d_netlist::BenchmarkProfile;
 use m3d_sim::{FailObs, FailureLog};
@@ -94,7 +94,10 @@ fn framework_diagnoses_through_compactor() {
     );
     let mut ts = TrainingSet::new();
     ts.add(&tb, &train);
-    let fw = Framework::train(&ts, &FrameworkConfig::default());
+    let fw = PipelineBuilder::new()
+        .build()
+        .train(&ts)
+        .expect("training set is non-empty");
     let diag = AtpgDiagnosis::new(&ctx.fsim, Some(ctx.chains()), DiagnosisConfig::default());
     let mut tier_hits = 0usize;
     let mut atpg_hits = 0usize;

@@ -3,7 +3,7 @@
 use m3d_diagnosis::{AtpgDiagnosis, DiagnosisConfig};
 use m3d_fault_loc::{
     apply_policy, generate_samples, DatasetConfig, DesignConfig, DesignContext, Framework,
-    FrameworkConfig, PolicyAction, PolicyConfig, TestBench, TestBenchConfig, TrainingSet,
+    PipelineBuilder, PolicyAction, PolicyConfig, TestBench, TestBenchConfig, TrainingSet,
 };
 use m3d_gnn::PrCurve;
 use m3d_netlist::BenchmarkProfile;
@@ -24,7 +24,10 @@ fn setup() -> (TestBench, Vec<m3d_fault_loc::Sample>, Framework) {
         );
         let mut ts = TrainingSet::new();
         ts.add(&tb, &train);
-        let fw = Framework::train(&ts, &FrameworkConfig::default());
+        let fw = PipelineBuilder::new()
+            .build()
+            .train(&ts)
+            .expect("training set is non-empty");
         (train, fw)
     };
     (tb, train, fw)

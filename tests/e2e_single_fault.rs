@@ -5,8 +5,8 @@
 
 use m3d_diagnosis::{AtpgDiagnosis, DiagnosisConfig};
 use m3d_fault_loc::{
-    generate_samples, DatasetConfig, DesignConfig, DesignContext, Framework, FrameworkConfig,
-    TestBench, TestBenchConfig, TrainingSet,
+    generate_samples, DatasetConfig, DesignConfig, DesignContext, PipelineBuilder, TestBench,
+    TestBenchConfig, TrainingSet,
 };
 use m3d_netlist::BenchmarkProfile;
 
@@ -31,7 +31,10 @@ fn full_pipeline_respects_paper_invariants() {
     let test = generate_samples(&ctx, &DatasetConfig::single(30, 77));
     let mut ts = TrainingSet::new();
     ts.add(&tb, &train);
-    let fw = Framework::train(&ts, &FrameworkConfig::default());
+    let fw = PipelineBuilder::new()
+        .build()
+        .train(&ts)
+        .expect("training set is non-empty");
     assert!(fw.t_p() > 0.0 && fw.t_p() <= 1.0);
 
     let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
@@ -108,7 +111,10 @@ fn backup_dictionary_recovers_pruned_truth() {
     let test = generate_samples(&ctx, &DatasetConfig::single(40, 31));
     let mut ts = TrainingSet::new();
     ts.add(&tb, &train);
-    let fw = Framework::train(&ts, &FrameworkConfig::default());
+    let fw = PipelineBuilder::new()
+        .build()
+        .train(&ts)
+        .expect("training set is non-empty");
     let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
 
     let mut dict = BackupDictionary::new();

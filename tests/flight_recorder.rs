@@ -11,8 +11,8 @@
 use m3d_diagnosis::{AtpgDiagnosis, DiagnosisConfig};
 use m3d_exec::ExecPool;
 use m3d_fault_loc::{
-    generate_samples, DatasetConfig, DesignConfig, DesignContext, Framework, FrameworkConfig,
-    ModelTrainConfig, TestBench, TestBenchConfig, TrainingSet,
+    generate_samples, DatasetConfig, DesignConfig, DesignContext, ModelTrainConfig,
+    PipelineBuilder, TestBench, TestBenchConfig, TrainingSet,
 };
 use m3d_netlist::BenchmarkProfile;
 use m3d_obsctl::report::SpanEvent;
@@ -55,17 +55,15 @@ fn every_diagnosis_is_reconstructible_and_trees_are_thread_invariant() {
     let train = generate_samples(&ctx, &DatasetConfig::single(48, 3));
     let mut ts = TrainingSet::new();
     ts.add(&bench, &train);
-    let fw = Framework::train(
-        &ts,
-        &FrameworkConfig {
-            model: ModelTrainConfig {
-                epochs: 10,
-                restarts: 1,
-                ..ModelTrainConfig::default()
-            },
-            ..FrameworkConfig::default()
-        },
-    );
+    let fw = PipelineBuilder::new()
+        .model(ModelTrainConfig {
+            epochs: 10,
+            restarts: 1,
+            ..ModelTrainConfig::default()
+        })
+        .build()
+        .train(&ts)
+        .expect("training set is non-empty");
     let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
     let chips = generate_samples(&ctx, &DatasetConfig::single(8, 77));
 

@@ -7,8 +7,8 @@
 
 use m3d_diagnosis::{AtpgDiagnosis, DiagnosisConfig};
 use m3d_fault_loc::{
-    generate_samples, DatasetConfig, DesignConfig, DesignContext, Framework, FrameworkConfig,
-    ModelTrainConfig, TestBench, TestBenchConfig, TrainingSet,
+    generate_samples, DatasetConfig, DesignConfig, DesignContext, ModelTrainConfig,
+    PipelineBuilder, TestBench, TestBenchConfig, TrainingSet,
 };
 use m3d_netlist::BenchmarkProfile;
 use std::time::Instant;
@@ -29,17 +29,15 @@ fn instrumentation_overhead_is_under_two_percent() {
     let train = generate_samples(&ctx, &DatasetConfig::single(80, 3));
     let mut ts = TrainingSet::new();
     ts.add(&bench, &train);
-    let fw = Framework::train(
-        &ts,
-        &FrameworkConfig {
-            model: ModelTrainConfig {
-                epochs: 15,
-                restarts: 1,
-                ..ModelTrainConfig::default()
-            },
-            ..FrameworkConfig::default()
-        },
-    );
+    let fw = PipelineBuilder::new()
+        .model(ModelTrainConfig {
+            epochs: 15,
+            restarts: 1,
+            ..ModelTrainConfig::default()
+        })
+        .build()
+        .train(&ts)
+        .expect("training set is non-empty");
     let diag = AtpgDiagnosis::new(&ctx.fsim, None, DiagnosisConfig::default());
     let chips = generate_samples(&ctx, &DatasetConfig::single(10, 77));
 
