@@ -64,6 +64,11 @@ echo "== cargo test -q (M3D_THREADS=1, serial pool) =="
 # parallel schedule.
 M3D_THREADS=1 cargo test -q
 
+echo "== cargo test -q -p m3d-gnn (M3D_SIMD=scalar, canonical backend) =="
+# The scalar backend is the canonical lane-order reference; the gnn suite
+# (goldens included) must pass bit-identically with dispatch forced to it.
+M3D_SIMD=scalar cargo test -q -p m3d-gnn
+
 if [ "$SKIP_CHAOS" = 1 ]; then
     echo "ci.sh: chaos campaigns skipped (--skip-chaos)"
 else
@@ -83,7 +88,7 @@ cargo test -q -p m3d-obs --features alloc-profile
 
 echo "== steady-state zero-allocation gate (m3d-gnn alloc-profile) =="
 # After one warmup pass, training epochs must allocate nothing inside
-# exec.worker spans: the tiled write-into kernels recycle every buffer.
+# exec.worker spans: the vectorized write-into kernels recycle every buffer.
 cargo test -q -p m3d-gnn --features alloc-profile --test alloc_steady_state
 
 echo "== microbench smoke (M3D_BENCH_SMOKE=1, one sample per bench) =="

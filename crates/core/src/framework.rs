@@ -338,6 +338,7 @@ impl Framework {
 
         let t1 = Instant::now();
         let inference = m3d_obs::span!("inference");
+        let flops_start = m3d_gnn::kernel_flops();
         let mut degraded: Option<DegradeReason> = None;
         // [0.5, 0.5] never clears T_P, so every fallback below degrades
         // the policy to a no-op reorder of the ATPG ranking.
@@ -368,6 +369,10 @@ impl Framework {
         } else {
             Vec::new()
         };
+        let flops = m3d_gnn::kernel_flops() - flops_start;
+        if flops > 0 {
+            m3d_obs::counter!("gnn.kernel.flops.inference", flops);
+        }
         drop(inference);
         let t_gnn = t1.elapsed();
 

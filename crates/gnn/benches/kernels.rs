@@ -1,11 +1,12 @@
 //! Microbenches for the dense/sparse kernel pairs behind the GCN training
-//! hot path: each naive allocating kernel against its tiled
-//! write-into-destination twin, at the shapes the diagnosis models
-//! actually run (a 600-node subgraph with 13 input features and the
-//! paper's 64/32-wide hidden layers).
+//! hot path: each allocating reference kernel against its vectorized
+//! write-into-destination twin (plus the scalar/vector/AVX2 backends
+//! head-to-head), at the shapes the diagnosis models actually run (a
+//! 600-node subgraph with 13 input features and the paper's 64/32-wide
+//! hidden layers). Honours `M3D_BENCH_SMOKE` via the criterion shim.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use m3d_gnn::{Graph, Matrix};
+use m3d_gnn::{avx2_supported, force_simd_mode, Graph, Matrix, SimdMode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -15,6 +16,25 @@ fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
         cols,
         (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
     )
+}
+
+/// The kernel backends worth comparing on this host: the canonical scalar
+/// spec, the portable 8-lane vector kernels, and (where the CPU supports
+/// it) the opt-in AVX2+FMA path.
+fn backends() -> Vec<SimdMode> {
+    let mut modes = vec![SimdMode::Scalar, SimdMode::Vector];
+    if avx2_supported() {
+        modes.push(SimdMode::Avx2);
+    }
+    modes
+}
+
+/// Runs `f` with the kernel dispatch forced to `mode`, restoring
+/// env-driven dispatch afterwards.
+fn with_mode(mode: SimdMode, f: impl FnOnce()) {
+    force_simd_mode(Some(mode));
+    f();
+    force_simd_mode(None);
 }
 
 /// The hot GEMM shapes: layer-0 (`Â·X @ W₀`) and layer-1 (`Â·H @ W₁`).
@@ -33,11 +53,62 @@ fn bench_matmul(c: &mut Criterion) {
             &(),
             |be, ()| be.iter(|| black_box(&a).matmul(black_box(&b))),
         );
+        for mode in backends() {
+            with_mode(mode, || {
+                group.bench_with_input(
+                    BenchmarkId::new(mode.name(), format!("{n}x{k}x{m}")),
+                    &(),
+                    |be, ()| be.iter(|| black_box(&a).matmul_into(black_box(&b), &mut out)),
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fused_relu(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut group = c.benchmark_group("fused_relu");
+    group.sample_size(30);
+    for (n, k, m) in SHAPES {
+        let a = random_matrix(&mut rng, n, k);
+        let b = random_matrix(&mut rng, k, m);
+        let bias: Vec<f32> = (0..m).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let mut z = Matrix::default();
+        let mut h = Matrix::default();
+        // The pre-fusion baseline: matmul pass, bias pass, ReLU pass.
         group.bench_with_input(
-            BenchmarkId::new("tiled_into", format!("{n}x{k}x{m}")),
+            BenchmarkId::new("three_pass", format!("{n}x{k}x{m}")),
             &(),
-            |be, ()| be.iter(|| black_box(&a).matmul_into(black_box(&b), &mut out)),
+            |be, ()| {
+                be.iter(|| {
+                    a.matmul_into(black_box(&b), &mut z);
+                    z.add_row_broadcast(&bias);
+                    h.reset(n, m);
+                    for (hv, &zv) in h.as_mut_slice().iter_mut().zip(z.as_slice()) {
+                        *hv = if zv < 0.0 { 0.0 } else { zv };
+                    }
+                })
+            },
         );
+        for mode in backends() {
+            with_mode(mode, || {
+                group.bench_with_input(
+                    BenchmarkId::new(mode.name(), format!("{n}x{k}x{m}")),
+                    &(),
+                    |be, ()| {
+                        be.iter(|| {
+                            black_box(&a).matmul_bias_relu_into(
+                                black_box(&b),
+                                &bias,
+                                &mut z,
+                                &mut h,
+                            )
+                        })
+                    },
+                );
+            });
+        }
     }
     group.finish();
 }
@@ -53,9 +124,13 @@ fn bench_matmul_tn(c: &mut Criterion) {
     group.bench_function("naive/600x64x32", |be| {
         be.iter(|| black_box(&a).matmul_tn(black_box(&b)))
     });
-    group.bench_function("tiled_into/600x64x32", |be| {
-        be.iter(|| black_box(&a).matmul_tn_into(black_box(&b), &mut out))
-    });
+    for mode in backends() {
+        with_mode(mode, || {
+            group.bench_function(format!("{}/600x64x32", mode.name()), |be| {
+                be.iter(|| black_box(&a).matmul_tn_into(black_box(&b), &mut out))
+            });
+        });
+    }
     group.finish();
 }
 
@@ -63,17 +138,21 @@ fn bench_matmul_nt(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(9);
     let mut group = c.benchmark_group("matmul_nt");
     group.sample_size(30);
-    // Input-gradient shape: dZ(600×32) @ Wᵀ(64×32).
+    // Input-gradient shape: dZ(600×32) @ Wᵀ(64×32), streamed directly
+    // from B's rows — no transpose scratch.
     let a = random_matrix(&mut rng, 600, 32);
     let b = random_matrix(&mut rng, 64, 32);
-    let mut scratch = Matrix::default();
     let mut out = Matrix::default();
     group.bench_function("naive/600x32x64", |be| {
         be.iter(|| black_box(&a).matmul_nt(black_box(&b)))
     });
-    group.bench_function("tiled_into/600x32x64", |be| {
-        be.iter(|| black_box(&a).matmul_nt_into(black_box(&b), &mut scratch, &mut out))
-    });
+    for mode in backends() {
+        with_mode(mode, || {
+            group.bench_function(format!("{}/600x32x64", mode.name()), |be| {
+                be.iter(|| black_box(&a).matmul_nt_into(black_box(&b), &mut out))
+            });
+        });
+    }
     group.finish();
 }
 
@@ -95,15 +174,20 @@ fn bench_spmm(c: &mut Criterion) {
     group.bench_function("naive/600x64", |be| {
         be.iter(|| black_box(&adj).spmm(black_box(&x)))
     });
-    group.bench_function("tiled_into/600x64", |be| {
-        be.iter(|| black_box(&adj).spmm_into(black_box(&x), &mut out))
-    });
+    for mode in backends() {
+        with_mode(mode, || {
+            group.bench_function(format!("{}/600x64", mode.name()), |be| {
+                be.iter(|| black_box(&adj).spmm_into(black_box(&x), &mut out))
+            });
+        });
+    }
     group.finish();
 }
 
 criterion_group!(
     kernels,
     bench_matmul,
+    bench_fused_relu,
     bench_matmul_tn,
     bench_matmul_nt,
     bench_spmm

@@ -44,6 +44,17 @@ impl AdamState {
 
     /// One Adam update of `param` with gradient `grad`.
     ///
+    /// Subnormal moment estimates are flushed to zero. Once a parameter's
+    /// gradient goes quiet (ReLU-dead units, sparse features), its moments
+    /// decay geometrically into the subnormal range and then *stay* there:
+    /// `beta * min_subnormal` rounds back to `min_subnormal`, so without
+    /// the flush every later step pays the hardware's ~100-cycle subnormal
+    /// penalty on four ops per element — in practice a >20x slowdown of
+    /// the whole optimizer. A subnormal moment contributes at most ~1e-31
+    /// to the parameter update (invisible at `f32` precision for any
+    /// live weight), so flushing only snaps a value that was already
+    /// numerically dead.
+    ///
     /// # Panics
     ///
     /// Panics if `param`, `grad`, and the state disagree on length.
@@ -54,10 +65,14 @@ impl AdamState {
         let b1t = 1.0 - cfg.beta1.powi(self.t as i32);
         let b2t = 1.0 - cfg.beta2.powi(self.t as i32);
         for i in 0..param.len() {
-            self.m[i] = cfg.beta1 * self.m[i] + (1.0 - cfg.beta1) * grad[i];
-            self.v[i] = cfg.beta2 * self.v[i] + (1.0 - cfg.beta2) * grad[i] * grad[i];
-            let mhat = self.m[i] / b1t;
-            let vhat = self.v[i] / b2t;
+            let m = cfg.beta1 * self.m[i] + (1.0 - cfg.beta1) * grad[i];
+            let v = cfg.beta2 * self.v[i] + (1.0 - cfg.beta2) * grad[i] * grad[i];
+            let m = if m.abs() < f32::MIN_POSITIVE { 0.0 } else { m };
+            let v = if v < f32::MIN_POSITIVE { 0.0 } else { v };
+            self.m[i] = m;
+            self.v[i] = v;
+            let mhat = m / b1t;
+            let vhat = v / b2t;
             param[i] -= cfg.lr * mhat / (vhat.sqrt() + cfg.eps);
         }
     }

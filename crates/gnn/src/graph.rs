@@ -4,7 +4,8 @@
 //! symmetrically-normalized adjacency `D^{-1/2} (A [+ I]) D^{-1/2}` in CSR
 //! form, the propagation operator of the paper's GCN layers.
 
-use crate::matrix::{Matrix, TILE_J};
+use crate::kernels;
+use crate::matrix::Matrix;
 
 /// An undirected graph over `0..n` nodes.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -139,25 +140,24 @@ impl NormAdj {
     pub fn spmm(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.rows(), self.n, "spmm shape mismatch");
         let mut out = Matrix::zeros(self.n, x.cols());
-        for i in 0..self.n {
-            let (s, e) = (self.indptr[i] as usize, self.indptr[i + 1] as usize);
-            for k in s..e {
-                let j = self.indices[k] as usize;
-                let w = self.values[k];
-                let xrow = x.row(j);
-                let orow = out.row_mut(i);
-                for (o, &v) in orow.iter_mut().zip(xrow) {
-                    *o += w * v;
-                }
-            }
-        }
+        let m = x.cols();
+        kernels::add_flops(2 * (self.values.len() * m) as u64);
+        kernels::scalar::spmm(
+            &self.indptr,
+            &self.indices,
+            &self.values,
+            x.as_slice(),
+            out.as_mut_slice(),
+            self.n,
+            m,
+        );
         out
     }
 
-    /// `Â @ x` written into `out` — the blocked, allocation-free twin of
-    /// [`NormAdj::spmm`], bit-identical to it: per output element the
-    /// neighbor terms accumulate in CSR (ascending-index) order, only the
-    /// columns are tiled.
+    /// `Â @ x` written into `out` — the allocation-free, `M3D_SIMD`-
+    /// dispatched twin of [`NormAdj::spmm`], bit-identical to it: per
+    /// output element the neighbor terms accumulate in CSR
+    /// (ascending-index) order; the 8-lane backends only regroup columns.
     ///
     /// # Panics
     ///
@@ -166,21 +166,16 @@ impl NormAdj {
         assert_eq!(x.rows(), self.n, "spmm shape mismatch");
         let m = x.cols();
         out.reset(self.n, m);
-        for jt in (0..m).step_by(TILE_J) {
-            let je = (jt + TILE_J).min(m);
-            for i in 0..self.n {
-                let (s, e) = (self.indptr[i] as usize, self.indptr[i + 1] as usize);
-                let orow = &mut out.row_mut(i)[jt..je];
-                for k in s..e {
-                    let j = self.indices[k] as usize;
-                    let w = self.values[k];
-                    let xrow = &x.row(j)[jt..je];
-                    for (o, &v) in orow.iter_mut().zip(xrow) {
-                        *o += w * v;
-                    }
-                }
-            }
-        }
+        kernels::spmm(
+            &self.indptr,
+            &self.indices,
+            &self.values,
+            x.as_slice(),
+            out.as_mut_slice(),
+            self.n,
+            m,
+            2 * (self.values.len() * m) as u64,
+        );
     }
 
     /// Degree (neighbor count incl. optional self-loop) of node `i`.
@@ -259,8 +254,9 @@ mod tests {
 
     #[test]
     fn spmm_into_bit_identical_to_reference() {
-        // Ring + chords, feature width straddling the column tile.
-        for cols in [1usize, 3, TILE_J, TILE_J + 5] {
+        // Ring + chords, feature width straddling the 8-wide lane groups.
+        use crate::kernels::LANES;
+        for cols in [1usize, 3, LANES, 2 * LANES + 5] {
             let n = 37;
             let mut edges: Vec<(u32, u32)> =
                 (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();

@@ -1,0 +1,251 @@
+//! Opt-in AVX2+FMA backend (`M3D_SIMD=avx2`, x86_64 only).
+//!
+//! Mirrors the row-axpy structure of [`super::vector`] with `std::arch`
+//! intrinsics. `_mm256_fmadd_ps` rounds once per multiply-add, so this
+//! backend is **not** bit-identical to the canonical contract — it is
+//! never auto-selected and exists for throughput-over-reproducibility
+//! runs. It keeps the same broadcast-`A` zero-skip, and its fused ReLU
+//! uses `cmp(LT_OQ)` + `andnot` (not `max`), which keeps `NaN`
+//! propagation identical to the scalar epilogue.
+//!
+//! Every function here requires AVX2+FMA; the dispatcher in [`super`]
+//! only reaches this module after `is_x86_feature_detected!` succeeded.
+
+#![allow(unsafe_code)]
+// The NT tile indexes parallel arrays (`acc[r][c]`, `arows[r]`) by one
+// loop variable; indexed loops keep that pairing visible.
+#![allow(clippy::needless_range_loop)]
+
+use super::{reduce8, LANES};
+use core::arch::x86_64::*;
+
+const NT_TILE: usize = 2;
+
+/// `acc[j] += s * x[j]` over a full row: 8-wide FMA body plus a scalar
+/// mul+add tail.
+///
+/// # Safety
+/// AVX2+FMA required; `acc` and `x` must be the same length.
+#[target_feature(enable = "avx2", enable = "fma")]
+#[inline]
+unsafe fn axpy(acc: &mut [f32], x: &[f32], s: f32) {
+    let m = acc.len();
+    let sv = _mm256_set1_ps(s);
+    let mut j = 0;
+    while j + LANES <= m {
+        let o = _mm256_loadu_ps(acc.as_ptr().add(j));
+        let xv = _mm256_loadu_ps(x.as_ptr().add(j));
+        _mm256_storeu_ps(acc.as_mut_ptr().add(j), _mm256_fmadd_ps(sv, xv, o));
+        j += LANES;
+    }
+    for (o, &xv) in acc[j..].iter_mut().zip(&x[j..]) {
+        *o += s * xv;
+    }
+}
+
+/// Adds `bias` elementwise into `row`.
+///
+/// # Safety
+/// AVX2+FMA required; `row` and `bias` must be the same length.
+#[target_feature(enable = "avx2", enable = "fma")]
+#[inline]
+unsafe fn add_bias(row: &mut [f32], bias: &[f32]) {
+    let m = row.len();
+    let mut j = 0;
+    while j + LANES <= m {
+        let o = _mm256_loadu_ps(row.as_ptr().add(j));
+        let bv = _mm256_loadu_ps(bias.as_ptr().add(j));
+        _mm256_storeu_ps(row.as_mut_ptr().add(j), _mm256_add_ps(o, bv));
+        j += LANES;
+    }
+    for (o, &bv) in row[j..].iter_mut().zip(&bias[j..]) {
+        *o += bv;
+    }
+}
+
+/// `h[j] = relu(z[j])` via `cmp(LT_OQ)` + `andnot` (preserves NaN).
+///
+/// # Safety
+/// AVX2+FMA required; `h` and `z` must be the same length.
+#[target_feature(enable = "avx2", enable = "fma")]
+#[inline]
+unsafe fn relu_row(h: &mut [f32], z: &[f32]) {
+    let m = h.len();
+    let mut j = 0;
+    while j + LANES <= m {
+        let v = _mm256_loadu_ps(z.as_ptr().add(j));
+        let neg = _mm256_cmp_ps::<_CMP_LT_OQ>(v, _mm256_setzero_ps());
+        _mm256_storeu_ps(h.as_mut_ptr().add(j), _mm256_andnot_ps(neg, v));
+        j += LANES;
+    }
+    for (hv, &z) in h[j..].iter_mut().zip(&z[j..]) {
+        *hv = if z < 0.0 { 0.0 } else { z };
+    }
+}
+
+/// `out[n×m] = A[n×kk]·B[kk×m]` (+ optional bias / fused ReLU).
+///
+/// # Safety
+/// The CPU must support AVX2 and FMA (checked by the dispatcher).
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn matmul_nn(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    n: usize,
+    kk: usize,
+    m: usize,
+    bias: Option<&[f32]>,
+    mut relu_out: Option<&mut [f32]>,
+) {
+    for i in 0..n {
+        let arow = &a[i * kk..(i + 1) * kk];
+        let orow = &mut out[i * m..(i + 1) * m];
+        orow.fill(0.0);
+        for (k, &av) in arow.iter().enumerate() {
+            if av != 0.0 {
+                axpy(orow, &b[k * m..(k + 1) * m], av);
+            }
+        }
+        if let Some(bias) = bias {
+            add_bias(orow, bias);
+        }
+        if let Some(h) = relu_out.as_deref_mut() {
+            relu_row(&mut h[i * m..(i + 1) * m], orow);
+        }
+    }
+}
+
+/// `out[n×m] = A[kk×n]ᵀ·B[kk×m]`.
+///
+/// # Safety
+/// AVX2+FMA required.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn matmul_tn(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    n: usize,
+    kk: usize,
+    m: usize,
+) {
+    out[..n * m].fill(0.0);
+    for r in 0..kk {
+        let acol = &a[r * n..(r + 1) * n];
+        let brow = &b[r * m..(r + 1) * m];
+        for (i, &av) in acol.iter().enumerate() {
+            if av != 0.0 {
+                axpy(&mut out[i * m..(i + 1) * m], brow, av);
+            }
+        }
+    }
+}
+
+/// `out[n×m] = A[n×kk]·B[m×kk]ᵀ`, direct B-row streaming.
+///
+/// # Safety
+/// AVX2+FMA required.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn matmul_nt(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    n: usize,
+    kk: usize,
+    m: usize,
+) {
+    let mut it = 0;
+    while it + NT_TILE <= n {
+        nt_cols::<NT_TILE>(a, b, out, kk, m, it);
+        it += NT_TILE;
+    }
+    while it < n {
+        nt_cols::<1>(a, b, out, kk, m, it);
+        it += 1;
+    }
+}
+
+/// # Safety
+/// AVX2+FMA required; `it + R <= n` rows must exist.
+#[target_feature(enable = "avx2", enable = "fma")]
+#[inline]
+unsafe fn nt_cols<const R: usize>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    kk: usize,
+    m: usize,
+    it: usize,
+) {
+    let mut jt = 0;
+    while jt + NT_TILE <= m {
+        nt_tile::<R, NT_TILE>(a, b, out, kk, m, it, jt);
+        jt += NT_TILE;
+    }
+    while jt < m {
+        nt_tile::<R, 1>(a, b, out, kk, m, it, jt);
+        jt += 1;
+    }
+}
+
+/// # Safety
+/// AVX2+FMA required; the `R×C` tile at (`it`, `jt`) must be in range.
+#[target_feature(enable = "avx2", enable = "fma")]
+#[inline]
+unsafe fn nt_tile<const R: usize, const C: usize>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    kk: usize,
+    m: usize,
+    it: usize,
+    jt: usize,
+) {
+    let mut acc = [[_mm256_setzero_ps(); C]; R];
+    let full = kk - kk % LANES;
+    let mut base = 0;
+    while base < full {
+        for r in 0..R {
+            let av = _mm256_loadu_ps(a.as_ptr().add((it + r) * kk + base));
+            for c in 0..C {
+                let bv = _mm256_loadu_ps(b.as_ptr().add((jt + c) * kk + base));
+                acc[r][c] = _mm256_fmadd_ps(av, bv, acc[r][c]);
+            }
+        }
+        base += LANES;
+    }
+    for r in 0..R {
+        for c in 0..C {
+            let mut lanes = [0.0f32; LANES];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), acc[r][c]);
+            for k in full..kk {
+                lanes[k % LANES] += a[(it + r) * kk + k] * b[(jt + c) * kk + k];
+            }
+            out[(it + r) * m + jt + c] = reduce8(lanes);
+        }
+    }
+}
+
+/// CSR `out[n×m] = Â·X`: one weighted row-axpy per neighbor.
+///
+/// # Safety
+/// AVX2+FMA required.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn spmm(
+    indptr: &[u32],
+    indices: &[u32],
+    values: &[f32],
+    x: &[f32],
+    out: &mut [f32],
+    n: usize,
+    m: usize,
+) {
+    for i in 0..n {
+        let orow = &mut out[i * m..(i + 1) * m];
+        orow.fill(0.0);
+        for k in indptr[i] as usize..indptr[i + 1] as usize {
+            axpy(orow, &x[indices[k] as usize * m..][..m], values[k]);
+        }
+    }
+}

@@ -57,22 +57,45 @@ impl GcnLayer {
     }
 
     /// [`GcnLayer::forward`] on preallocated buffers: `ax` receives `Â x`,
-    /// `z` the pre-activation. Bit-identical to the allocating form.
+    /// `z` the pre-activation (bias fused into the matmul epilogue).
+    /// Bit-identical to the allocating form.
     pub fn forward_into(&self, adj: &NormAdj, x: &Matrix, ax: &mut Matrix, z: &mut Matrix) {
         adj.spmm_into(x, ax);
         self.forward_from_ax_into(ax, z);
     }
 
+    /// [`GcnLayer::forward_into`] with the ReLU fused as well: `z` keeps
+    /// the pre-activation for backprop, `h` receives `relu(z)` from the
+    /// same tile pass.
+    pub fn forward_relu_into(
+        &self,
+        adj: &NormAdj,
+        x: &Matrix,
+        ax: &mut Matrix,
+        z: &mut Matrix,
+        h: &mut Matrix,
+    ) {
+        adj.spmm_into(x, ax);
+        self.forward_from_ax_relu_into(ax, z, h);
+    }
+
     /// The dense half of the forward pass when `Â x` is already available
-    /// (e.g. the per-sample layer-1 aggregation cache): `z = ax W + b`.
+    /// (e.g. the per-sample layer-1 aggregation cache): `z = ax W + b`,
+    /// bias fused into the matmul epilogue.
     pub fn forward_from_ax_into(&self, ax: &Matrix, z: &mut Matrix) {
-        ax.matmul_into(&self.w, z);
-        z.add_row_broadcast(&self.b);
+        ax.matmul_bias_into(&self.w, &self.b, z);
+    }
+
+    /// [`GcnLayer::forward_from_ax_into`] plus a fused ReLU: one tile pass
+    /// writes the pre-activation to `z` and `relu(z)` to `h`, instead of a
+    /// matmul pass, a bias pass, and a ReLU pass over the whole matrix.
+    pub fn forward_from_ax_relu_into(&self, ax: &Matrix, z: &mut Matrix, h: &mut Matrix) {
+        ax.matmul_bias_relu_into(&self.w, &self.b, z, h);
     }
 
     /// [`GcnLayer::backward`] on preallocated buffers. `dx` bundles the
-    /// `(Wᵀ scratch, dz Wᵀ scratch, dx destination)` triple — pass `None`
-    /// for the first layer, where no input gradient is consumed.
+    /// `(dz Wᵀ scratch, dx destination)` pair — pass `None` for the first
+    /// layer, where no input gradient is consumed.
     pub fn backward_into(
         &self,
         adj: &NormAdj,
@@ -80,12 +103,12 @@ impl GcnLayer {
         dz: &Matrix,
         dw: &mut Matrix,
         db: &mut Vec<f32>,
-        dx: Option<(&mut Matrix, &mut Matrix, &mut Matrix)>,
+        dx: Option<(&mut Matrix, &mut Matrix)>,
     ) {
         ax.matmul_tn_into(dz, dw);
         dz.sum_rows_into_vec(db);
-        if let Some((wt, dax, dx)) = dx {
-            dz.matmul_nt_into(&self.w, wt, dax);
+        if let Some((dax, dx)) = dx {
+            dz.matmul_nt_into(&self.w, dax);
             adj.spmm_into(dax, dx);
         }
     }
@@ -134,26 +157,33 @@ impl Linear {
         (dw, db, dx)
     }
 
-    /// [`Linear::forward`] on a preallocated output buffer.
+    /// [`Linear::forward`] on a preallocated output buffer (bias fused
+    /// into the matmul epilogue).
     pub fn forward_into(&self, x: &Matrix, z: &mut Matrix) {
-        x.matmul_into(&self.w, z);
-        z.add_row_broadcast(&self.b);
+        x.matmul_bias_into(&self.w, &self.b, z);
     }
 
-    /// [`Linear::backward`] on preallocated buffers; `dx` bundles the
-    /// `(Wᵀ scratch, dx destination)` pair.
+    /// [`Linear::forward_into`] with a fused ReLU: `z` keeps the
+    /// pre-activation, `h` receives `relu(z)` from the same tile pass.
+    pub fn forward_relu_into(&self, x: &Matrix, z: &mut Matrix, h: &mut Matrix) {
+        x.matmul_bias_relu_into(&self.w, &self.b, z, h);
+    }
+
+    /// [`Linear::backward`] on preallocated buffers; `dx` is the input-
+    /// gradient destination (computed directly by the NT kernel — no
+    /// transpose scratch).
     pub fn backward_into(
         &self,
         x: &Matrix,
         dz: &Matrix,
         dw: &mut Matrix,
         db: &mut Vec<f32>,
-        dx: Option<(&mut Matrix, &mut Matrix)>,
+        dx: Option<&mut Matrix>,
     ) {
         x.matmul_tn_into(dz, dw);
         dz.sum_rows_into_vec(db);
-        if let Some((wt, dx)) = dx {
-            dz.matmul_nt_into(&self.w, wt, dx);
+        if let Some(dx) = dx {
+            dz.matmul_nt_into(&self.w, dx);
         }
     }
 }

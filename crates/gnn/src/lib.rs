@@ -30,6 +30,7 @@
 mod adam;
 mod explain;
 mod graph;
+mod kernels;
 mod layers;
 mod loss;
 mod matrix;
@@ -43,9 +44,12 @@ mod workspace;
 pub use adam::{AdamConfig, AdamState};
 pub use explain::{permutation_significance, stack_features, FeatureSignificance};
 pub use graph::{Graph, NormAdj};
+#[doc(hidden)]
+pub use kernels::force_simd_mode;
+pub use kernels::{avx2_supported, kernel_flops, simd_mode, SimdMode, LANES, SIMD_ENV};
 pub use layers::{relu_backward, GcnLayer, Linear};
 pub use loss::{argmax, cross_entropy, cross_entropy_into, softmax_row, softmax_row_into};
-pub use matrix::{Matrix, ShapeError, TILE_I, TILE_J};
+pub use matrix::{Matrix, ShapeError};
 pub use model::{GcnConfig, GcnModel, GraphSample, Task, TrainConfig};
 pub use pca::Pca;
 pub use prcurve::{PrCurve, PrPoint, ScoredSample};

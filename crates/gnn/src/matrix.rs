@@ -5,14 +5,15 @@
 //!
 //! Two kernel families coexist:
 //!
-//! - the original allocating operations ([`Matrix::matmul`],
-//!   [`Matrix::matmul_tn`], [`Matrix::matmul_nt`], …) — straightforward
-//!   triple loops kept as the *reference* implementations, and
-//! - cache-blocked `*_into` kernels ([`Matrix::matmul_into`], …) that write
-//!   into a caller-owned destination, tile the `i`/`j` loops
-//!   ([`TILE_I`]/[`TILE_J`]) and keep the **full `k` loop ascending in the
-//!   innermost position per output element**, so every output element is
-//!   accumulated in exactly the same order as the reference kernel and the
+//! - the allocating operations ([`Matrix::matmul`], [`Matrix::matmul_tn`],
+//!   [`Matrix::matmul_nt`], …) — always executed by the canonical scalar
+//!   backend, kept as the *reference oracle* regardless of the `M3D_SIMD`
+//!   dispatch, and
+//! - vectorized `*_into` kernels ([`Matrix::matmul_into`],
+//!   [`Matrix::matmul_bias_relu_into`], …) that write into a caller-owned
+//!   destination and dispatch to the 8-lane backend family in
+//!   [`crate::kernels`]. Every backend honors the **canonical lane-order
+//!   contract** (see the `kernels` module docs), so scalar-vs-vector
 //!   results are bit-identical — the determinism contract of DESIGN.md
 //!   extends down to the kernels.
 //!
@@ -20,18 +21,10 @@
 //! suffices ([`Matrix::reset`] keeps the backing `Vec`'s allocation), which
 //! is what lets steady-state training run with zero heap traffic per step.
 
+use crate::kernels;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
-
-/// Row-tile edge of the blocked `*_into` kernels: output rows processed per
-/// block, sized so a tile of the output plus a column band of the
-/// right-hand operand stay L1-resident.
-pub const TILE_I: usize = 32;
-
-/// Column-tile edge of the blocked `*_into` kernels: 64 `f32` = one 256-byte
-/// output-row slice, wide enough for the inner loop to vectorize.
-pub const TILE_J: usize = 64;
 
 /// Buffer/shape mismatch when constructing a [`Matrix`] from a flat
 /// buffer: `rows * cols` elements were expected, `len` were supplied.
@@ -174,7 +167,9 @@ impl Matrix {
         &mut self.data
     }
 
-    /// `self @ other`.
+    /// `self @ other` — allocating reference, always the canonical scalar
+    /// backend (independent of `M3D_SIMD`), bit-identical to
+    /// [`Matrix::matmul_into`].
     ///
     /// # Panics
     ///
@@ -182,23 +177,23 @@ impl Matrix {
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernels::add_flops(2 * (self.rows * self.cols * other.cols) as u64);
+        kernels::scalar::matmul_nn(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+            None,
+            None,
+        );
         out
     }
 
-    /// `selfᵀ @ other` without materializing the transpose.
+    /// `selfᵀ @ other` without materializing the transpose — allocating
+    /// canonical-scalar reference, bit-identical to
+    /// [`Matrix::matmul_tn_into`].
     ///
     /// # Panics
     ///
@@ -206,23 +201,21 @@ impl Matrix {
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let arow = self.row(r);
-            let brow = other.row(r);
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = out.row_mut(i);
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernels::add_flops(2 * (self.cols * self.rows * other.cols) as u64);
+        kernels::scalar::matmul_tn(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.cols,
+            self.rows,
+            other.cols,
+        );
         out
     }
 
-    /// `self @ otherᵀ` without materializing the transpose.
+    /// `self @ otherᵀ` without materializing the transpose — allocating
+    /// canonical-scalar reference (including the NT lane-split order),
+    /// bit-identical to [`Matrix::matmul_nt_into`].
     ///
     /// # Panics
     ///
@@ -230,14 +223,15 @@ impl Matrix {
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            for j in 0..other.rows {
-                let brow = other.row(j);
-                let dot: f32 = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
-                out.set(i, j, dot);
-            }
-        }
+        kernels::add_flops(2 * (self.rows * self.cols * other.rows) as u64);
+        kernels::scalar::matmul_nt(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.rows,
+        );
         out
     }
 
@@ -356,9 +350,9 @@ impl Matrix {
         self.data.extend_from_slice(&src.data);
     }
 
-    /// `self @ other` written into `out` — the cache-blocked, allocation-free
-    /// twin of [`Matrix::matmul`], bit-identical to it (same per-element
-    /// accumulation order: `k` ascending, zero `a` skipped).
+    /// `self @ other` written into `out` — the allocation-free, `M3D_SIMD`-
+    /// dispatched twin of [`Matrix::matmul`], bit-identical to it under the
+    /// canonical lane-order contract.
     ///
     /// # Panics
     ///
@@ -366,31 +360,81 @@ impl Matrix {
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         out.reset(self.rows, other.cols);
-        let (n, kk, m) = (self.rows, self.cols, other.cols);
-        for jt in (0..m).step_by(TILE_J) {
-            let je = (jt + TILE_J).min(m);
-            for it in (0..n).step_by(TILE_I) {
-                let ie = (it + TILE_I).min(n);
-                for i in it..ie {
-                    let arow = &self.data[i * kk..(i + 1) * kk];
-                    let orow = &mut out.data[i * m + jt..i * m + je];
-                    for (k, &a) in arow.iter().enumerate() {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let brow = &other.data[k * m + jt..k * m + je];
-                        for (o, &b) in orow.iter_mut().zip(brow) {
-                            *o += a * b;
-                        }
-                    }
-                }
-            }
-        }
+        kernels::matmul_nn(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+            None,
+            None,
+        );
     }
 
-    /// `selfᵀ @ other` written into `out` — blocked, allocation-free, and
-    /// bit-identical to [`Matrix::matmul_tn`] (per output element the shared
-    /// dimension `r` is accumulated ascending, zero `a` skipped).
+    /// `self @ other + bias` written into `out` with the bias broadcast
+    /// fused into the matmul tiles (one pass over the output instead of
+    /// two). Bit-identical to [`Matrix::matmul_into`] followed by
+    /// [`Matrix::add_row_broadcast`]: the bias is added once, after the
+    /// full shared-dimension sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()` or
+    /// `bias.len() != other.cols()`.
+    pub fn matmul_bias_into(&self, other: &Matrix, bias: &[f32], out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        assert_eq!(bias.len(), other.cols, "bias width mismatch");
+        out.reset(self.rows, other.cols);
+        kernels::matmul_nn(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+            Some(bias),
+            None,
+        );
+    }
+
+    /// `z = self @ other + bias` and `h = relu(z)` in a single fused pass:
+    /// the pre-activation lands in `z` (kept for backprop) while the tile
+    /// epilogue writes the rectified copy straight into `h`, skipping the
+    /// separate full-matrix ReLU sweep. Bit-identical to
+    /// [`Matrix::matmul_bias_into`] + [`Matrix::relu_into`] (the epilogue
+    /// computes `if z < 0.0 { 0.0 } else { z }`, preserving NaN and `-0.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()` or
+    /// `bias.len() != other.cols()`.
+    pub fn matmul_bias_relu_into(
+        &self,
+        other: &Matrix,
+        bias: &[f32],
+        z: &mut Matrix,
+        h: &mut Matrix,
+    ) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        assert_eq!(bias.len(), other.cols, "bias width mismatch");
+        z.reset(self.rows, other.cols);
+        h.reset(self.rows, other.cols);
+        kernels::matmul_nn(
+            &self.data,
+            &other.data,
+            &mut z.data,
+            self.rows,
+            self.cols,
+            other.cols,
+            Some(bias),
+            Some(&mut h.data),
+        );
+    }
+
+    /// `selfᵀ @ other` written into `out` — allocation-free, dispatched,
+    /// and bit-identical to [`Matrix::matmul_tn`] (per output element the
+    /// shared dimension `r` is accumulated ascending from `+0.0`).
     ///
     /// # Panics
     ///
@@ -398,72 +442,40 @@ impl Matrix {
     pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
         out.reset(self.cols, other.cols);
-        let (kk, n, m) = (self.rows, self.cols, other.cols);
-        for it in (0..n).step_by(TILE_I) {
-            let ie = (it + TILE_I).min(n);
-            for jt in (0..m).step_by(TILE_J) {
-                let je = (jt + TILE_J).min(m);
-                for r in 0..kk {
-                    let arow = &self.data[r * n + it..r * n + ie];
-                    let brow = &other.data[r * m + jt..r * m + je];
-                    for (i, &a) in arow.iter().enumerate() {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let orow = &mut out.data[(it + i) * m + jt..(it + i) * m + je];
-                        for (o, &b) in orow.iter_mut().zip(brow) {
-                            *o += a * b;
-                        }
-                    }
-                }
-            }
-        }
+        kernels::matmul_tn(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.cols,
+            self.rows,
+            other.cols,
+        );
     }
 
-    /// `self @ otherᵀ` written into `out`, bit-identical to
-    /// [`Matrix::matmul_nt`].
-    ///
-    /// `other` is first transposed into `scratch`; the product then runs as
-    /// a blocked `i,k,j` kernel whose unit-stride inner loop vectorizes —
-    /// unlike the reference's serial dot-product reduction — while summing
-    /// each output element in the same `k`-ascending order (no zero
-    /// skipping, matching the reference exactly).
+    /// `self @ otherᵀ` written into `out`, streaming `other`'s rows
+    /// directly — no transpose scratch. Bit-identical to
+    /// [`Matrix::matmul_nt`]: both sides walk the shared dimension
+    /// row-major, so each output element follows the canonical NT
+    /// lane-split order (8 interleaved partial sums folded by the fixed
+    /// reduction tree).
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.cols()`.
-    pub fn matmul_nt_into(&self, other: &Matrix, scratch: &mut Matrix, out: &mut Matrix) {
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
-        other.transpose_into(scratch);
-        // The reference computes each dot with `Iterator::sum`, whose f32
-        // impl folds from -0.0 (the IEEE additive identity: -0.0 + x == x
-        // for every x, including x == -0.0, whereas +0.0 + -0.0 == +0.0).
-        // Seed the accumulators with -0.0 so all-negative-zero dot products
-        // stay bit-identical to the naive kernel.
-        out.rows = self.rows;
-        out.cols = other.rows;
-        out.data.clear();
-        out.data.resize(self.rows * other.rows, -0.0);
-        let (n, kk, m) = (self.rows, self.cols, other.rows);
-        for jt in (0..m).step_by(TILE_J) {
-            let je = (jt + TILE_J).min(m);
-            for it in (0..n).step_by(TILE_I) {
-                let ie = (it + TILE_I).min(n);
-                for i in it..ie {
-                    let arow = &self.data[i * kk..(i + 1) * kk];
-                    let orow = &mut out.data[i * m + jt..i * m + je];
-                    for (k, &a) in arow.iter().enumerate() {
-                        let brow = &scratch.data[k * m + jt..k * m + je];
-                        for (o, &b) in orow.iter_mut().zip(brow) {
-                            *o += a * b;
-                        }
-                    }
-                }
-            }
-        }
+        out.reset(self.rows, other.rows);
+        kernels::matmul_nt(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.rows,
+        );
     }
 
-    /// `selfᵀ` written into `out` (scratch step of [`Matrix::matmul_nt_into`]).
+    /// `selfᵀ` written into `out`.
     pub fn transpose_into(&self, out: &mut Matrix) {
         out.reset(self.cols, self.rows);
         for i in 0..self.rows {
@@ -550,6 +562,7 @@ impl fmt::Debug for Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::LANES;
 
     fn m(r: usize, c: usize, v: &[f32]) -> Matrix {
         Matrix::from_vec(r, c, v.to_vec())
@@ -656,21 +669,22 @@ mod tests {
         let _ = Matrix::from_vec(1, 2, vec![0.0; 3]);
     }
 
-    /// Shapes straddling the tile edges so every blocked kernel runs both
-    /// full and partial tiles.
+    /// Shapes straddling the register-tile edges (rows around the MR=4
+    /// band, columns around the 8-lane groups and the NT 2-wide tiles) so
+    /// every kernel runs both full and remainder paths.
     fn awkward_shapes() -> Vec<(usize, usize, usize)> {
         vec![
             (1, 1, 1),
             (3, 5, 2),
-            (TILE_I, 13, TILE_J),
-            (TILE_I + 1, 13, TILE_J + 1),
-            (2 * TILE_I + 7, 33, TILE_J + 17),
+            (4, LANES, LANES),
+            (5, LANES + 1, LANES - 1),
+            (2 * LANES + 7, 33, 3 * LANES + 1),
             (600, 13, 64),
         ]
     }
 
-    /// Deterministic matrix with zeros sprinkled in (the reference kernels
-    /// branch on `a == 0.0`, so the tiled twins must too).
+    /// Deterministic matrix with zeros sprinkled in (exact zeros exercise
+    /// the broadcast zero-skip: every backend must elide the same terms).
     fn patterned(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut m = Matrix::xavier(rows, cols, seed);
         for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
@@ -711,10 +725,57 @@ mod tests {
             let a = patterned(n, k, 5);
             let b = patterned(m2, k, 6);
             let reference = a.matmul_nt(&b);
-            let (mut scratch, mut out) = (Matrix::default(), Matrix::default());
-            a.matmul_nt_into(&b, &mut scratch, &mut out);
+            let mut out = Matrix::default();
+            a.matmul_nt_into(&b, &mut out);
             assert_eq!(out, reference, "{n}x{k}x{m2}");
         }
+    }
+
+    #[test]
+    fn fused_bias_bit_identical_to_two_pass() {
+        for (n, k, m2) in awkward_shapes() {
+            let a = patterned(n, k, 7);
+            let b = patterned(k, m2, 8);
+            let bias: Vec<f32> = Matrix::xavier(1, m2, 9).as_slice().to_vec();
+            let mut reference = a.matmul(&b);
+            reference.add_row_broadcast(&bias);
+            let mut out = Matrix::default();
+            a.matmul_bias_into(&b, &bias, &mut out);
+            assert_eq!(out, reference, "{n}x{k}x{m2}");
+        }
+    }
+
+    #[test]
+    fn fused_bias_relu_bit_identical_to_three_pass() {
+        for (n, k, m2) in awkward_shapes() {
+            let a = patterned(n, k, 10);
+            let b = patterned(k, m2, 11);
+            let bias: Vec<f32> = Matrix::xavier(1, m2, 12).as_slice().to_vec();
+            let mut z_ref = a.matmul(&b);
+            z_ref.add_row_broadcast(&bias);
+            let mut h_ref = Matrix::default();
+            z_ref.relu_into(&mut h_ref);
+            let (mut z, mut h) = (Matrix::default(), Matrix::default());
+            a.matmul_bias_relu_into(&b, &bias, &mut z, &mut h);
+            assert_eq!(z, z_ref, "z {n}x{k}x{m2}");
+            assert_eq!(h, h_ref, "h {n}x{k}x{m2}");
+        }
+    }
+
+    #[test]
+    fn fused_relu_preserves_nan_and_negative_zero() {
+        // One column, identity-ish product: z = a * 1.0 + 0.0 bias.
+        let a = m(4, 1, &[f32::NAN, -0.0, f32::NEG_INFINITY, 2.0]);
+        let b = m(1, 1, &[1.0]);
+        let (mut z, mut h) = (Matrix::default(), Matrix::default());
+        a.matmul_bias_relu_into(&b, &[0.0], &mut z, &mut h);
+        assert!(z.get(0, 0).is_nan());
+        assert!(h.get(0, 0).is_nan(), "fused ReLU must propagate NaN");
+        // -0.0 * 1.0 + 0.0 == +0.0: the bias add normalizes the sign as the
+        // unfused add_row_broadcast would.
+        assert_eq!(h.get(1, 0).to_bits(), 0.0f32.to_bits());
+        assert_eq!(h.get(2, 0), 0.0, "-inf rectifies to 0");
+        assert_eq!(h.get(3, 0), 2.0);
     }
 
     #[test]

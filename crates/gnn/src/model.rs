@@ -442,12 +442,13 @@ impl GcnModel {
     }
 
     /// The fused training hot path: loss and parameter gradients for one
-    /// sample computed entirely on the blocked `*_into` kernels against
+    /// sample computed entirely on the vectorized `*_into` kernels (with
+    /// bias/ReLU epilogues fused into the matmul tiles) against
     /// caller-owned buffers — zero heap allocation once `ws`/`out` reach
     /// steady-state capacity.
     ///
     /// Bit-identical to [`GcnModel::compute_grads`] by construction: every
-    /// kernel preserves the reference's per-element accumulation order, the
+    /// kernel preserves the canonical per-element accumulation order, the
     /// layer-1 aggregation comes from the sample's [`GraphSample::ax1`]
     /// cache (the same value the reference recomputes), and the one
     /// intentional divergence — skipping the never-consumed input gradient
@@ -463,15 +464,23 @@ impl GcnModel {
         ws.ensure_layers(n_gcn, n_head);
         out.ensure_layers(n_gcn, n_head);
 
-        // --- GCN forward: layer 0 consumes the cached Â·x.
+        // --- GCN forward: layer 0 consumes the cached Â·x; bias and ReLU
+        // are fused into the matmul epilogue (one pass over z instead of
+        // three).
         for (l, layer) in self.gcn.iter().enumerate() {
             if l == 0 {
-                layer.forward_from_ax_into(sample.ax1(), &mut ws.pre[0]);
+                layer.forward_from_ax_relu_into(sample.ax1(), &mut ws.pre[0], &mut ws.h[0]);
             } else {
-                let h_prev = &ws.h[l - 1];
-                layer.forward_into(&sample.adj, h_prev, &mut ws.ax[l], &mut ws.pre[l]);
+                // Disjoint h slots: h[l-1] is read while h[l] is written.
+                let (h_read, h_write) = ws.h.split_at_mut(l);
+                layer.forward_relu_into(
+                    &sample.adj,
+                    &h_read[l - 1],
+                    &mut ws.ax[l],
+                    &mut ws.pre[l],
+                    &mut h_write[0],
+                );
             }
-            ws.pre[l].relu_into(&mut ws.h[l]);
         }
 
         // --- Readout.
@@ -493,16 +502,20 @@ impl GcnModel {
             Task::Node => &ws.h[n_gcn - 1],
         };
 
-        // --- Head forward (last layer's pre-activation is the logits).
+        // --- Head forward (last layer's pre-activation is the logits);
+        // hidden layers fuse the ReLU into the matmul epilogue.
         for (i, layer) in self.head.iter().enumerate() {
-            let input = if i == 0 {
-                head_input
-            } else {
-                &ws.head_h[i - 1]
-            };
-            layer.forward_into(input, &mut ws.head_pre[i]);
             if i + 1 < n_head {
-                ws.head_pre[i].relu_into(&mut ws.head_h[i]);
+                let (h_read, h_write) = ws.head_h.split_at_mut(i);
+                let input = if i == 0 { head_input } else { &h_read[i - 1] };
+                layer.forward_relu_into(input, &mut ws.head_pre[i], &mut h_write[0]);
+            } else {
+                let input = if i == 0 {
+                    head_input
+                } else {
+                    &ws.head_h[i - 1]
+                };
+                layer.forward_into(input, &mut ws.head_pre[i]);
             }
         }
 
@@ -525,7 +538,7 @@ impl GcnModel {
                 &ws.head_h[i - 1]
             };
             let (gw, gb) = &mut out.head[i];
-            self.head[i].backward_into(input, &ws.dcur, gw, gb, Some((&mut ws.wt, &mut ws.dnxt)));
+            self.head[i].backward_into(input, &ws.dcur, gw, gb, Some(&mut ws.dnxt));
             std::mem::swap(&mut ws.dcur, &mut ws.dnxt);
         }
 
@@ -555,7 +568,7 @@ impl GcnModel {
             let ax = if l == 0 { sample.ax1() } else { &ws.ax[l] };
             let (gw, gb) = &mut out.gcn[l];
             let dx = if l > 0 {
-                Some((&mut ws.wt, &mut ws.dax, &mut ws.dnxt))
+                Some((&mut ws.dax, &mut ws.dnxt))
             } else {
                 None
             };
@@ -647,6 +660,7 @@ impl GcnModel {
         pool: &ExecPool,
     ) -> Vec<f64> {
         let _span = m3d_obs::span!("gnn.train");
+        let flops_start = crate::kernels::kernel_flops();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut order: Vec<usize> = (0..samples.len()).collect();
         let batch = cfg.batch_size.max(1);
@@ -697,6 +711,10 @@ impl GcnModel {
                 m3d_obs::trace!("{label} epoch {epoch}: loss {loss:.6}");
             }
         }
+        // Kernel work attributable to this training run (obsctl derives
+        // effective GFLOP/s from this counter over the gnn.train span).
+        let flops = crate::kernels::kernel_flops() - flops_start;
+        m3d_obs::counter!("gnn.kernel.flops.train", flops);
         losses
     }
 

@@ -95,8 +95,6 @@ pub(crate) struct Workspace {
     pub dnxt: Matrix,
     /// `dz Wᵀ` scratch of the GCN input-gradient.
     pub dax: Matrix,
-    /// `Wᵀ` scratch of `matmul_nt_into`.
-    pub wt: Matrix,
 }
 
 impl Workspace {

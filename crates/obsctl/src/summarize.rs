@@ -84,6 +84,34 @@ pub fn summarize(report: &RunReport) -> String {
         }
     }
 
+    // Effective kernel throughput: each `gnn.kernel.flops.<stage>` counter
+    // divided by its stage span's total wall time ("train" pairs with the
+    // `gnn.train` span, "inference" with `inference`, and so on).
+    let mut flops_lines: Vec<String> = Vec::new();
+    for (name, value) in &report.counters {
+        let Some(stage) = name.strip_prefix("gnn.kernel.flops.") else {
+            continue;
+        };
+        let prefixed = format!("gnn.{stage}");
+        let span = report.span(&prefixed).or_else(|| report.span(stage));
+        flops_lines.push(match span {
+            Some(s) if s.total_ms > 0.0 => {
+                let gflops = *value as f64 / (s.total_ms / 1e3) / 1e9;
+                format!(
+                    "  {stage}: {value} flops / {} -> {gflops:.2} GFLOP/s",
+                    fmt_ms(s.total_ms)
+                )
+            }
+            _ => format!("  {stage}: {value} flops (no wall time recorded)"),
+        });
+    }
+    if !flops_lines.is_empty() {
+        let _ = writeln!(out, "\nkernel throughput:");
+        for line in &flops_lines {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+
     // One digest line per model: epochs, first/last loss, total wall.
     let mut models: Vec<&str> = Vec::new();
     for e in &report.epochs {
@@ -168,4 +196,66 @@ pub fn summarize(report: &RunReport) -> String {
         );
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::SpanStat;
+
+    fn span(name: &str, total_ms: f64) -> SpanStat {
+        SpanStat {
+            name: name.to_string(),
+            count: 1,
+            total_ms,
+            min_ms: total_ms,
+            mean_ms: total_ms,
+            p50_ms: total_ms,
+            p95_ms: total_ms,
+            max_ms: total_ms,
+        }
+    }
+
+    /// `gnn.kernel.flops.<stage>` counters pair with their stage spans and
+    /// render as GFLOP/s; counters without a span degrade gracefully.
+    #[test]
+    fn kernel_flops_counters_become_gflops() {
+        let report = RunReport {
+            spans: vec![span("gnn.train", 2_000.0), span("inference", 500.0)],
+            counters: vec![
+                ("gnn.kernel.flops.train".to_string(), 4_000_000_000),
+                ("gnn.kernel.flops.inference".to_string(), 250_000_000),
+                ("gnn.kernel.flops.orphan".to_string(), 7),
+                ("atpg.patterns_generated".to_string(), 12),
+            ],
+            ..RunReport::default()
+        };
+        let text = summarize(&report);
+        assert!(text.contains("kernel throughput:"), "{text}");
+        // 4e9 flops over 2s = 2.00 GFLOP/s; 2.5e8 over 0.5s = 0.50.
+        assert!(
+            text.contains("train: 4000000000 flops / 2000.00ms -> 2.00 GFLOP/s"),
+            "{text}"
+        );
+        assert!(
+            text.contains("inference: 250000000 flops / 500.00ms -> 0.50 GFLOP/s"),
+            "{text}"
+        );
+        assert!(
+            text.contains("orphan: 7 flops (no wall time recorded)"),
+            "{text}"
+        );
+        assert!(!text.contains("atpg.patterns_generated flops"), "{text}");
+    }
+
+    /// No flops counters, no section.
+    #[test]
+    fn no_kernel_flops_no_throughput_section() {
+        let report = RunReport {
+            spans: vec![span("gnn.train", 10.0)],
+            counters: vec![("atpg.patterns_generated".to_string(), 3)],
+            ..RunReport::default()
+        };
+        assert!(!summarize(&report).contains("kernel throughput"));
+    }
 }

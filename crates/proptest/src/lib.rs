@@ -2,8 +2,8 @@
 //!
 //! Implements the subset the workspace's property tests use — the
 //! [`proptest!`] macro, range/tuple strategies, [`collection::vec`],
-//! `any::<T>()`, `prop_map`, and the `prop_assert*` macros — on top of the
-//! in-tree deterministic [`rand`] shim.
+//! `any::<T>()`, `prop_map`, [`prop_oneof!`], and the `prop_assert*`
+//! macros — on top of the in-tree deterministic [`rand`] shim.
 //!
 //! Differences from upstream: cases are generated from a seed derived from
 //! the test's name (fully deterministic, identical on every run) and
@@ -199,6 +199,45 @@ pub mod strategy {
     pub fn any<T: Arbitrary>() -> Any<T> {
         Any(std::marker::PhantomData)
     }
+
+    /// Weighted choice among boxed strategies — the engine behind
+    /// [`prop_oneof!`](crate::prop_oneof). Each draw picks one branch
+    /// with probability proportional to its weight, then generates from it.
+    pub struct Union<T> {
+        branches: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u32,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` branches. Panics if the
+        /// weights sum to zero.
+        pub fn new(branches: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            let total = branches.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one weighted branch");
+            Union { branches, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.branches {
+                if pick < *w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights sum to total")
+        }
+    }
+
+    /// Type-erases a strategy so heterogeneous branches can share a
+    /// [`Union`] (used by the [`prop_oneof!`](crate::prop_oneof) expansion).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
 }
 
 pub mod collection {
@@ -302,7 +341,24 @@ pub mod prelude {
     pub use crate::collection;
     pub use crate::strategy::{any, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Draws from one of several strategies producing the same value type.
+///
+/// Supports the two upstream forms used in-tree: uniformly-weighted
+/// `prop_oneof![a, b, c]` and explicitly-weighted
+/// `prop_oneof![10 => a, 1 => b]` (all branches weighted, or none).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 /// Declares a block of property tests.
@@ -399,6 +455,16 @@ mod tests {
             prop_assert_eq!(tag, 17);
             prop_assert!(doubled % 2 == 0 && doubled < 8);
             prop_assert_ne!(doubled, 7);
+        }
+
+        /// `prop_oneof` draws only from its branches, weighted or not.
+        #[test]
+        fn oneof_stays_in_branches(
+            uniform in prop_oneof![Just(1usize), 4usize..6, Just(9)],
+            weighted in prop_oneof![7 => -1.0f32..1.0, 1 => Just(f32::NAN)],
+        ) {
+            prop_assert!(uniform == 1 || uniform == 4 || uniform == 5 || uniform == 9);
+            prop_assert!(weighted.is_nan() || (-1.0..1.0).contains(&weighted));
         }
     }
 

@@ -323,6 +323,14 @@ fn cmd_bench(mut args: Args) -> Result<(), String> {
     with_sessions(&[path], threads, |sessions| {
         let registry = Registry::new(sessions);
         let pool = builder(threads).build().pool().clone();
+        println!(
+            "bench: design {}, {} case(s), batch {}, {} thread(s), simd {}",
+            artifact.design(),
+            lines.len(),
+            batch,
+            pool.threads(),
+            m3d_gnn::simd_mode(),
+        );
         // Warm-up pass, then the measured pass.
         for chunk in lines.chunks(batch) {
             let _ = engine::process_batch(&registry, &pool, chunk);

@@ -90,7 +90,7 @@ fn pipeline_is_thread_count_invariant() {
     }
 }
 
-/// The tiled write-into kernels, the recycled workspaces, and the
+/// The vectorized write-into kernels, the recycled workspaces, and the
 /// per-sample `Â·X` cache must be pure optimizations: training the same
 /// model on the same data gives byte-identical weights and loss curves
 /// whether it runs serially or on the default pool, and whether the
@@ -155,6 +155,64 @@ fn tiled_kernel_training_is_invariant_to_threads_and_cache_state() {
     let warm_losses = warmed.train_with_pool(&warm, &cfg, &ExecPool::default());
     assert_eq!(warmed.save_text(), reference.save_text());
     assert_eq!(bits(&warm_losses), bits(&ref_losses));
+}
+
+/// The SIMD lane-order contract, end to end: an entire training run under
+/// the forced scalar backend produces byte-identical weights and losses to
+/// the default 8-lane vector backend. This is what lets `M3D_SIMD=off`
+/// serve as a bit-exact reference mode rather than an approximation.
+#[test]
+fn training_is_invariant_to_simd_backend() {
+    use m3d_gnn::{
+        force_simd_mode, GcnConfig, GcnModel, GraphSample, Matrix, SimdMode, Task, TrainConfig,
+    };
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(0x51AD);
+    let samples: Vec<GraphSample> = (0..8)
+        .map(|_| {
+            let nodes = rng.gen_range(5..12usize);
+            let mut g = m3d_gnn::Graph::new(nodes);
+            for i in 1..nodes {
+                g.add_edge(rng.gen_range(0..i) as u32, i as u32);
+            }
+            let mut x = Matrix::zeros(nodes, 6);
+            let label = rng.gen_range(0..2usize);
+            for r in 0..nodes {
+                for c in 0..6 {
+                    x.set(r, c, rng.gen_range(-1.0..1.0) + label as f32);
+                }
+            }
+            GraphSample::graph_level(g.normalize(true), x, label)
+        })
+        .collect();
+    let cfg = TrainConfig {
+        epochs: 4,
+        batch_size: 4,
+        ..TrainConfig::default()
+    };
+    let model_cfg = GcnConfig::two_layer(6, Task::Graph);
+
+    let run = |mode: SimdMode| {
+        force_simd_mode(Some(mode));
+        let mut model = GcnModel::new(&model_cfg);
+        let losses = model.train_with_pool(&samples, &cfg, &ExecPool::with_threads(1));
+        force_simd_mode(None);
+        (model.save_text(), losses)
+    };
+    let (scalar_model, scalar_losses) = run(SimdMode::Scalar);
+    let (vector_model, vector_losses) = run(SimdMode::Vector);
+    assert_eq!(
+        vector_model, scalar_model,
+        "weights differ between scalar and vector backends"
+    );
+    let bits = |l: &[f64]| l.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&vector_losses),
+        bits(&scalar_losses),
+        "loss curves differ between scalar and vector backends"
+    );
 }
 
 #[test]
