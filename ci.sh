@@ -6,9 +6,10 @@
 # committed baseline in benchmarks/).
 #
 # Usage: ./ci.sh [--skip-perf] [--skip-chaos] [--skip-slo] [--skip-trend]
-#                [--skip-serve]
+#                [--skip-serve] [--skip-paper]
 #   --skip-perf   run everything except the perf gate (useful on noisy
 #                 or throttled machines; the gate still runs in real CI)
+#                 — also implies --skip-paper (same machinery)
 #   --skip-chaos  run everything except the chaos campaigns (they rerun
 #                 as part of `cargo test`; the dedicated step re-executes
 #                 them serially and in parallel as a focused gate)
@@ -24,6 +25,11 @@
 #   --skip-serve  run everything except the serve smoke (train a quick
 #                 artifact, pipe an NDJSON batch through `m3d-serve run`,
 #                 and gate the server's own telemetry with m3d-obsctl)
+#   --skip-paper  run everything except the paper-scale gate (a ~2 min
+#                 netcard run at >=100k gates driving both back-trace
+#                 paths; asserts bit-identity and holds the sharded path
+#                 to >=2x over the monolithic baseline via
+#                 `m3d-obsctl speedup` on BENCH_paper.json)
 set -eu
 
 SKIP_PERF=0
@@ -31,6 +37,7 @@ SKIP_CHAOS=0
 SKIP_SLO=0
 SKIP_TREND=0
 SKIP_SERVE=0
+SKIP_PAPER=0
 for arg in "$@"; do
     case "$arg" in
         --skip-perf) SKIP_PERF=1 ;;
@@ -38,6 +45,7 @@ for arg in "$@"; do
         --skip-slo) SKIP_SLO=1 ;;
         --skip-trend) SKIP_TREND=1 ;;
         --skip-serve) SKIP_SERVE=1 ;;
+        --skip-paper) SKIP_PAPER=1 ;;
         *) echo "ci.sh: unknown argument '$arg'" >&2; exit 2 ;;
     esac
 done
@@ -157,6 +165,7 @@ if [ "$SKIP_PERF" = 1 ]; then
     echo "ci.sh: perf gate skipped (--skip-perf)"
     echo "ci.sh: SLO gate skipped (no perf-gate run reports to check)"
     echo "ci.sh: trend gate skipped (no fresh snapshot to archive)"
+    echo "ci.sh: paper-scale gate skipped (--skip-perf implies --skip-paper)"
     echo "ci.sh: all green"
     exit 0
 fi
@@ -265,6 +274,72 @@ else
         echo "ci.sh: trimmed $excess old snapshot(s) from $HISTORY"
     fi
     ./target/release/m3d-obsctl trend "$HISTORY"
+fi
+
+if [ "$SKIP_PAPER" = 1 ]; then
+    echo "ci.sh: paper-scale gate skipped (--skip-paper)"
+else
+    echo "== paper-scale gate (>=100k-gate back-trace probe) =="
+    # The quick gate above can never see paper-scale behavior: the sharded
+    # back-trace only engages past SHARD_AUTO_NODES. One netcard run at
+    # the paper-smoke scale (~110k gates) drives both back-trace paths
+    # over the same failure logs — bit-identity is asserted inside the
+    # probe — and the sharded path must hold its >=2x win over the
+    # monolithic baseline, tracked in BENCH_paper.json alongside the
+    # quick snapshot.
+    PAPER_DIR=target/perf-paper
+    mkdir -p "$PAPER_DIR"
+    paper_report="$PAPER_DIR/paper-run1.ndjson"
+    rm -f "$paper_report"
+    echo "-- paper run (fig09_runtime --scale paper-smoke --profile netcard)"
+    M3D_OBS_REPORT="$paper_report" M3D_GIT_REV="$GIT_REV" \
+        ./target/release/fig09_runtime --scale paper-smoke --profile netcard >/dev/null
+    if [ ! -s "$paper_report" ]; then
+        echo "ci.sh: fig09_runtime did not flush a run report to $paper_report although M3D_OBS_REPORT was set" >&2
+        exit 1
+    fi
+    ./target/release/m3d-obsctl summarize --strict "$paper_report" >/dev/null
+    ./target/release/m3d-obsctl bench "$paper_report" \
+        --scale paper-smoke -o BENCH_paper.json
+    ./target/release/m3d-obsctl speedup BENCH_paper.json \
+        paper.backtrace.mono paper.backtrace.sharded --min 2.0
+
+    PAPER_BASELINE=benchmarks/BENCH_paper.json
+    if [ ! -f "$PAPER_BASELINE" ]; then
+        mkdir -p benchmarks
+        cp BENCH_paper.json "$PAPER_BASELINE"
+        echo "ci.sh: no committed paper baseline found — bootstrapped $PAPER_BASELINE from this run; review and commit it"
+    else
+        # Single-run paper stages carry multi-GB allocation (page-fault)
+        # noise the best-of-2 quick gate averages away, so the compare
+        # envelope is wider here; the speedup gate above (a same-run
+        # ratio, noise cancels) and the trend gate below carry the real
+        # paper-scale regression signal.
+        ./target/release/m3d-obsctl compare "$PAPER_BASELINE" BENCH_paper.json \
+            --tol-rel 1.5 --tol-abs-ms 50
+    fi
+
+    if [ "$SKIP_TREND" = 1 ]; then
+        echo "ci.sh: paper trend archive skipped (--skip-trend)"
+    else
+        # A separate history directory: `m3d-obsctl trend` has no scale
+        # grouping, so paper snapshots must not mix into the quick series.
+        HISTORY_PAPER=benchmarks/history-paper
+        mkdir -p "$HISTORY_PAPER"
+        if [ -z "$(ls "$HISTORY_PAPER" 2>/dev/null)" ] && [ -f "$PAPER_BASELINE" ]; then
+            cp "$PAPER_BASELINE" "$HISTORY_PAPER/0000000000-seed-BENCH_paper.json"
+            echo "ci.sh: seeded $HISTORY_PAPER from $PAPER_BASELINE"
+        fi
+        cp BENCH_paper.json "$HISTORY_PAPER/$(date +%s)-$GIT_REV-BENCH_paper.json"
+        excess=$(($(ls "$HISTORY_PAPER" | wc -l) - 24))
+        if [ "$excess" -gt 0 ]; then
+            for old in $(ls "$HISTORY_PAPER" | sort | head -n "$excess"); do
+                rm -f "$HISTORY_PAPER/$old"
+            done
+            echo "ci.sh: trimmed $excess old snapshot(s) from $HISTORY_PAPER"
+        fi
+        ./target/release/m3d-obsctl trend "$HISTORY_PAPER"
+    fi
 fi
 
 echo "ci.sh: all green"

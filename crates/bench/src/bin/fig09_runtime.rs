@@ -1,9 +1,31 @@
 //! Regenerates Fig. 9: the deployment-flow runtime breakdown (ATPG
 //! diagnosis and GNN inference run side by side, then the report update).
+//!
+//! At paper-class scales (`--scale paper-smoke` / `--scale paper`) the
+//! full training loop is replaced by the paper-scale back-trace probe:
+//! both back-trace paths over real ≥100k-gate failure logs, checked
+//! bit-identical, with `paper.backtrace.{mono,sharded}` spans feeding the
+//! `BENCH_paper.json` perf snapshot and its speedup gate in `ci.sh`.
 fn main() {
     let scale = m3d_bench::Scale::from_args();
     let profiles = m3d_bench::profiles_from_args();
     let _report = m3d_bench::ReportGuard::new(&scale, &profiles);
+    if scale.name.starts_with("paper") {
+        let rows = m3d_bench::experiments::paper_backtrace_probe(&scale, &profiles);
+        m3d_obs::out!("== Fig. 9 (paper-scale): back-trace wall-clock ==");
+        for r in &rows {
+            m3d_obs::out!(
+                "{:<10} mono {:.2}s vs sharded {:.2}s over {} logs ({} partitions) = {:.2}x",
+                r.design,
+                r.t_mono,
+                r.t_sharded,
+                r.logs,
+                r.partitions,
+                r.speedup(),
+            );
+        }
+        return;
+    }
     let rows = m3d_bench::experiments::table09(&scale, &profiles);
     m3d_obs::out!("== Fig. 9: deployment flow (per test set) ==");
     for r in &rows {

@@ -10,13 +10,14 @@ use crate::scale::Scale;
 use m3d_diagnosis::{report_quality, AtpgDiagnosis, DiagnosisConfig, ReportQuality};
 use m3d_exec::ExecPool;
 use m3d_fault_loc::{
-    generate_samples, pfa_time_saved, single_tier_of, tier_training_set, BacktraceConfig,
-    DatasetConfig, DesignConfig, DesignContext, FrameworkConfig, MivPinpointer, ModelTrainConfig,
-    PipelineBuilder, TierLocalization, TierPredictor, TrainingSet,
+    backtrace, backtrace_sharded, generate_samples, pfa_time_saved, single_tier_of,
+    tier_training_set, BacktraceConfig, ConeMemo, DatasetConfig, DesignConfig, DesignContext,
+    FrameworkConfig, InjectedFault, MivPinpointer, ModelTrainConfig, PipelineBuilder, Subgraph,
+    TierLocalization, TierPredictor, TrainingSet,
 };
 use m3d_gnn::{permutation_significance, Matrix, Pca};
 use m3d_netlist::BenchmarkProfile;
-use m3d_sim::generate_patterns;
+use m3d_sim::{generate_patterns, tdf_list, FailureLog};
 use std::time::Instant;
 
 /// Table III: the design matrix of the generated M3D benchmarks.
@@ -494,6 +495,190 @@ pub fn fig10(rows: &[RuntimeRow]) -> Vec<(String, Vec<(f64, f64)>)> {
         out.push((r.design.clone(), series));
     }
     out
+}
+
+/// Failure logs per design in [`paper_backtrace_probe`].
+const PROBE_LOGS: usize = 6;
+
+/// Per-log entry budget in [`paper_backtrace_probe`]: full paper-scale
+/// logs can carry thousands of failing observations; a fixed budget keeps
+/// the probe's wall-clock bounded while still exercising hundreds of
+/// distinct (observer, pattern) cone screens.
+const PROBE_ENTRIES: usize = 96;
+
+/// One design's result from [`paper_backtrace_probe`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BacktraceProbeRow {
+    /// Benchmark name.
+    pub design: String,
+    /// Combinational gate count of the generated design.
+    pub gates: usize,
+    /// Heterogeneous-graph node count (pins + MIVs).
+    pub nodes: usize,
+    /// Level bands in the cone index.
+    pub partitions: usize,
+    /// Failure logs back-traced per path.
+    pub logs: usize,
+    /// Monolithic (memoized) back-trace seconds — the pre-sharding
+    /// baseline path.
+    pub t_mono: f64,
+    /// Partition-sharded back-trace seconds.
+    pub t_sharded: f64,
+}
+
+impl BacktraceProbeRow {
+    /// Monolithic-over-sharded wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        if self.t_sharded > 0.0 {
+            self.t_mono / self.t_sharded
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The `BENCH_paper` workload: Table III-scale designs pushed through both
+/// back-trace paths over the same failure logs.
+///
+/// Emits `paper.backtrace.mono` and `paper.backtrace.sharded` spans so the
+/// perf snapshot (and the `m3d-obsctl speedup` gate in `ci.sh`) can hold
+/// the partitioned path to its advertised win, and panics if the two paths
+/// ever disagree — the bit-identity contract, enforced at ≥100k-gate scale
+/// on every CI run rather than only on the quick fixtures.
+pub fn paper_backtrace_probe(
+    scale: &Scale,
+    profiles: &[BenchmarkProfile],
+) -> Vec<BacktraceProbeRow> {
+    m3d_obs::out!(
+        "== Paper-scale back-trace probe (scale = {}) ==",
+        scale.name
+    );
+    m3d_obs::out!(
+        "{:<10} {:>9} {:>9} {:>6} {:>5} {:>9} {:>9} {:>8}",
+        "design",
+        "gates",
+        "nodes",
+        "parts",
+        "logs",
+        "mono",
+        "sharded",
+        "speedup"
+    );
+    let cfg = ExperimentConfig::new(scale.clone(), false);
+    let pool = ExecPool::from_env();
+    let bt = BacktraceConfig::default();
+    let mut rows = Vec::new();
+    for &profile in profiles {
+        let bench = {
+            let _span = m3d_obs::span!("paper.bench.build");
+            build_bench(profile, DesignConfig::Par, &cfg)
+        };
+        let ctx = {
+            let _span = m3d_obs::span!("paper.context.build");
+            DesignContext::new(&bench)
+        };
+        let index = ctx.cone_index.as_ref().unwrap_or_else(|| {
+            panic!(
+                "{}: paper-scale designs must auto-build a ConeIndex ({} nodes)",
+                bench.name,
+                ctx.hetero.node_count()
+            )
+        });
+        // Logs from detected TDFs spread across the design; alternate
+        // bypass and compacted so the shards also chew the multi-observer
+        // ambiguity sets of channel entries.
+        let faults = tdf_list(bench.netlist());
+        let stride = (faults.len() / 97).max(1);
+        let mut logs: Vec<(FailureLog, bool)> = Vec::new();
+        for (tried, f) in faults.iter().step_by(stride).enumerate() {
+            let compacted = logs.len() % 2 == 1;
+            let log = ctx.failure_log(&InjectedFault::Single(*f), compacted);
+            if !log.is_empty() {
+                let log: FailureLog = log.entries().iter().take(PROBE_ENTRIES).copied().collect();
+                logs.push((log, compacted));
+            }
+            if logs.len() >= PROBE_LOGS || tried > 64 {
+                break;
+            }
+        }
+        assert!(
+            !logs.is_empty(),
+            "{}: no detected fault produced a failure log",
+            bench.name
+        );
+        let memo = ConeMemo::new();
+        let t0 = Instant::now();
+        let mono: Vec<Subgraph> = {
+            let _span = m3d_obs::span!("paper.backtrace.mono");
+            logs.iter()
+                .map(|(log, compacted)| {
+                    backtrace(
+                        &ctx.hetero,
+                        &ctx.features,
+                        ctx.fsim.sim(),
+                        ctx.fsim.obs(),
+                        compacted.then(|| ctx.chains()),
+                        log,
+                        &bt,
+                        Some(&memo),
+                    )
+                })
+                .collect()
+        };
+        let t_mono = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let sharded: Vec<Subgraph> = {
+            let _span = m3d_obs::span!("paper.backtrace.sharded");
+            logs.iter()
+                .map(|(log, compacted)| {
+                    backtrace_sharded(
+                        &ctx.hetero,
+                        &ctx.features,
+                        ctx.fsim.sim(),
+                        ctx.fsim.obs(),
+                        compacted.then(|| ctx.chains()),
+                        log,
+                        &bt,
+                        index,
+                        &pool,
+                    )
+                })
+                .collect()
+        };
+        let t_sharded = t1.elapsed().as_secs_f64();
+        for (i, (m, s)) in mono.iter().zip(&sharded).enumerate() {
+            assert_eq!(s.nodes, m.nodes, "{}: log {i} pruned node set", bench.name);
+            assert_eq!(
+                s.x.as_slice(),
+                m.x.as_slice(),
+                "{}: log {i} features",
+                bench.name
+            );
+            assert_eq!(s.miv_rows, m.miv_rows, "{}: log {i} MIV rows", bench.name);
+        }
+        let row = BacktraceProbeRow {
+            design: profile.name().to_string(),
+            gates: bench.netlist().stats().gates,
+            nodes: ctx.hetero.node_count(),
+            partitions: index.n_partitions(),
+            logs: logs.len(),
+            t_mono,
+            t_sharded,
+        };
+        m3d_obs::out!(
+            "{:<10} {:>9} {:>9} {:>6} {:>5} {:>8.2}s {:>8.2}s {:>7.2}x",
+            row.design,
+            row.gates,
+            row.nodes,
+            row.partitions,
+            row.logs,
+            row.t_mono,
+            row.t_sharded,
+            row.speedup()
+        );
+        rows.push(row);
+    }
+    rows
 }
 
 /// Table X row: multiple-fault localization for one benchmark.

@@ -38,19 +38,30 @@ impl ExperimentConfig {
     }
 }
 
+/// The [`TestBenchConfig`] for one profile at the experiment's scale.
+pub fn bench_config(
+    profile: BenchmarkProfile,
+    config: DesignConfig,
+    cfg: &ExperimentConfig,
+) -> TestBenchConfig {
+    TestBenchConfig {
+        profile,
+        scale: cfg.scale.design_scale,
+        config,
+        compaction_ratio: cfg.scale.compaction_ratio,
+        atpg: cfg.scale.atpg.clone(),
+        max_scan_flops: cfg.scale.max_scan_flops,
+        max_outputs: cfg.scale.max_outputs,
+    }
+}
+
 /// Builds one test bench of `profile` at the experiment's scale.
 pub fn build_bench(
     profile: BenchmarkProfile,
     config: DesignConfig,
     cfg: &ExperimentConfig,
 ) -> TestBench {
-    TestBench::build(&TestBenchConfig {
-        profile,
-        scale: cfg.scale.design_scale,
-        config,
-        compaction_ratio: cfg.scale.compaction_ratio,
-        atpg: cfg.scale.atpg.clone(),
-    })
+    TestBench::build(&bench_config(profile, config, cfg))
 }
 
 /// A trained framework plus baseline and training-phase timings.

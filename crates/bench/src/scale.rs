@@ -33,6 +33,13 @@ pub struct Scale {
     pub precision_target: f64,
     /// ATPG settings.
     pub atpg: AtpgConfig,
+    /// Cap on scan flops per design (`None` = full Table III scaling).
+    /// The paper-smoke scale bounds the observation-point count this way
+    /// so a ≥100k-gate design stays buildable (every flop is an
+    /// observation point whose whole fan-in cone gets indexed).
+    pub max_scan_flops: Option<usize>,
+    /// Cap on primary outputs per design (`None` = uncapped).
+    pub max_outputs: Option<usize>,
 }
 
 impl Scale {
@@ -53,6 +60,8 @@ impl Scale {
                 max_rounds: 8,
                 ..AtpgConfig::default()
             },
+            max_scan_flops: None,
+            max_outputs: None,
         }
     }
 
@@ -73,6 +82,8 @@ impl Scale {
                 max_rounds: 10,
                 ..AtpgConfig::default()
             },
+            max_scan_flops: None,
+            max_outputs: None,
         }
     }
 
@@ -94,6 +105,35 @@ impl Scale {
                 max_rounds: 12,
                 ..AtpgConfig::default()
             },
+            max_scan_flops: None,
+            max_outputs: None,
+        }
+    }
+
+    /// The CI paper-scale smoke: one ≥100k-gate design (netcard-class at
+    /// half Table III), observation points capped for tractability, and
+    /// sample counts cut to the bone. This is the scale behind
+    /// `BENCH_paper.json` — it exists to exercise and gate the
+    /// partition-and-shard backtrace path at a paper-scale gate count,
+    /// not to approach the paper's sample sizes (use `paper` for that).
+    pub fn paper_smoke() -> Self {
+        Scale {
+            name: "paper-smoke",
+            design_scale: 0.5,
+            n_train: 8,
+            n_rand_train: 4,
+            n_test: 6,
+            epochs: 4,
+            n_padre_train: 4,
+            compaction_ratio: 20,
+            precision_target: 0.95,
+            atpg: AtpgConfig {
+                fault_sample: Some(2_000),
+                max_rounds: 2,
+                ..AtpgConfig::default()
+            },
+            max_scan_flops: Some(1_024),
+            max_outputs: Some(128),
         }
     }
 
@@ -112,6 +152,7 @@ impl Scale {
             None | Some("quick") => Scale::quick(),
             Some("medium") => Scale::medium(),
             Some("paper") => Scale::paper(),
+            Some("paper-smoke") => Scale::paper_smoke(),
             Some(other) => {
                 m3d_obs::warn!("unknown scale `{other}`, using quick");
                 Scale::quick()
@@ -133,5 +174,17 @@ mod tests {
         assert!(q.n_train < m.n_train && m.n_train < p.n_train);
         assert_eq!(p.compaction_ratio, 20, "paper uses 20x EDT");
         assert_eq!(p.n_test, 750, "paper tests on 750 samples");
+    }
+
+    #[test]
+    fn paper_smoke_is_paper_scale_with_capped_obs() {
+        let s = Scale::paper_smoke();
+        assert!(s.design_scale >= 0.5, "must stay a ≥100k-gate profile");
+        assert!(s.max_scan_flops.is_some() && s.max_outputs.is_some());
+        assert!(s.n_train <= 16, "smoke keeps sample counts tiny");
+        assert!(
+            Scale::paper().max_scan_flops.is_none(),
+            "full paper uncapped"
+        );
     }
 }

@@ -144,6 +144,16 @@ impl<'a> Cursor<'a> {
         Ok((n, rest.trim()))
     }
 
+    /// Reads a `<key> <value>` line if the next line carries `key`;
+    /// leaves the cursor untouched otherwise (for optional fields added
+    /// after `m3d-artifact/1` shipped — older documents simply omit them).
+    fn optional_field(&mut self, key: &str) -> Option<(usize, &'a str)> {
+        let line = self.lines.get(self.at)?;
+        let rest = line.strip_prefix(key).and_then(|r| r.strip_prefix(' '))?;
+        self.at += 1;
+        Some((self.at, rest.trim()))
+    }
+
     /// Reads a counted block: a `<key> <n>` line followed by `n` raw
     /// lines, returned re-joined (empty `n` yields `None`).
     fn block(&mut self, key: &str) -> Result<Option<String>> {
@@ -257,8 +267,14 @@ impl Artifact {
     /// recipe. The result is *not* yet verified against the recorded
     /// fingerprint — [`Pipeline::load_artifact`](crate::Pipeline::load_artifact)
     /// does that when opening the session.
-    pub fn build_bench(&self) -> TestBench {
-        TestBench::build(&self.bench_cfg)
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidDesign`] when the embedded recipe no longer
+    /// generates (e.g. generator drift since the artifact was written) —
+    /// a server loading artifacts must get a value, not a panic.
+    pub fn build_bench(&self) -> Result<TestBench> {
+        TestBench::try_build(&self.bench_cfg)
     }
 
     /// Reconstructs the framework (models + policy) from the embedded
@@ -294,6 +310,15 @@ impl Artifact {
         let _ = writeln!(s, "scale {:016x}", self.bench_cfg.scale.to_bits());
         write_config(&mut s, &self.bench_cfg.config);
         let _ = writeln!(s, "compaction {}", self.bench_cfg.compaction_ratio);
+        if self.bench_cfg.max_scan_flops.is_some() || self.bench_cfg.max_outputs.is_some() {
+            let fmt = |v: Option<usize>| v.map_or_else(|| "-".to_string(), |n| n.to_string());
+            let _ = writeln!(
+                s,
+                "scanbudget {} {}",
+                fmt(self.bench_cfg.max_scan_flops),
+                fmt(self.bench_cfg.max_outputs),
+            );
+        }
         let a = &self.bench_cfg.atpg;
         let _ = writeln!(
             s,
@@ -373,6 +398,25 @@ impl Artifact {
         let compaction_ratio: usize = compaction
             .parse()
             .map_err(|_| err(n, "bad compaction ratio"))?;
+        let mut max_scan_flops = None;
+        let mut max_outputs = None;
+        if let Some((n, budget)) = cursor.optional_field("scanbudget") {
+            let toks: Vec<&str> = budget.split_whitespace().collect();
+            let [flops, outputs] = toks.as_slice() else {
+                return Err(err(n, "scanbudget line needs 2 fields"));
+            };
+            let parse_cap = |s: &str, what: &str| -> Result<Option<usize>> {
+                if s == "-" {
+                    Ok(None)
+                } else {
+                    s.parse()
+                        .map(Some)
+                        .map_err(|_| err(n, format!("bad {what}")))
+                }
+            };
+            max_scan_flops = parse_cap(flops, "scanbudget flop cap")?;
+            max_outputs = parse_cap(outputs, "scanbudget output cap")?;
+        }
         let (n, atpg) = cursor.field("atpg")?;
         let toks: Vec<&str> = atpg.split_whitespace().collect();
         let [seed, ppr, rounds, cov, sample] = toks.as_slice() else {
@@ -431,6 +475,8 @@ impl Artifact {
                 config,
                 compaction_ratio,
                 atpg,
+                max_scan_flops,
+                max_outputs,
             },
             fingerprint,
             policy,

@@ -6,9 +6,10 @@
 //! M3D partitioning with MIVs, scan stitching with an EDT-style compactor
 //! ratio, and a compacted TDF pattern set from ATPG.
 
+use crate::error::{Error, Result};
 use m3d_netlist::{
-    generate, insert_observation_points, BenchmarkProfile, GeneratorConfig, Netlist, ScanChains,
-    SynthesisCorner, TestPointConfig,
+    insert_observation_points, try_generate, BenchmarkProfile, GeneratorConfig, Netlist,
+    ScanChains, SynthesisCorner, TestPointConfig,
 };
 use m3d_part::{
     LevelDrivenPartitioner, M3dNetlist, MinCutPartitioner, Partitioner, RandomPartitioner, Tier,
@@ -70,6 +71,16 @@ pub struct TestBenchConfig {
     pub compaction_ratio: usize,
     /// ATPG settings.
     pub atpg: AtpgConfig,
+    /// Cap on scan flops (`None` = the profile's Table III scaling). The
+    /// paper-scale smoke profiles bound the observation-point count this
+    /// way: every flop is an observation point whose fan-in cone must be
+    /// indexed, so an uncapped ≥100k-gate profile would need tens of
+    /// thousands of near-whole-circuit cones. Freed gates flow back into
+    /// the combinational cloud, keeping the total gate count.
+    pub max_scan_flops: Option<usize>,
+    /// Cap on primary outputs (including straggler-tap outputs), the other
+    /// observation-point contributor. `None` = uncapped.
+    pub max_outputs: Option<usize>,
 }
 
 impl TestBenchConfig {
@@ -85,6 +96,8 @@ impl TestBenchConfig {
                 max_rounds: 8,
                 ..AtpgConfig::default()
             },
+            max_scan_flops: None,
+            max_outputs: None,
         }
     }
 }
@@ -106,14 +119,46 @@ pub struct TestBench {
 
 impl TestBench {
     /// Builds a test bench per the Fig. 4 flow. Deterministic in `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` resolves to an ungeneratable design; callers
+    /// handling untrusted configurations (servers, artifact loads) should
+    /// use [`TestBench::try_build`].
     pub fn build(cfg: &TestBenchConfig) -> Self {
+        match TestBench::try_build(cfg) {
+            Ok(tb) => tb,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`TestBench::build`]: a malformed
+    /// profile/scale combination comes back as
+    /// [`Error::InvalidDesign`] instead of aborting the process.
+    pub fn try_build(cfg: &TestBenchConfig) -> Result<Self> {
         let _span = m3d_obs::span!("bench.build");
         let corner = match cfg.config {
             DesignConfig::Syn2 => SynthesisCorner::Syn2,
             _ => SynthesisCorner::Syn1,
         };
-        let gen_cfg: GeneratorConfig = cfg.profile.config(cfg.scale, corner);
-        let mut nl: Netlist = generate(&gen_cfg);
+        let mut gen_cfg: GeneratorConfig = cfg.profile.config(cfg.scale, corner);
+        if let Some(cap) = cfg.max_scan_flops {
+            if gen_cfg.n_flops > cap {
+                // Freed flops become combinational gates so the profile
+                // keeps its Table III gate count.
+                gen_cfg.n_comb_gates += gen_cfg.n_flops - cap;
+                gen_cfg.n_flops = cap;
+            }
+        }
+        if let Some(cap) = cfg.max_outputs {
+            gen_cfg.n_outputs = gen_cfg.n_outputs.min(cap.max(1));
+            // Straggler taps each add an output; bound them by the same
+            // budget instead of letting them re-grow the observation list.
+            gen_cfg.max_tap_outputs = Some(cap.max(4) / 4);
+        }
+        let mut nl: Netlist = try_generate(&gen_cfg).map_err(|e| Error::InvalidDesign {
+            message: e.to_string(),
+        })?;
         if cfg.config == DesignConfig::Tpi {
             insert_observation_points(&mut nl, &TestPointConfig::default());
         }
@@ -133,13 +178,13 @@ impl TestBench {
         let chains = ScanChains::stitch(&nl, n_chains.max(1), cfg.compaction_ratio);
 
         let atpg = generate_patterns(&nl, &cfg.atpg);
-        TestBench {
+        Ok(TestBench {
             name: format!("{}/{}", cfg.profile.name(), cfg.config.name()),
             m3d: M3dNetlist::build(nl, part),
             chains,
             patterns: atpg.patterns,
             coverage: atpg.coverage,
-        }
+        })
     }
 
     /// The underlying netlist.
@@ -202,6 +247,38 @@ mod tests {
         assert_ne!(a.m3d.partition().as_slice(), b.m3d.partition().as_slice());
         // Same netlist and patterns either way.
         assert_eq!(a.patterns, b.patterns);
+    }
+
+    #[test]
+    fn scan_caps_bound_observation_while_preserving_gate_count() {
+        let uncapped = TestBenchConfig::quick(BenchmarkProfile::AesLike, DesignConfig::Syn1);
+        let capped = TestBenchConfig {
+            max_scan_flops: Some(16),
+            max_outputs: Some(4),
+            ..uncapped.clone()
+        };
+        let full = TestBench::build(&uncapped);
+        let tb = TestBench::build(&capped);
+        assert!(tb.netlist().flops().len() <= 16, "scan-flop cap holds");
+        assert!(
+            tb.netlist().outputs().len() <= 4 + 4 / 4,
+            "output + tap cap holds"
+        );
+        assert!(
+            tb.netlist().flops().len() < full.netlist().flops().len(),
+            "the cap actually bit on this profile"
+        );
+        // Freed flops become combinational gates: the design keeps its
+        // Table III logic volume, only the observation budget shrinks
+        // (give or take the handful of straggler-tap buffers the output
+        // cap also trims).
+        assert!(
+            tb.netlist().gate_count() + 8 >= full.netlist().gate_count(),
+            "capped {} vs uncapped {} gates",
+            tb.netlist().gate_count(),
+            full.netlist().gate_count()
+        );
+        assert!(tb.coverage > 0.0 && !tb.patterns.is_empty());
     }
 
     #[test]

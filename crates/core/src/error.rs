@@ -60,6 +60,14 @@ pub enum Error {
         /// The OS error message.
         message: String,
     },
+    /// A [`TestBenchConfig`](crate::TestBenchConfig) resolves to an
+    /// ungeneratable design (e.g. a profile/scale combination with zero
+    /// inputs or zero combinational gates). Long-lived callers get a value
+    /// instead of the generator's historical panic.
+    InvalidDesign {
+        /// The generator's rejection reason.
+        message: String,
+    },
 }
 
 /// The error type of [`Pipeline::train`](crate::Pipeline::train).
@@ -102,6 +110,9 @@ impl fmt::Display for Error {
             }
             Error::Io { path, message } => {
                 write!(f, "{path}: {message}")
+            }
+            Error::InvalidDesign { message } => {
+                write!(f, "invalid design configuration: {message}")
             }
         }
     }
@@ -172,5 +183,9 @@ mod tests {
             message: "not found".into(),
         };
         assert!(io.to_string().contains("/nope/x.m3da"));
+        let bad = Error::InvalidDesign {
+            message: "need at least one primary input".into(),
+        };
+        assert!(bad.to_string().contains("invalid design configuration"));
     }
 }

@@ -87,12 +87,13 @@ mod session;
 pub use artifact::{design_fingerprint, Artifact, ARTIFACT_HEADER};
 pub use audit::DiagnosisAudit;
 pub use backtrace::{
-    backtrace, build_subgraph, BacktraceConfig, BacktraceStats, ConeMemo, Subgraph,
+    backtrace, backtrace_sharded, build_subgraph, BacktraceConfig, BacktraceStats, ConeIndex,
+    ConeMemo, Subgraph,
 };
 pub use classifier::{ClassifierConfig, PruneClassifier, CLASS_PRUNE, CLASS_REORDER};
 pub use dataset::{
     generate_samples, generate_samples_with_pool, DatasetConfig, DesignContext, InjectedFault,
-    Sample,
+    Sample, SHARD_AUTO_NODES,
 };
 pub use design::{DesignConfig, TestBench, TestBenchConfig};
 pub use error::{Error, Result, TrainError};

@@ -1,0 +1,34 @@
+//! Generator scaling probe: wall-clock and shape of the big Table III
+//! profiles at paper-class scales. Handy when tuning the generator or the
+//! paper-smoke CI scale — run with
+//! `cargo run --release -p m3d-netlist --example genscale`.
+
+use m3d_netlist::{generate, BenchmarkProfile, SynthesisCorner};
+use std::time::Instant;
+
+fn main() {
+    for p in [BenchmarkProfile::NetcardLike, BenchmarkProfile::Leon3Like] {
+        for scale in [0.25f64, 0.5, 1.0] {
+            let cfg = p.config(scale, SynthesisCorner::Syn1);
+            let t = Instant::now();
+            let nl = generate(&cfg);
+            let dt = t.elapsed();
+            let lv = Instant::now();
+            let levels = m3d_netlist::topo::levels(&nl);
+            let maxl = levels.iter().copied().max().unwrap_or(0);
+            m3d_obs::out!(
+                "{:?} scale={} gates={} nets={} flops={} inputs={} outputs={} gen={:?} levels={:?} maxlvl={}",
+                p,
+                scale,
+                nl.gate_count(),
+                nl.net_count(),
+                cfg.n_flops,
+                cfg.n_inputs,
+                cfg.n_outputs,
+                dt,
+                lv.elapsed(),
+                maxl
+            );
+        }
+    }
+}

@@ -30,6 +30,13 @@ pub enum NetlistError {
     UnknownNet(NetId),
     /// A flip-flop's D input was never connected.
     UnconnectedFlop(GateId),
+    /// A [`GeneratorConfig`](crate::GeneratorConfig) requested an
+    /// ungeneratable netlist (e.g. zero primary inputs or zero
+    /// combinational gates).
+    InvalidGeneratorConfig {
+        /// What the configuration is missing.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -53,6 +60,9 @@ impl fmt::Display for NetlistError {
             NetlistError::UnknownNet(n) => write!(f, "unknown net {n}"),
             NetlistError::UnconnectedFlop(g) => {
                 write!(f, "flip-flop {g} has an unconnected D input")
+            }
+            NetlistError::InvalidGeneratorConfig { reason } => {
+                write!(f, "invalid generator config: {reason}")
             }
         }
     }

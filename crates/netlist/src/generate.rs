@@ -16,6 +16,7 @@
 //! frequency produces.
 
 use crate::cell::CellKind;
+use crate::error::NetlistError;
 use crate::ids::NetId;
 use crate::netlist::Netlist;
 use rand::rngs::StdRng;
@@ -103,6 +104,7 @@ impl BenchmarkProfile {
             xor_bias,
             mux_bias,
             buffer_high_fanout: false,
+            max_tap_outputs: None,
         };
         if corner == SynthesisCorner::Syn2 {
             // Re-synthesis at a different clock frequency: different seed,
@@ -146,6 +148,11 @@ pub struct GeneratorConfig {
     pub mux_bias: f64,
     /// Insert buffers on high-fanout nets after generation (Syn-2 corner).
     pub buffer_high_fanout: bool,
+    /// Cap on the extra primary outputs added by the straggler-absorbing
+    /// OR taps (`None` = the legacy unbounded budget). Profiles that bound
+    /// their observation-point count set this so leftover nets dangle
+    /// instead of each growing the output (and thus observation) list.
+    pub max_tap_outputs: Option<usize>,
 }
 
 impl Default for GeneratorConfig {
@@ -160,6 +167,7 @@ impl Default for GeneratorConfig {
             xor_bias: 0.2,
             mux_bias: 0.05,
             buffer_high_fanout: false,
+            max_tap_outputs: None,
         }
     }
 }
@@ -173,11 +181,34 @@ impl Default for GeneratorConfig {
 /// # Panics
 ///
 /// Panics if `cfg` requests zero inputs or zero combinational gates, or if
-/// the internal construction produces an invalid netlist (a bug).
+/// the internal construction produces an invalid netlist (a bug). Callers
+/// handling untrusted configurations should use [`try_generate`].
 pub fn generate(cfg: &GeneratorConfig) -> Netlist {
+    match try_generate(cfg) {
+        Ok(nl) => nl,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`generate`]: rejects ungeneratable configurations
+/// with [`NetlistError::InvalidGeneratorConfig`] instead of panicking, so
+/// long-lived callers (servers, bench sweeps over external profiles) can
+/// surface a malformed profile as an error.
+///
+/// Internal construction invariants (bad arity, failed validation) still
+/// panic — those indicate generator bugs, not bad configurations.
+pub fn try_generate(cfg: &GeneratorConfig) -> Result<Netlist, NetlistError> {
     let _span = m3d_obs::span!("netlist.generate");
-    assert!(cfg.n_inputs > 0, "need at least one primary input");
-    assert!(cfg.n_comb_gates > 0, "need at least one gate");
+    if cfg.n_inputs == 0 {
+        return Err(NetlistError::InvalidGeneratorConfig {
+            reason: "need at least one primary input",
+        });
+    }
+    if cfg.n_comb_gates == 0 {
+        return Err(NetlistError::InvalidGeneratorConfig {
+            reason: "need at least one combinational gate",
+        });
+    }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut nl = Netlist::new();
     let depth = cfg.target_depth.max(2);
@@ -256,6 +287,9 @@ pub fn generate(cfg: &GeneratorConfig) -> Netlist {
     // count); the rest stay dangling (realistic, lowers FC slightly). Taps
     // draw no randomness, so the budget does not perturb the RNG stream.
     let mut budget = cfg.n_outputs / 4 + 1 + deep_unused.len() / 4;
+    if let Some(cap) = cfg.max_tap_outputs {
+        budget = budget.min(cap);
+    }
     while let (Some(a), true) = (deep_unused.pop(), budget > 0) {
         if let Some(b) = deep_unused.pop() {
             let y = nl.add_gate(CellKind::Or, &[a, b]).expect("tap");
@@ -271,7 +305,7 @@ pub fn generate(cfg: &GeneratorConfig) -> Netlist {
     }
 
     nl.validate().expect("generated netlist must validate");
-    nl
+    Ok(nl)
 }
 
 /// Inserts buffers on every net whose fanout exceeds `threshold`
@@ -455,6 +489,44 @@ mod tests {
             "dangling {dangling}/{}",
             nl.net_count()
         );
+    }
+
+    #[test]
+    fn try_generate_rejects_bad_configs() {
+        let no_inputs = GeneratorConfig {
+            n_inputs: 0,
+            ..GeneratorConfig::default()
+        };
+        let err = try_generate(&no_inputs).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::NetlistError::InvalidGeneratorConfig { .. }
+        ));
+        assert!(err.to_string().contains("primary input"), "{err}");
+        let no_gates = GeneratorConfig {
+            n_comb_gates: 0,
+            ..GeneratorConfig::default()
+        };
+        assert!(matches!(
+            try_generate(&no_gates),
+            Err(crate::NetlistError::InvalidGeneratorConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn tap_output_cap_bounds_extra_outputs() {
+        let base = GeneratorConfig {
+            n_comb_gates: 3000,
+            ..GeneratorConfig::default()
+        };
+        let capped = GeneratorConfig {
+            max_tap_outputs: Some(2),
+            ..base.clone()
+        };
+        let a = generate(&base);
+        let b = generate(&capped);
+        assert!(b.outputs().len() <= base.n_outputs + 2);
+        assert!(a.outputs().len() >= b.outputs().len());
     }
 
     #[test]

@@ -49,7 +49,8 @@ pub use cell::CellKind;
 pub use error::{NetlistError, ParseNetlistError};
 pub use format::{parse_netlist, write_netlist};
 pub use generate::{
-    buffer_high_fanout_nets, generate, BenchmarkProfile, GeneratorConfig, SynthesisCorner,
+    buffer_high_fanout_nets, generate, try_generate, BenchmarkProfile, GeneratorConfig,
+    SynthesisCorner,
 };
 pub use ids::{GateId, NetId, Pin, PinRef};
 pub use netlist::{Gate, Net, Netlist, NetlistStats};

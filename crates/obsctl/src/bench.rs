@@ -327,6 +327,36 @@ pub fn compare(baseline: &BenchSnapshot, current: &BenchSnapshot, tol: Tolerance
     }
 }
 
+/// The wall-clock ratio `total_ms(slow) / total_ms(fast)` between two
+/// stages of one snapshot — the statistic behind the `m3d-obsctl speedup`
+/// gate (e.g. holding the sharded back-trace to ≥2x over the monolithic
+/// path at the paper scale).
+///
+/// # Errors
+///
+/// Either stage absent from the snapshot, or a non-positive / non-finite
+/// `fast` total (a zero-cost stage cannot anchor a ratio).
+pub fn speedup(s: &BenchSnapshot, slow: &str, fast: &str) -> Result<f64, String> {
+    let total = |name: &str| -> Result<f64, String> {
+        let ms = s
+            .stage(name)
+            .ok_or_else(|| format!("stage `{name}` not in snapshot (scale `{}`)", s.scale))?
+            .total_ms;
+        if !ms.is_finite() {
+            return Err(format!("stage `{name}` has no finite total"));
+        }
+        Ok(ms)
+    };
+    let slow_ms = total(slow)?;
+    let fast_ms = total(fast)?;
+    if fast_ms <= 0.0 {
+        return Err(format!(
+            "stage `{fast}` total is {fast_ms}ms; cannot anchor a speedup ratio"
+        ));
+    }
+    Ok(slow_ms / fast_ms)
+}
+
 /// Renders a comparison as one line per delta (empty string when every
 /// stage is within tolerance and unchanged in shape).
 pub fn render(cmp: &Comparison) -> String {

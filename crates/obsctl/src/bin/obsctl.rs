@@ -6,6 +6,7 @@
 //! m3d-obsctl summarize <report.ndjson>... [--strict]
 //! m3d-obsctl bench <report.ndjson>... [--scale <name>] [-o BENCH_<scale>.json]
 //! m3d-obsctl compare <baseline.json> <current.json> [--tol-rel <f>] [--tol-abs-ms <f>]
+//! m3d-obsctl speedup <BENCH.json> <slow-stage> <fast-stage> [--min <ratio>]
 //! m3d-obsctl explain <report.ndjson> <trace-id>
 //! m3d-obsctl slo <report.ndjson> --baseline <BENCH.json> [--headroom <f>] [--max-degraded-rate <f>]
 //! m3d-obsctl tail <stream.ndjson> [--follow] [--design <d>] [--span <prefix>] [--level <lvl>]
@@ -27,6 +28,7 @@ const USAGE: &str = "usage:
   m3d-obsctl summarize <report.ndjson>... [--strict]
   m3d-obsctl bench <report.ndjson>... [--scale <name>] [-o <BENCH.json>]
   m3d-obsctl compare <baseline.json> <current.json> [--tol-rel <f>] [--tol-abs-ms <f>]
+  m3d-obsctl speedup <BENCH.json> <slow-stage> <fast-stage> [--min <ratio>]
   m3d-obsctl explain <report.ndjson> <trace-id>
   m3d-obsctl slo <report.ndjson> --baseline <BENCH.json> [--headroom <f>] [--max-degraded-rate <f>]
   m3d-obsctl tail <stream.ndjson> [--follow] [--design <d>] [--span <prefix>] [--level <lvl>]
@@ -188,6 +190,34 @@ fn cmd_compare(mut args: Vec<String>) -> Result<ExitCode, String> {
     }
 }
 
+fn cmd_speedup(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let min: f64 = match take_option(&mut args, "--min")? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--min `{v}` is not a number"))?,
+        None => 1.0,
+    };
+    let [path, slow, fast] = args.as_slice() else {
+        return Err("speedup takes a snapshot and two stage names".to_string());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    let snapshot = bench::parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let ratio = bench::speedup(&snapshot, slow, fast)?;
+    if ratio < min {
+        m3d_obs::error!(
+            "speedup gate FAILED: `{slow}` / `{fast}` = {ratio:.2}x < {min:.2}x \
+             ({path}, scale `{}`)",
+            snapshot.scale
+        );
+        return Ok(ExitCode::from(1));
+    }
+    m3d_obs::out!(
+        "speedup gate OK: `{slow}` / `{fast}` = {ratio:.2}x (>= {min:.2}x, scale `{}`)",
+        snapshot.scale
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_explain(args: Vec<String>) -> Result<ExitCode, String> {
     let [path, id] = args.as_slice() else {
         return Err("explain takes a report and a trace id".to_string());
@@ -339,6 +369,7 @@ fn main() -> ExitCode {
         "summarize" => cmd_summarize(args),
         "bench" => cmd_bench(args),
         "compare" => cmd_compare(args),
+        "speedup" => cmd_speedup(args),
         "explain" => cmd_explain(args),
         "slo" => cmd_slo(args),
         "tail" => cmd_tail(args),

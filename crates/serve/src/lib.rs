@@ -31,4 +31,4 @@ pub mod registry;
 pub use engine::{process_batch, respond, serve_lines, serve_tcp, ServeConfig, ServeStats};
 pub use guard::ServeGuard;
 pub use protocol::{parse_request, Request, Response, Status, RESPONSE_KEYS};
-pub use registry::Registry;
+pub use registry::{Registry, RegistryError};

@@ -163,7 +163,7 @@ fn cmd_train(mut args: Args) -> Result<(), String> {
     let pipeline = builder(threads).model(model).build();
 
     let t0 = Instant::now();
-    let bench = TestBench::build(&cfg);
+    let bench = TestBench::try_build(&cfg).map_err(|e| e.to_string())?;
     let ctx = DesignContext::new(&bench);
     let train = pipeline.generate_samples(
         &ctx,
@@ -202,7 +202,7 @@ fn cmd_requests(mut args: Args) -> Result<(), String> {
     args.finish()?;
 
     let artifact = Artifact::load(&path).map_err(|e| e.to_string())?;
-    let bench = artifact.build_bench();
+    let bench = artifact.build_bench().map_err(|e| e.to_string())?;
     let ctx = DesignContext::new(&bench);
     let chips = generate_samples(&ctx, &DatasetConfig::single(n, seed));
     let design = escape(artifact.design());
@@ -228,7 +228,11 @@ fn with_sessions<T>(
         .iter()
         .map(|p| Artifact::load(p).map_err(|e| format!("{p}: {e}")))
         .collect::<Result<_, _>>()?;
-    let benches: Vec<TestBench> = artifacts.iter().map(|a| a.build_bench()).collect();
+    let benches: Vec<TestBench> = artifacts
+        .iter()
+        .zip(paths)
+        .map(|(a, p)| a.build_bench().map_err(|e| format!("{p}: {e}")))
+        .collect::<Result<_, _>>()?;
     let pipeline = builder(threads).build();
     let sessions: Vec<DiagnosisSession<'_>> = artifacts
         .iter()
@@ -254,7 +258,7 @@ fn cmd_run(mut args: Args) -> Result<(), String> {
     args.finish()?;
 
     with_sessions(&paths, threads, |sessions| {
-        let registry = Registry::new(sessions);
+        let registry = Registry::new(sessions).map_err(|e| e.to_string())?;
         let pool = builder(threads).build().pool().clone();
         let guard_cfg = vec![
             ("designs", registry.designs().join(",")),
@@ -305,7 +309,7 @@ fn cmd_bench(mut args: Args) -> Result<(), String> {
     args.finish()?;
 
     let artifact = Artifact::load(&path).map_err(|e| e.to_string())?;
-    let bench = artifact.build_bench();
+    let bench = artifact.build_bench().map_err(|e| e.to_string())?;
     let ctx = DesignContext::new(&bench);
     let chips = generate_samples(&ctx, &DatasetConfig::single(n, 77));
     let design = escape(artifact.design());
@@ -321,7 +325,7 @@ fn cmd_bench(mut args: Args) -> Result<(), String> {
         .collect();
 
     with_sessions(&[path], threads, |sessions| {
-        let registry = Registry::new(sessions);
+        let registry = Registry::new(sessions).map_err(|e| e.to_string())?;
         let pool = builder(threads).build().pool().clone();
         println!(
             "bench: design {}, {} case(s), batch {}, {} thread(s), simd {}",

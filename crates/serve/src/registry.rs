@@ -8,6 +8,40 @@
 //! cannot perturb another's results.
 
 use m3d_fault_loc::DiagnosisSession;
+use std::fmt;
+
+/// Registry construction errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// Two loaded artifacts carry the same design label — routing would
+    /// silently prefer the first, so startup refuses the set instead.
+    DuplicateDesign {
+        /// The colliding design label.
+        design: String,
+        /// 1-based load position of the first artifact with this label.
+        first: usize,
+        /// 1-based load position of the colliding artifact.
+        second: usize,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::DuplicateDesign {
+                design,
+                first,
+                second,
+            } => write!(
+                f,
+                "duplicate artifact for design `{design}`: artifact #{second} \
+                 collides with artifact #{first}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
 
 /// An immutable routing table over loaded sessions.
 #[derive(Clone, Copy)]
@@ -16,18 +50,21 @@ pub struct Registry<'s, 'a> {
 }
 
 impl<'s, 'a> Registry<'s, 'a> {
-    /// Builds the table. Duplicate design labels are a caller bug —
-    /// routing would silently prefer the first — so they panic here, at
-    /// startup, not at request time.
-    pub fn new(sessions: &'s [DiagnosisSession<'a>]) -> Registry<'s, 'a> {
+    /// Builds the table. Duplicate design labels are a configuration bug —
+    /// routing would silently prefer the first — so they are rejected
+    /// here, at startup, with the colliding load positions; the server
+    /// maps this to a non-zero exit instead of aborting mid-flight.
+    pub fn new(sessions: &'s [DiagnosisSession<'a>]) -> Result<Registry<'s, 'a>, RegistryError> {
         for (i, s) in sessions.iter().enumerate() {
-            assert!(
-                !sessions[..i].iter().any(|t| t.design() == s.design()),
-                "duplicate artifact for design {}",
-                s.design()
-            );
+            if let Some(j) = sessions[..i].iter().position(|t| t.design() == s.design()) {
+                return Err(RegistryError::DuplicateDesign {
+                    design: s.design().to_string(),
+                    first: j + 1,
+                    second: i + 1,
+                });
+            }
         }
-        Registry { sessions }
+        Ok(Registry { sessions })
     }
 
     /// Routes a design label to its session.

@@ -84,7 +84,7 @@ fn save_load_diagnose_matches_in_process_on_all_quick_designs() {
         assert_eq!(artifact, back, "{}: text round trip", bench.name);
 
         // The embedded recipe rebuilds the same design.
-        let rebuilt = back.build_bench();
+        let rebuilt = back.build_bench().expect("embedded recipe regenerates");
         assert_eq!(
             design_fingerprint(&rebuilt),
             design_fingerprint(&bench),

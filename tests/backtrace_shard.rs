@@ -1,0 +1,141 @@
+//! Partitioned-vs-monolithic back-trace equivalence: the sharded path
+//! must produce the same pruned node set, in the same order, with the
+//! same features, as the monolithic path — on every quick evaluation
+//! design, at any partition count, at 1 and 4 worker threads. This is
+//! the workspace-level pin of the `ConeIndex` contract: partitioning is
+//! a pure execution strategy and can never leak into results.
+
+use std::sync::OnceLock;
+
+use m3d_exec::ExecPool;
+use m3d_fault_loc::{
+    backtrace, backtrace_sharded, generate_samples, BacktraceConfig, ConeIndex, DatasetConfig,
+    DesignConfig, DesignContext, Subgraph, TestBench, TestBenchConfig,
+};
+use m3d_netlist::BenchmarkProfile;
+use proptest::prelude::*;
+
+fn bench_for(config: DesignConfig) -> TestBench {
+    TestBench::build(&TestBenchConfig {
+        scale: 0.002,
+        ..TestBenchConfig::quick(BenchmarkProfile::AesLike, config)
+    })
+}
+
+fn assert_identical(sharded: &Subgraph, mono: &Subgraph, what: &str) {
+    assert_eq!(sharded.nodes, mono.nodes, "{what}: pruned node set + order");
+    assert_eq!(sharded.x.as_slice(), mono.x.as_slice(), "{what}: features");
+    assert_eq!(sharded.miv_rows, mono.miv_rows, "{what}: MIV rows");
+}
+
+#[test]
+fn partitioned_backtrace_matches_monolithic_on_all_quick_profiles() {
+    let cfg = BacktraceConfig::default();
+    for config in DesignConfig::EVAL {
+        let bench = bench_for(config);
+        let ctx = DesignContext::new(&bench);
+        assert!(
+            ctx.cone_index.is_none(),
+            "{}: quick designs stay on the monolithic path by default",
+            bench.name
+        );
+        // Compacted logs exercise the multi-observer ambiguity sets the
+        // shard's epoch stamps must deduplicate.
+        for compacted in [false, true] {
+            let samples = generate_samples(
+                &ctx,
+                &DatasetConfig {
+                    compacted,
+                    ..DatasetConfig::single(4, 23)
+                },
+            );
+            for parts in [2usize, 7] {
+                let index = ConeIndex::build(bench.netlist(), &ctx.hetero, parts);
+                for (i, s) in samples.iter().enumerate() {
+                    let chains = compacted.then(|| ctx.chains());
+                    let mono = backtrace(
+                        &ctx.hetero,
+                        &ctx.features,
+                        ctx.fsim.sim(),
+                        ctx.fsim.obs(),
+                        chains,
+                        &s.log,
+                        &cfg,
+                        None,
+                    );
+                    for threads in [1usize, 4] {
+                        let pool = ExecPool::with_threads(threads);
+                        let sharded = backtrace_sharded(
+                            &ctx.hetero,
+                            &ctx.features,
+                            ctx.fsim.sim(),
+                            ctx.fsim.obs(),
+                            chains,
+                            &s.log,
+                            &cfg,
+                            &index,
+                            &pool,
+                        );
+                        assert_identical(
+                            &sharded,
+                            &mono,
+                            &format!(
+                                "{}: sample {i} (compacted={compacted}), {parts} partitions, \
+                                 {threads} threads",
+                                bench.name
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn context_dispatch_is_transparent() {
+    let bench = bench_for(DesignConfig::Par);
+    let plain = DesignContext::new(&bench);
+    let forced = DesignContext::with_partitions(&bench, 5);
+    assert!(forced.cone_index.is_some());
+    let samples = generate_samples(&plain, &DatasetConfig::single(4, 77));
+    let cfg = BacktraceConfig::default();
+    for s in &samples {
+        let a = plain.backtrace(&s.log, false, &cfg);
+        let b = forced.backtrace(&s.log, false, &cfg);
+        assert_identical(&b, &a, &bench.name);
+    }
+}
+
+/// One tiny design shared by every proptest case.
+fn shared_bench() -> &'static TestBench {
+    static BENCH: OnceLock<TestBench> = OnceLock::new();
+    BENCH.get_or_init(|| bench_for(DesignConfig::Syn1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any partition count, any log: the sharded result is the monolithic
+    /// result.
+    #[test]
+    fn random_partition_counts_never_change_the_result(parts in 1usize..12, seed in 0u64..500) {
+        let bench = shared_bench();
+        let ctx = DesignContext::new(bench);
+        let cfg = BacktraceConfig::default();
+        let index = ConeIndex::build(bench.netlist(), &ctx.hetero, parts);
+        let samples = generate_samples(&ctx, &DatasetConfig::single(1, seed));
+        for s in &samples {
+            let mono = backtrace(
+                &ctx.hetero, &ctx.features, ctx.fsim.sim(), ctx.fsim.obs(),
+                None, &s.log, &cfg, None,
+            );
+            let sharded = backtrace_sharded(
+                &ctx.hetero, &ctx.features, ctx.fsim.sim(), ctx.fsim.obs(),
+                None, &s.log, &cfg, &index, &ExecPool::serial(),
+            );
+            prop_assert_eq!(&sharded.nodes, &mono.nodes);
+            prop_assert_eq!(sharded.x.as_slice(), mono.x.as_slice());
+        }
+    }
+}

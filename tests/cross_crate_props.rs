@@ -25,6 +25,7 @@ fn small_config() -> impl Strategy<Value = GeneratorConfig> {
                 xor_bias: 0.25,
                 mux_bias: 0.05,
                 buffer_high_fanout: seed % 3 == 0,
+                max_tap_outputs: None,
             },
         )
 }

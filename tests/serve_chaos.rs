@@ -86,7 +86,7 @@ fn chaos_campaign_replayed_through_the_server_is_panic_free_and_contract_conform
     let bench = quick_bench();
     let pipeline = pipeline();
     let sessions = vec![trained_session(&pipeline, &bench)];
-    let registry = Registry::new(&sessions);
+    let registry = Registry::new(&sessions).expect("unique designs");
     let pool = ExecPool::with_threads(2);
 
     let ctx = DesignContext::new(&bench);
@@ -171,7 +171,7 @@ fn serve_lines_answers_in_input_order_over_a_stream() {
     let bench = quick_bench();
     let pipeline = pipeline();
     let sessions = vec![trained_session(&pipeline, &bench)];
-    let registry = Registry::new(&sessions);
+    let registry = Registry::new(&sessions).expect("unique designs");
     let pool = ExecPool::with_threads(2);
 
     let ctx = DesignContext::new(&bench);
@@ -216,7 +216,7 @@ fn tcp_round_trip_serves_a_connection() {
     let bench = quick_bench();
     let pipeline = pipeline();
     let sessions = vec![trained_session(&pipeline, &bench)];
-    let registry = Registry::new(&sessions);
+    let registry = Registry::new(&sessions).expect("unique designs");
     let pool = ExecPool::with_threads(1);
 
     let ctx = DesignContext::new(&bench);
@@ -269,7 +269,7 @@ fn sustains_10k_diagnoses_per_sec_batched() {
     let bench = quick_bench();
     let pipeline = pipeline();
     let sessions = vec![trained_session(&pipeline, &bench)];
-    let registry = Registry::new(&sessions);
+    let registry = Registry::new(&sessions).expect("unique designs");
     let pool = ExecPool::from_env();
 
     let ctx = DesignContext::new(&bench);
@@ -292,4 +292,25 @@ fn sustains_10k_diagnoses_per_sec_batched() {
         rate >= 10_000.0,
         "batched serving must sustain >=10k diagnoses/sec, measured {rate:.0}/sec"
     );
+}
+
+#[test]
+fn duplicate_design_is_a_typed_startup_error_not_a_panic() {
+    let bench = quick_bench();
+    let pipeline = pipeline();
+    let sessions = vec![
+        trained_session(&pipeline, &bench),
+        trained_session(&pipeline, &bench),
+    ];
+    let Err(err) = Registry::new(&sessions) else {
+        panic!("same design twice must be rejected");
+    };
+    let m3d_serve::RegistryError::DuplicateDesign {
+        design,
+        first,
+        second,
+    } = err.clone();
+    assert_eq!(design, bench.name);
+    assert_eq!((first, second), (1, 2));
+    assert!(err.to_string().contains("duplicate artifact"), "{err}");
 }
